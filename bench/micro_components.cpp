@@ -1,0 +1,145 @@
+// Google-benchmark micro-benchmarks of the core components: DRAM timing,
+// transparent/NEC cache paths, CPT translation, page allocation, the layer
+// mapper and Algorithm 1. These gauge simulator throughput, not modelled
+// hardware performance.
+#include <benchmark/benchmark.h>
+
+#include "cache/shared_cache.h"
+#include "common/event_queue.h"
+#include "dram/dram_system.h"
+#include "mapping/layer_mapper.h"
+#include "model/model_zoo.h"
+#include "runtime/cache_allocation.h"
+#include "sim/experiment.h"
+
+using namespace camdn;
+
+static void bm_event_queue(benchmark::State& state) {
+    for (auto _ : state) {
+        event_queue eq;
+        for (int i = 0; i < 1024; ++i) eq.schedule(i, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(bm_event_queue);
+
+static void bm_dram_access(benchmark::State& state) {
+    dram::dram_system d{dram::dram_config{}};
+    addr_t addr = 0;
+    cycle_t now = 0;
+    for (auto _ : state) {
+        now = d.access(addr, false, now);
+        addr += line_bytes;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_dram_access);
+
+static void bm_transparent_access(benchmark::State& state) {
+    dram::dram_system d{dram::dram_config{}};
+    cache::shared_cache c{cache::cache_config{}, d};
+    addr_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.transparent_access(addr, false, 0, 0));
+        addr += line_bytes;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_transparent_access);
+
+static void bm_region_read_burst(benchmark::State& state) {
+    dram::dram_system d{dram::dram_config{}};
+    cache::shared_cache c{cache::cache_config{}, d};
+    auto pages = c.pages().try_allocate(0, 8).value();
+    auto& cpt = c.cpt(0);
+    for (std::uint32_t v = 0; v < pages.size(); ++v) cpt.map(v, pages[v]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.region_read_burst(0, 0, 512, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(bm_region_read_burst);
+
+static void bm_cpt_translate(benchmark::State& state) {
+    cache::cache_page_table cpt{cache::cache_config{}};
+    for (std::uint32_t v = 0; v < 384; ++v) cpt.map(v, 128 + v);
+    addr_t vcaddr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cpt.translate(vcaddr));
+        vcaddr = (vcaddr + line_bytes) % (384 * kib(32));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cpt_translate);
+
+static void bm_page_alloc_release(benchmark::State& state) {
+    cache::page_allocator pool{cache::cache_config{}};
+    for (auto _ : state) {
+        auto got = pool.try_allocate(0, 32);
+        benchmark::DoNotOptimize(got);
+        pool.release(0, 32);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_page_alloc_release);
+
+static void bm_map_layer(benchmark::State& state) {
+    const auto& m = model::model_by_abbr("RS.");
+    mapping::mapper_config cfg;
+    const auto blocks = model::segment_layer_blocks(m, cfg.lbm_block_budget,
+                                                    cfg.lbm_max_layers);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapping::map_layer(m, 10, blocks[2], cfg));
+    }
+}
+BENCHMARK(bm_map_layer);
+
+static void bm_map_whole_model(benchmark::State& state) {
+    const auto& m = model::model_by_abbr("MB.");
+    mapping::mapper_config cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapping::map_model(m, cfg));
+    }
+}
+BENCHMARK(bm_map_whole_model);
+
+static void bm_algorithm1_select(benchmark::State& state) {
+    const auto& m = model::model_by_abbr("RS.");
+    mapping::mapper_config mcfg;
+    static const auto mapping = mapping::map_model(m, mcfg);
+    cache::page_allocator pool{cache::cache_config{}};
+    runtime::cache_allocation_algorithm alg;
+
+    std::vector<runtime::task> tasks(8);
+    std::vector<const runtime::task*> running;
+    for (int i = 0; i < 8; ++i) {
+        tasks[i].id = i;
+        tasks[i].mdl = &m;
+        tasks[i].mapping = &mapping;
+        tasks[i].current_layer = static_cast<std::uint32_t>(i * 7 % 60);
+        tasks[i].p_alloc = 24;
+        tasks[i].p_next = 12;
+        tasks[i].t_next = 1000 * i;
+        running.push_back(&tasks[i]);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alg.select(tasks[0], running, pool, 5000));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_algorithm1_select);
+
+static void bm_end_to_end_small_experiment(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::experiment_config cfg;
+        cfg.pol = sim::policy::camdn_full;
+        cfg.workload = {&model::model_by_abbr("MB.")};
+        cfg.co_located = 2;
+        cfg.inferences_per_slot = 1;
+        benchmark::DoNotOptimize(sim::run_experiment(cfg));
+    }
+}
+BENCHMARK(bm_end_to_end_small_experiment)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

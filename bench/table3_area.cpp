@@ -1,0 +1,43 @@
+// Regenerates Table III: 45 nm area breakdown of one NPU core (with CPT)
+// and one cache slice (with NEC) under the Table II configuration.
+//
+// Paper reference: CPT = 0.9% of the NPU, NEC = 0.3% of the slice —
+// CaMDN's architectural additions are negligible.
+#include <iostream>
+
+#include "area/area_model.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+using namespace camdn;
+
+int main() {
+    const auto b = area::estimate_area(npu::npu_config{}, cache::cache_config{});
+
+    std::cout << "Table III: area breakdown of the CaMDN architecture "
+                 "(45 nm)\n\n";
+
+    auto print_side = [](const std::string& title,
+                         const std::vector<area::area_item>& items,
+                         double total) {
+        std::cout << title << "  (total " << fmt_fixed(total / 1000.0, 0)
+                  << "k um^2)\n";
+        table_printer t({"Component", "Area(um^2)", "(%)"});
+        for (const auto& item : items) {
+            t.add_row({item.name, fmt_fixed(item.um2 / 1000.0, 0) + "k",
+                       fmt_fixed(100.0 * item.um2 / total, 1)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    };
+
+    print_side("NPU core", b.npu, b.npu_total());
+    print_side("Cache slice", b.slice, b.slice_total());
+
+    std::cout << "CaMDN additions: CPT = "
+              << fmt_fixed(100.0 * b.of(b.npu, "CPT") / b.npu_total(), 2)
+              << "% of the NPU [paper: 0.9%], NEC = "
+              << fmt_fixed(100.0 * b.of(b.slice, "NEC") / b.slice_total(), 2)
+              << "% of the slice [paper: 0.3%]\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Domain example: an AR/VR-style SoC running a vision + audio + language
+// pipeline concurrently (the multi-DNN applications motivating the paper's
+// introduction). Shows per-model latency and memory traffic under every
+// policy, and the page-level view of the dynamic cache allocation.
+//
+//   ./build/examples/multi_tenant_colocation
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "model/model_zoo.h"
+#include "sim/experiment.h"
+
+int main() {
+    using namespace camdn;
+
+    // An AR headset pipeline: object detection (ResNet50), hand/scene
+    // segmentation backbone (MobileNet-v2), speech recognition
+    // (Wav2Vec2) and an on-device assistant encoder (BERT) — co-located
+    // on one SoC with 8 busy task slots.
+    std::vector<const model::model*> pipeline{
+        &model::model_by_abbr("RS."), &model::model_by_abbr("MB."),
+        &model::model_by_abbr("WV."), &model::model_by_abbr("BE.")};
+
+    std::cout << "AR/VR co-location scenario: RS. + MB. + WV. + BE.\n"
+              << "8 task slots on 16 NPUs, 16 MiB shared cache\n\n";
+
+    table_printer t({"policy", "model", "mean latency (ms)", "DRAM (MiB/inf)",
+                     "inferences"});
+    for (sim::policy pol : {sim::policy::shared_baseline, sim::policy::aurora,
+                            sim::policy::camdn_full}) {
+        sim::experiment_config cfg;
+        cfg.pol = pol;
+        cfg.workload = pipeline;
+        cfg.co_located = 8;
+        cfg.inferences_per_slot = 3;
+        cfg.seed = 2025;
+        const auto res = sim::run_experiment(cfg);
+        for (const auto* m : pipeline) {
+            if (res.completions_of(m->abbr) == 0) continue;
+            t.add_row({sim::policy_name(pol), m->abbr,
+                       fmt_fixed(res.mean_latency_ms(m->abbr), 2),
+                       fmt_fixed(res.mem_mb_per_inference(m->abbr), 1),
+                       std::to_string(res.completions_of(m->abbr))});
+        }
+        t.add_row({"", "", "", "", ""});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe latency-critical small models (MB.) benefit most:\n"
+                 "CaMDN pins their intermediates in model-exclusive cache\n"
+                 "regions instead of letting the heavyweight co-runners\n"
+                 "(BE., WV.) thrash them out of the shared cache.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "area/area_model.h"
+
+#include <cmath>
+
+namespace camdn::area {
+
+namespace {
+
+// 45 nm NAND2-equivalent gate area (um^2/gate), mid-range standard cell
+// library utilization included.
+constexpr double gate_um2 = 1.6;
+
+// Logic sizes in NAND2 equivalents.
+constexpr std::uint64_t gates_per_pe = 800;        // int8 MAC + pipeline regs
+constexpr std::uint64_t gates_nec = 41'000;        // NEC request FSM + mux
+constexpr std::uint64_t gates_npu_misc = 142'000;  // decoder, DMA, control
+constexpr std::uint64_t gates_slice_misc = 209'000;
+
+}  // namespace
+
+double sram_area_um2(std::uint64_t bits) {
+    // Size-dependent density: small macros are periphery-dominated.
+    double um2_per_bit = 0.0;
+    if (bits <= 64ull * 1024) {
+        um2_per_bit = 6.0;
+    } else if (bits <= 4ull * 1024 * 1024) {
+        um2_per_bit = 3.0;
+    } else {
+        um2_per_bit = 1.3;
+    }
+    return static_cast<double>(bits) * um2_per_bit;
+}
+
+double logic_area_um2(std::uint64_t gates) {
+    return static_cast<double>(gates) * gate_um2;
+}
+
+double area_breakdown::npu_total() const {
+    double sum = 0.0;
+    for (const auto& i : npu) sum += i.um2;
+    return sum;
+}
+
+double area_breakdown::slice_total() const {
+    double sum = 0.0;
+    for (const auto& i : slice) sum += i.um2;
+    return sum;
+}
+
+double area_breakdown::of(const std::vector<area_item>& items,
+                          const std::string& name) const {
+    for (const auto& i : items)
+        if (i.name == name) return i.um2;
+    return 0.0;
+}
+
+area_breakdown estimate_area(const npu::npu_config& npu,
+                             const cache::cache_config& cache) {
+    area_breakdown out;
+
+    // ---- NPU core ----
+    out.npu.push_back({"Scratchpad", sram_area_um2(npu.scratchpad_bytes * 8)});
+    out.npu.push_back(
+        {"PE Array",
+         logic_area_um2(static_cast<std::uint64_t>(npu.macs_per_cycle()) *
+                        gates_per_pe)});
+    // CPT: <= pages_total entries of 3 bytes (pcpn + valid), paper §III-B3.
+    out.npu.push_back(
+        {"CPT", sram_area_um2(static_cast<std::uint64_t>(cache.pages_total()) *
+                              3 * 8)});
+    out.npu.push_back({"others", logic_area_um2(gates_npu_misc)});
+
+    // ---- Cache slice ----
+    const std::uint64_t slice_bytes = cache.total_bytes / cache.slices;
+    out.slice.push_back({"Data Array", sram_area_um2(slice_bytes * 8)});
+    // Tag entry: ~26 bits of tag + valid/dirty + LRU state per line.
+    const std::uint64_t lines_per_slice =
+        static_cast<std::uint64_t>(cache.sets_per_slice()) * cache.ways;
+    out.slice.push_back({"Tag Array", sram_area_um2(lines_per_slice * 29)});
+    out.slice.push_back({"NEC", logic_area_um2(gates_nec)});
+    out.slice.push_back({"others", logic_area_um2(gates_slice_misc)});
+
+    return out;
+}
+
+}  // namespace camdn::area

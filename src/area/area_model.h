@@ -1,0 +1,43 @@
+// Analytic 45 nm area model (stands in for the paper's Design Compiler +
+// OpenRAM flow; see DESIGN.md substitution table).
+//
+// SRAM macros use a size-dependent bit density — small macros pay
+// proportionally more periphery — and logic blocks use a NAND2-equivalent
+// gate density. The constants are calibrated against published 45 nm
+// OpenRAM macros and the Gemmini area reports, which is what Table III's
+// relative breakdown rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "npu/npu_config.h"
+
+namespace camdn::area {
+
+struct area_item {
+    std::string name;
+    double um2 = 0.0;
+};
+
+struct area_breakdown {
+    std::vector<area_item> npu;    ///< scratchpad, PE array, CPT, others
+    std::vector<area_item> slice;  ///< data array, tag array, NEC, others
+    double npu_total() const;
+    double slice_total() const;
+    double of(const std::vector<area_item>& items, const std::string& name) const;
+};
+
+/// SRAM macro area in um^2 for `bits` of storage.
+double sram_area_um2(std::uint64_t bits);
+
+/// Random-logic area in um^2 for `gates` NAND2-equivalents.
+double logic_area_um2(std::uint64_t gates);
+
+/// Full Table III breakdown for one NPU core and one cache slice.
+area_breakdown estimate_area(const npu::npu_config& npu,
+                             const cache::cache_config& cache);
+
+}  // namespace camdn::area

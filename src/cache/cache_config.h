@@ -1,0 +1,65 @@
+// Geometry and timing of the sliced shared cache (Table II: 16 MiB, 16
+// ways, 8 slices, 12 of 16 ways assigned to the NPU subspace, 32 KiB cache
+// pages).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace camdn::cache {
+
+struct cache_config {
+    std::uint64_t total_bytes = mib(16);
+    std::uint32_t ways = 16;
+    /// Ways assigned to the NPU subspace by the way-mask register
+    /// (paper §III-B1). The remaining low ways serve the transparent
+    /// general-purpose subspace. 0 disables partitioning (baselines).
+    std::uint32_t npu_ways = 12;
+    std::uint32_t slices = 8;
+    /// Size of one NPU-subspace cache page (paper §III-B3: 32 KiB).
+    std::uint64_t page_bytes = kib(32);
+
+    /// End-to-end hit latency for a cache read (tag + data + NoC), cycles.
+    std::uint32_t hit_latency = 24;
+    /// Extra latency to install a line after DRAM data arrives, cycles.
+    std::uint32_t fill_latency = 6;
+    /// One-way NoC hop latency NPU <-> cache slice, cycles.
+    std::uint32_t noc_latency = 8;
+
+    // ---- Derived geometry ----
+
+    std::uint32_t sets_per_slice() const {
+        return static_cast<std::uint32_t>(
+            total_bytes / (static_cast<std::uint64_t>(ways) * slices * line_bytes));
+    }
+    std::uint64_t lines_total() const { return total_bytes / line_bytes; }
+    std::uint64_t lines_per_page() const { return page_bytes / line_bytes; }
+
+    /// Sets of one slice spanned by one page (consecutive lines of a page
+    /// stripe across all slices first, then advance the set index).
+    std::uint32_t sets_per_page() const {
+        return static_cast<std::uint32_t>(lines_per_page() / slices);
+    }
+    /// Pages contained in one way across all slices.
+    std::uint32_t pages_per_way() const { return sets_per_slice() / sets_per_page(); }
+
+    std::uint32_t pages_total() const { return ways * pages_per_way(); }
+    /// Pages inside the NPU subspace (the allocatable pool).
+    std::uint32_t npu_pages() const { return npu_ways * pages_per_way(); }
+    std::uint32_t cpu_ways() const { return ways - npu_ways; }
+
+    std::uint64_t npu_subspace_bytes() const {
+        return static_cast<std::uint64_t>(npu_pages()) * page_bytes;
+    }
+};
+
+/// Physical cache location of one line: identifies slice, set and way
+/// uniquely (paper Fig 5(b): pcaddr = {way, set, slice, offset}).
+struct pcaddr {
+    std::uint32_t way = 0;
+    std::uint32_t set = 0;
+    std::uint32_t slice = 0;
+};
+
+}  // namespace camdn::cache

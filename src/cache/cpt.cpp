@@ -1,0 +1,56 @@
+#include "cache/cpt.h"
+
+#include <cassert>
+
+namespace camdn::cache {
+
+cache_page_table::cache_page_table(const cache_config& config)
+    : config_(config), entries_(config.pages_total()) {}
+
+void cache_page_table::map(std::uint32_t vcpn, std::uint32_t pcpn) {
+    assert(vcpn < entries_.size());
+    assert(pcpn < config_.pages_total());
+    if (!entries_[vcpn].valid) ++mapped_;
+    entries_[vcpn] = entry{pcpn, true};
+}
+
+void cache_page_table::unmap(std::uint32_t vcpn) {
+    assert(vcpn < entries_.size());
+    if (entries_[vcpn].valid) {
+        entries_[vcpn].valid = false;
+        --mapped_;
+    }
+}
+
+void cache_page_table::clear() {
+    for (auto& e : entries_) e.valid = false;
+    mapped_ = 0;
+}
+
+bool cache_page_table::is_mapped(std::uint32_t vcpn) const {
+    return vcpn < entries_.size() && entries_[vcpn].valid;
+}
+
+std::optional<std::uint32_t> cache_page_table::lookup(std::uint32_t vcpn) const {
+    if (!is_mapped(vcpn)) return std::nullopt;
+    return entries_[vcpn].pcpn;
+}
+
+pcaddr cache_page_table::translate(addr_t vcaddr) const {
+    const std::uint32_t vcpn =
+        static_cast<std::uint32_t>(vcaddr / config_.page_bytes);
+    assert(is_mapped(vcpn) && "translate() on an unmapped cache page");
+    const std::uint32_t pcpn = entries_[vcpn].pcpn;
+
+    const std::uint64_t line_in_page =
+        (vcaddr % config_.page_bytes) / line_bytes;
+    pcaddr out;
+    out.slice = static_cast<std::uint32_t>(line_in_page % config_.slices);
+    const std::uint32_t set_in_page =
+        static_cast<std::uint32_t>(line_in_page / config_.slices);
+    out.way = pcpn / config_.pages_per_way();
+    out.set = (pcpn % config_.pages_per_way()) * config_.sets_per_page() + set_in_page;
+    return out;
+}
+
+}  // namespace camdn::cache

@@ -1,0 +1,70 @@
+#include "cache/page_allocator.h"
+
+#include <numeric>
+
+namespace camdn::cache {
+
+page_allocator::page_allocator(const cache_config& config) {
+    total_ = config.npu_pages();
+    free_.reserve(total_);
+    // NPU pages live in the high ways [cpu_ways, ways): pcpns
+    // [cpu_ways * pages_per_way, pages_total). Push in reverse so the
+    // lowest pcpn is handed out first (deterministic, easier to test).
+    const std::uint32_t first = config.cpu_ways() * config.pages_per_way();
+    const std::uint32_t last = config.pages_total();
+    for (std::uint32_t pcpn = last; pcpn > first; --pcpn) free_.push_back(pcpn - 1);
+}
+
+std::uint32_t page_allocator::allocated(task_id task) const {
+    auto it = held_.find(task);
+    return it == held_.end() ? 0 : static_cast<std::uint32_t>(it->second.size());
+}
+
+const std::vector<std::uint32_t>& page_allocator::pages_of(task_id task) const {
+    static const std::vector<std::uint32_t> empty;
+    auto it = held_.find(task);
+    return it == held_.end() ? empty : it->second;
+}
+
+std::optional<std::vector<std::uint32_t>> page_allocator::try_allocate(
+    task_id task, std::uint32_t count) {
+    if (count > free_.size()) return std::nullopt;
+    std::vector<std::uint32_t> taken;
+    taken.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        taken.push_back(free_.back());
+        free_.pop_back();
+    }
+    auto& mine = held_[task];
+    mine.insert(mine.end(), taken.begin(), taken.end());
+    return taken;
+}
+
+std::vector<std::uint32_t> page_allocator::release(task_id task,
+                                                   std::uint32_t count) {
+    std::vector<std::uint32_t> freed;
+    auto it = held_.find(task);
+    if (it == held_.end()) return freed;
+    auto& mine = it->second;
+    if (count > mine.size()) count = static_cast<std::uint32_t>(mine.size());
+    freed.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        freed.push_back(mine.back());
+        mine.pop_back();
+        free_.push_back(freed.back());
+    }
+    if (mine.empty()) held_.erase(it);
+    return freed;
+}
+
+std::vector<std::uint32_t> page_allocator::release_all(task_id task) {
+    return release(task, allocated(task));
+}
+
+bool page_allocator::accounting_consistent() const {
+    std::size_t held = 0;
+    for (const auto& [task, pages] : held_) held += pages.size();
+    return held + free_.size() == total_;
+}
+
+}  // namespace camdn::cache

@@ -1,0 +1,285 @@
+#include "cache/shared_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace camdn::cache {
+
+shared_cache::shared_cache(const cache_config& config, dram::dram_system& dram)
+    : config_(config),
+      dram_(dram),
+      sets_(config.sets_per_slice()),
+      transparent_ways_(config.ways),
+      lines_(static_cast<std::size_t>(config.slices) * sets_ * config.ways),
+      slice_free_(config.slices, 0),
+      pages_(config) {}
+
+void shared_cache::set_transparent_ways(std::uint32_t ways) {
+    assert(ways >= 1 && ways <= config_.ways);
+    transparent_ways_ = ways;
+}
+
+cycle_t shared_cache::occupy_slice(std::uint32_t slice, cycle_t arrival) {
+    cycle_t start = std::max(arrival, slice_free_[slice]);
+    slice_free_[slice] = start + 1;
+    ++stats_.slice_busy_cycles;
+    return start + 1;
+}
+
+cycle_t shared_cache::occupy_striped(std::uint32_t start_slice,
+                                     std::uint64_t nlines, cycle_t arrival) {
+    // Consecutive lines visit slices round-robin beginning at start_slice,
+    // so slice s serves floor(n/slices) lines plus one if its offset from
+    // start_slice is below n mod slices.
+    const std::uint32_t slices = config_.slices;
+    const std::uint64_t base = nlines / slices;
+    const std::uint64_t rem = nlines % slices;
+    cycle_t done = arrival;
+    for (std::uint32_t s = 0; s < slices; ++s) {
+        const std::uint32_t offset = (s + slices - start_slice % slices) % slices;
+        const std::uint64_t n = base + (offset < rem ? 1 : 0);
+        if (n == 0) continue;
+        const cycle_t start = std::max(arrival, slice_free_[s]);
+        slice_free_[s] = start + n;
+        stats_.slice_busy_cycles += n;
+        done = std::max(done, slice_free_[s]);
+    }
+    return done;
+}
+
+void shared_cache::bump_task(std::vector<std::uint64_t>& v, task_id task) {
+    if (task < 0) return;
+    if (static_cast<std::size_t>(task) >= v.size()) v.resize(task + 1, 0);
+    ++v[task];
+}
+
+access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
+                                               cycle_t arrival, task_id task) {
+    const std::uint64_t line_id = paddr / line_bytes;
+    const std::uint32_t slice =
+        static_cast<std::uint32_t>(line_id % config_.slices);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((line_id / config_.slices) % sets_);
+
+    line_entry* chosen = nullptr;
+    line_entry* invalid_way = nullptr;
+    line_entry* lru_way = nullptr;
+    for (std::uint32_t w = 0; w < transparent_ways_; ++w) {
+        line_entry& e = lines_[entry_index(slice, set, w)];
+        if (e.valid && e.tag == line_id) {
+            chosen = &e;
+            break;
+        }
+        if (!e.valid) {
+            if (invalid_way == nullptr) invalid_way = &e;
+        } else if (lru_way == nullptr || e.lru < lru_way->lru) {
+            lru_way = &e;
+        }
+    }
+
+    const cycle_t service = occupy_slice(slice, arrival);
+
+    if (chosen != nullptr) {  // hit
+        ++stats_.hits;
+        bump_task(task_hits_, task);
+        chosen->lru = ++lru_tick_;
+        if (is_write) chosen->dirty = true;
+        return access_result{true, service + config_.hit_latency};
+    }
+
+    // Miss.
+    ++stats_.misses;
+    bump_task(task_misses_, task);
+    line_entry& victim = invalid_way != nullptr ? *invalid_way : *lru_way;
+    if (victim.valid) {
+        ++stats_.evictions;
+        if (victim.owner != task) ++stats_.inter_task_evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            // Fire-and-forget writeback: occupies the DRAM bus but nobody
+            // waits on it. Attributed to the data's owner.
+            dram_.access(victim.tag * line_bytes, /*is_write=*/true, service,
+                         victim.owner);
+        }
+    }
+    victim.valid = true;
+    victim.tag = line_id;
+    victim.owner = task;
+    victim.lru = ++lru_tick_;
+    victim.dirty = is_write;
+
+    if (is_write) {
+        // NPU DMA writes full lines: write-validate, no fetch-on-write.
+        return access_result{false, service + config_.hit_latency};
+    }
+
+    ++stats_.read_miss_fills;
+    const cycle_t dram_done = dram_.access(paddr, /*is_write=*/false, service, task);
+    return access_result{false,
+                         dram_done + config_.fill_latency + config_.noc_latency};
+}
+
+cycle_t shared_cache::transparent_burst(addr_t paddr, std::uint64_t nlines,
+                                        bool is_write, cycle_t arrival,
+                                        task_id task) {
+    cycle_t done = arrival;
+    for (std::uint64_t i = 0; i < nlines; ++i) {
+        done = std::max(
+            done,
+            transparent_access(paddr + i * line_bytes, is_write, arrival, task)
+                .done);
+    }
+    return done;
+}
+
+std::uint64_t shared_cache::task_hits(task_id task) const {
+    return (task >= 0 && static_cast<std::size_t>(task) < task_hits_.size())
+               ? task_hits_[task]
+               : 0;
+}
+
+std::uint64_t shared_cache::task_misses(task_id task) const {
+    return (task >= 0 && static_cast<std::size_t>(task) < task_misses_.size())
+               ? task_misses_[task]
+               : 0;
+}
+
+cache_page_table& shared_cache::cpt(task_id task) {
+    auto it = cpts_.find(task);
+    if (it == cpts_.end()) {
+        it = cpts_.emplace(task, std::make_unique<cache_page_table>(config_)).first;
+    }
+    return *it->second;
+}
+
+void shared_cache::destroy_cpt(task_id task) { cpts_.erase(task); }
+
+cycle_t shared_cache::region_read(task_id task, addr_t vcaddr, cycle_t arrival) {
+    ++stats_.region_reads;
+    const pcaddr p = cpt(task).translate(vcaddr);
+    return occupy_slice(p.slice, arrival) + config_.hit_latency;
+}
+
+cycle_t shared_cache::region_write(task_id task, addr_t vcaddr, cycle_t arrival) {
+    ++stats_.region_writes;
+    const pcaddr p = cpt(task).translate(vcaddr);
+    return occupy_slice(p.slice, arrival) + config_.noc_latency;
+}
+
+cycle_t shared_cache::region_fill(task_id task, addr_t vcaddr, addr_t dram_addr,
+                                  cycle_t arrival) {
+    ++stats_.region_fills;
+    const pcaddr p = cpt(task).translate(vcaddr);
+    const cycle_t dram_done = dram_.access(dram_addr, false, arrival, task);
+    const cycle_t slot = occupy_slice(p.slice, dram_done);
+    return slot + config_.fill_latency;
+}
+
+cycle_t shared_cache::region_writeback(task_id task, addr_t vcaddr,
+                                       addr_t dram_addr, cycle_t arrival) {
+    ++stats_.region_writebacks;
+    const pcaddr p = cpt(task).translate(vcaddr);
+    const cycle_t slot = occupy_slice(p.slice, arrival);
+    return dram_.access(dram_addr, true, slot, task);
+}
+
+cycle_t shared_cache::bypass_read(addr_t dram_addr, cycle_t arrival,
+                                  task_id task) {
+    ++stats_.bypass_reads;
+    return dram_.access(dram_addr, false, arrival, task) + config_.noc_latency;
+}
+
+cycle_t shared_cache::bypass_write(addr_t dram_addr, cycle_t arrival,
+                                   task_id task) {
+    ++stats_.bypass_writes;
+    return dram_.access(dram_addr, true, arrival + config_.noc_latency, task);
+}
+
+cycle_t shared_cache::multicast_read(task_id task, addr_t vcaddr,
+                                     cycle_t arrival, std::uint32_t group_size) {
+    ++stats_.multicast_reads;
+    if (group_size > 1) stats_.multicast_combined += group_size - 1;
+    const pcaddr p = cpt(task).translate(vcaddr);
+    return occupy_slice(p.slice, arrival) + config_.hit_latency;
+}
+
+cycle_t shared_cache::multicast_bypass_read(addr_t dram_addr, cycle_t arrival,
+                                            task_id task,
+                                            std::uint32_t group_size) {
+    ++stats_.bypass_reads;
+    if (group_size > 1) stats_.multicast_combined += group_size - 1;
+    return dram_.access(dram_addr, false, arrival, task) + config_.noc_latency;
+}
+
+cycle_t shared_cache::region_read_burst(task_id task, addr_t vcaddr,
+                                        std::uint64_t nlines, cycle_t arrival,
+                                        std::uint32_t group_size) {
+    if (nlines == 0) return arrival;
+    stats_.region_reads += nlines;
+    if (group_size > 1) stats_.multicast_combined += (group_size - 1) * nlines;
+    const pcaddr first = cpt(task).translate(vcaddr);
+    return occupy_striped(first.slice, nlines, arrival) + config_.hit_latency;
+}
+
+cycle_t shared_cache::region_write_burst(task_id task, addr_t vcaddr,
+                                         std::uint64_t nlines, cycle_t arrival) {
+    if (nlines == 0) return arrival;
+    stats_.region_writes += nlines;
+    const pcaddr first = cpt(task).translate(vcaddr);
+    return occupy_striped(first.slice, nlines, arrival) + config_.noc_latency;
+}
+
+cycle_t shared_cache::region_fill_burst(task_id task, addr_t vcaddr,
+                                        addr_t dram_addr, std::uint64_t nlines,
+                                        cycle_t arrival) {
+    if (nlines == 0) return arrival;
+    stats_.region_fills += nlines;
+    const pcaddr first = cpt(task).translate(vcaddr);
+    const cycle_t dram_done =
+        dram_.access_burst(dram_addr, nlines, false, arrival, task);
+    const cycle_t slices_done = occupy_striped(first.slice, nlines, arrival);
+    return std::max(dram_done, slices_done) + config_.fill_latency;
+}
+
+cycle_t shared_cache::region_writeback_burst(task_id task, addr_t vcaddr,
+                                             addr_t dram_addr,
+                                             std::uint64_t nlines,
+                                             cycle_t arrival) {
+    if (nlines == 0) return arrival;
+    stats_.region_writebacks += nlines;
+    const pcaddr first = cpt(task).translate(vcaddr);
+    const cycle_t slices_done = occupy_striped(first.slice, nlines, arrival);
+    return dram_.access_burst(dram_addr, nlines, true, slices_done, task);
+}
+
+cycle_t shared_cache::bypass_read_burst(addr_t dram_addr, std::uint64_t nlines,
+                                        cycle_t arrival, task_id task,
+                                        std::uint32_t group_size) {
+    if (nlines == 0) return arrival;
+    stats_.bypass_reads += nlines;
+    if (group_size > 1) stats_.multicast_combined += (group_size - 1) * nlines;
+    return dram_.access_burst(dram_addr, nlines, false, arrival, task) +
+           config_.noc_latency;
+}
+
+cycle_t shared_cache::bypass_write_burst(addr_t dram_addr, std::uint64_t nlines,
+                                         cycle_t arrival, task_id task) {
+    if (nlines == 0) return arrival;
+    stats_.bypass_writes += nlines;
+    return dram_.access_burst(dram_addr, nlines, true,
+                              arrival + config_.noc_latency, task);
+}
+
+void shared_cache::reset_stats() {
+    stats_ = {};
+    task_hits_.clear();
+    task_misses_.clear();
+}
+
+void shared_cache::invalidate_all() {
+    for (auto& e : lines_) e = line_entry{};
+    std::fill(slice_free_.begin(), slice_free_.end(), 0);
+    lru_tick_ = 0;
+}
+
+}  // namespace camdn::cache

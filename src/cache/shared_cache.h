@@ -1,0 +1,181 @@
+// Sliced shared last-level cache with two access paths:
+//
+//  * transparent path — conventional set-associative LRU lookup used by the
+//    general-purpose subspace and by all baseline policies (the NPU DMA of
+//    MoCA/AuRORA/shared-baseline goes through here and contends freely);
+//  * NEC path — the NPU-Exclusive Controller semantics of CaMDN
+//    (§III-B2): explicit line read/write inside a model-exclusive region,
+//    fill/writeback against DRAM, bypass around the cache, and multicast
+//    variants that combine identical requests from a group of NPUs.
+//
+// The two paths are disjoint by way index once partitioning is enabled:
+// the way-mask register keeps transparent fills inside the low
+// `cpu_ways` ways while NEC operations address the high `npu_ways` ways
+// through CPT translation.
+//
+// Timing: each slice serves one line per cycle (tracked as a busy-until
+// horizon per slice); DRAM interactions delegate to dram::dram_system.
+// Burst entry points exploit the fact that consecutive lines stripe across
+// slices, so a burst's slice occupancy is computed in O(slices).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "cache/cpt.h"
+#include "cache/page_allocator.h"
+#include "common/types.h"
+#include "dram/dram_system.h"
+
+namespace camdn::cache {
+
+struct cache_stats {
+    // Transparent path.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t read_miss_fills = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t evictions = 0;
+    /// Evictions where the victim belonged to a different task — the
+    /// paper's definition of cache contention (§II-C).
+    std::uint64_t inter_task_evictions = 0;
+
+    // NEC path.
+    std::uint64_t region_reads = 0;
+    std::uint64_t region_writes = 0;
+    std::uint64_t region_fills = 0;
+    std::uint64_t region_writebacks = 0;
+    std::uint64_t bypass_reads = 0;
+    std::uint64_t bypass_writes = 0;
+    std::uint64_t multicast_reads = 0;
+    /// Requests that multicast combining removed from the NoC/memory.
+    std::uint64_t multicast_combined = 0;
+    /// Total slice service slots consumed (1 cycle each).
+    std::uint64_t slice_busy_cycles = 0;
+
+    double hit_rate() const {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+struct access_result {
+    bool hit = false;
+    cycle_t done = 0;
+};
+
+class shared_cache {
+public:
+    shared_cache(const cache_config& config, dram::dram_system& dram);
+
+    const cache_config& config() const { return config_; }
+
+    // ---- Partitioning (way-mask register) ----
+
+    /// Number of ways the transparent path may allocate into. Baselines run
+    /// unpartitioned (== config.ways); CaMDN policies restrict the
+    /// transparent path to config.cpu_ways().
+    void set_transparent_ways(std::uint32_t ways);
+    std::uint32_t transparent_ways() const { return transparent_ways_; }
+
+    // ---- Transparent path ----
+
+    access_result transparent_access(addr_t paddr, bool is_write,
+                                     cycle_t arrival, task_id task);
+
+    /// Accesses `nlines` consecutive lines; returns completion of the last.
+    cycle_t transparent_burst(addr_t paddr, std::uint64_t nlines, bool is_write,
+                              cycle_t arrival, task_id task);
+
+    /// Per-task transparent hit/miss counts (Fig 2's hit-rate metric).
+    std::uint64_t task_hits(task_id task) const;
+    std::uint64_t task_misses(task_id task) const;
+
+    // ---- Model-exclusive regions (CPT + page pool) ----
+
+    cache_page_table& cpt(task_id task);
+    void destroy_cpt(task_id task);
+    page_allocator& pages() { return pages_; }
+    const page_allocator& pages() const { return pages_; }
+
+    // ---- NEC semantics (single line) ----
+
+    cycle_t region_read(task_id task, addr_t vcaddr, cycle_t arrival);
+    cycle_t region_write(task_id task, addr_t vcaddr, cycle_t arrival);
+    cycle_t region_fill(task_id task, addr_t vcaddr, addr_t dram_addr,
+                        cycle_t arrival);
+    cycle_t region_writeback(task_id task, addr_t vcaddr, addr_t dram_addr,
+                             cycle_t arrival);
+    cycle_t bypass_read(addr_t dram_addr, cycle_t arrival, task_id task);
+    cycle_t bypass_write(addr_t dram_addr, cycle_t arrival, task_id task);
+    cycle_t multicast_read(task_id task, addr_t vcaddr, cycle_t arrival,
+                           std::uint32_t group_size);
+    cycle_t multicast_bypass_read(addr_t dram_addr, cycle_t arrival,
+                                  task_id task, std::uint32_t group_size);
+
+    // ---- NEC semantics (bursts over consecutive lines) ----
+
+    cycle_t region_read_burst(task_id task, addr_t vcaddr, std::uint64_t nlines,
+                              cycle_t arrival, std::uint32_t group_size = 1);
+    cycle_t region_write_burst(task_id task, addr_t vcaddr, std::uint64_t nlines,
+                               cycle_t arrival);
+    cycle_t region_fill_burst(task_id task, addr_t vcaddr, addr_t dram_addr,
+                              std::uint64_t nlines, cycle_t arrival);
+    cycle_t region_writeback_burst(task_id task, addr_t vcaddr, addr_t dram_addr,
+                                   std::uint64_t nlines, cycle_t arrival);
+    cycle_t bypass_read_burst(addr_t dram_addr, std::uint64_t nlines,
+                              cycle_t arrival, task_id task,
+                              std::uint32_t group_size = 1);
+    cycle_t bypass_write_burst(addr_t dram_addr, std::uint64_t nlines,
+                               cycle_t arrival, task_id task);
+
+    const cache_stats& stats() const { return stats_; }
+    void reset_stats();
+
+    /// Drops every transparent line (used between experiment repetitions).
+    void invalidate_all();
+
+private:
+    struct line_entry {
+        std::uint64_t tag = 0;  // full line id, so the victim address is known
+        std::uint64_t lru = 0;
+        task_id owner = no_task;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t entry_index(std::uint32_t slice, std::uint32_t set,
+                            std::uint32_t way) const {
+        return (static_cast<std::size_t>(slice) * sets_ + set) * config_.ways + way;
+    }
+
+    /// Reserves one service slot on `slice` at or after `arrival`; returns
+    /// the cycle the slot completes.
+    cycle_t occupy_slice(std::uint32_t slice, cycle_t arrival);
+
+    /// Reserves `nlines` striped service slots starting at `start_slice`.
+    cycle_t occupy_striped(std::uint32_t start_slice, std::uint64_t nlines,
+                           cycle_t arrival);
+
+    void bump_task(std::vector<std::uint64_t>& v, task_id task);
+
+    cache_config config_;
+    dram::dram_system& dram_;
+    std::uint32_t sets_ = 0;
+    std::uint32_t transparent_ways_ = 0;
+    std::vector<line_entry> lines_;
+    std::vector<cycle_t> slice_free_;
+    std::uint64_t lru_tick_ = 0;
+
+    page_allocator pages_;
+    std::unordered_map<task_id, std::unique_ptr<cache_page_table>> cpts_;
+
+    cache_stats stats_;
+    std::vector<std::uint64_t> task_hits_;
+    std::vector<std::uint64_t> task_misses_;
+};
+
+}  // namespace camdn::cache

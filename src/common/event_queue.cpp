@@ -1,0 +1,34 @@
+#include "common/event_queue.h"
+
+#include <utility>
+
+namespace camdn {
+
+void event_queue::schedule(cycle_t when, callback fn) {
+    if (when < now_) when = now_;
+    heap_.push(entry{when, next_seq_++, std::move(fn)});
+}
+
+bool event_queue::step() {
+    if (heap_.empty()) return false;
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop, so copy the handle via const_cast-free extraction.
+    entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.fn();
+    return true;
+}
+
+std::size_t event_queue::run(std::size_t max_events) {
+    std::size_t executed = 0;
+    while (executed < max_events && step()) ++executed;
+    return executed;
+}
+
+void event_queue::run_until(cycle_t until) {
+    while (!heap_.empty() && heap_.top().when <= until) step();
+    if (now_ < until) now_ = until;
+}
+
+}  // namespace camdn

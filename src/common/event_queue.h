@@ -1,0 +1,67 @@
+// Discrete-event simulation engine.
+//
+// Every timed component of the SoC model (NPU state machines, DMA chunk
+// completions, Algorithm 1 timeouts, task arrivals) schedules closures on
+// one global queue. Events at equal timestamps run in scheduling order so a
+// fixed seed yields a bit-identical simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace camdn {
+
+class event_queue {
+public:
+    using callback = std::function<void()>;
+
+    /// Current simulation time. Advances only inside step()/run*.
+    cycle_t now() const { return now_; }
+
+    /// Schedules `fn` to run at absolute time `when` (>= now()).
+    /// Scheduling in the past is clamped to now() rather than rejected, so
+    /// zero-latency completions stay legal.
+    void schedule(cycle_t when, callback fn);
+
+    /// Schedules `fn` to run `delay` cycles from now.
+    void schedule_after(cycle_t delay, callback fn) {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /// Runs the earliest event. Returns false when the queue is empty.
+    bool step();
+
+    /// Runs events until the queue drains or `max_events` have run.
+    /// Returns the number of events executed.
+    std::size_t run(std::size_t max_events = SIZE_MAX);
+
+    /// Runs all events with time <= `until` (the queue may retain later
+    /// events). now() ends at max(now, until).
+    void run_until(cycle_t until);
+
+private:
+    struct entry {
+        cycle_t when;
+        std::uint64_t seq;  // tie-breaker: FIFO among same-cycle events
+        callback fn;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<entry, std::vector<entry>, later> heap_;
+    cycle_t now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace camdn

@@ -1,0 +1,42 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace camdn {
+
+void running_stat::add(double value, double weight) {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    weight_ += weight;
+    sum_ += value * weight;
+}
+
+bucket_histogram::bucket_histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), weights_(bounds_.size() + 1, 0.0) {}
+
+void bucket_histogram::add(double value, double weight) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    weights_[i] += weight;
+    total_ += weight;
+}
+
+double bucket_histogram::fraction(std::size_t i) const {
+    if (total_ <= 0.0) return 0.0;
+    return weights_.at(i) / total_;
+}
+
+std::string fmt_fixed(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+}  // namespace camdn

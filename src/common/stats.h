@@ -1,0 +1,59 @@
+// Lightweight statistics primitives used by the simulator and the
+// experiment harness: running means and explicit-boundary histograms
+// (the paper's reuse-count / reuse-distance buckets, Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camdn {
+
+/// Running count/sum/min/max of a stream of samples.
+class running_stat {
+public:
+    void add(double value, double weight = 1.0);
+
+    std::uint64_t count() const { return count_; }
+    double total_weight() const { return weight_; }
+    double sum() const { return sum_; }
+    double mean() const { return weight_ > 0 ? sum_ / weight_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+private:
+    std::uint64_t count_ = 0;
+    double weight_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Histogram over half-open buckets defined by ascending upper bounds:
+/// bucket i holds values in (bound[i-1], bound[i]]; one implicit overflow
+/// bucket holds everything above the last bound. Weighted samples supported
+/// (Fig 3 weighs each datum by its byte size).
+class bucket_histogram {
+public:
+    explicit bucket_histogram(std::vector<double> upper_bounds);
+
+    void add(double value, double weight = 1.0);
+
+    std::size_t bucket_count() const { return weights_.size(); }
+    double bucket_weight(std::size_t i) const { return weights_.at(i); }
+    double total_weight() const { return total_; }
+    /// Fraction of total weight in bucket i; 0 if the histogram is empty.
+    double fraction(std::size_t i) const;
+
+    const std::vector<double>& upper_bounds() const { return bounds_; }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<double> weights_;  // bounds_.size() + 1 entries
+    double total_ = 0.0;
+};
+
+/// Formats `value` with `digits` places after the decimal point.
+std::string fmt_fixed(double value, int digits);
+
+}  // namespace camdn

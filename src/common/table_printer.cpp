@@ -1,0 +1,44 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace camdn {
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+table_printer& table_printer::add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void table_printer::print(std::ostream& os) const {
+    std::size_t columns = headers_.size();
+    for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+    std::vector<std::size_t> width(columns, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(headers_);
+    for (const auto& row : rows_) widen(row);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < columns; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < columns) os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < columns; ++c) rule += width[c] + (c + 1 < columns ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace camdn

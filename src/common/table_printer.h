@@ -1,0 +1,26 @@
+// Column-aligned plain-text tables, shared by every bench binary so the
+// regenerated paper tables/figures print in one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace camdn {
+
+class table_printer {
+public:
+    explicit table_printer(std::vector<std::string> headers);
+
+    table_printer& add_row(std::vector<std::string> cells);
+
+    /// Prints the table with a header rule. Missing cells print empty;
+    /// surplus cells are kept (the column simply widens).
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camdn

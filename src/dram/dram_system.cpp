@@ -1,0 +1,140 @@
+#include "dram/dram_system.h"
+
+#include <algorithm>
+
+namespace camdn::dram {
+
+namespace {
+constexpr std::uint64_t deci = 10;  // deci-cycles per cycle
+}
+
+dram_system::dram_system(const dram_config& config)
+    : config_(config),
+      banks_(static_cast<std::size_t>(config.channels) * config.banks_per_channel),
+      bus_free_(config.channels, 0) {}
+
+dram_system::decoded dram_system::decode(addr_t line_addr) const {
+    const std::uint64_t line_id = line_addr / line_bytes;
+    const std::uint32_t channel =
+        static_cast<std::uint32_t>(line_id % config_.channels);
+    const std::uint64_t in_channel = line_id / config_.channels;
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(in_channel % config_.banks_per_channel);
+    const std::uint64_t in_bank = in_channel / config_.banks_per_channel;
+    const std::uint64_t lines_per_row = config_.row_bytes / line_bytes;
+    return decoded{channel, bank, static_cast<std::int64_t>(in_bank / lines_per_row)};
+}
+
+cycle_t dram_system::regulate(task_id task, cycle_t arrival) {
+    if (task < 0 || static_cast<std::size_t>(task) >= regulators_.size())
+        return arrival;
+    regulator_state& reg = regulators_[task];
+    if (reg.share <= 0.0) return arrival;
+
+    const cycle_t epoch = config_.regulation_epoch;
+    // Advance the regulator's window to the epoch containing `arrival`.
+    if (arrival >= reg.epoch_start + epoch) {
+        reg.epoch_start = arrival / epoch * epoch;
+        reg.bytes_used = 0;
+    }
+    const double budget =
+        reg.share * config_.peak_bytes_per_cycle() * static_cast<double>(epoch);
+    if (static_cast<double>(reg.bytes_used) + line_bytes <= budget) {
+        reg.bytes_used += line_bytes;
+        return arrival;
+    }
+    // Budget exhausted: delay to the next epoch boundary (repeatedly if the
+    // budget is smaller than one line, which we clamp against).
+    ++stats_.throttled;
+    reg.epoch_start += epoch;
+    reg.bytes_used = line_bytes;
+    return reg.epoch_start;
+}
+
+cycle_t dram_system::access(addr_t line_addr, bool is_write, cycle_t arrival,
+                            task_id task) {
+    arrival = regulate(task, arrival);
+
+    const decoded d = decode(line_addr);
+    bank_state& bank = banks_[static_cast<std::size_t>(d.channel) *
+                                  config_.banks_per_channel +
+                              d.bank];
+    std::uint64_t& bus_free = bus_free_[d.channel];
+
+    const std::uint64_t arrival_deci = arrival * deci;
+    const std::uint64_t start = std::max(arrival_deci, bank.ready_deci);
+
+    // Latency of this access (visible to the requester) and occupancy of
+    // the bank (what the *next* access to this bank waits for). Row hits
+    // pipeline column commands at tCCD, so a same-row stream is bus-bound;
+    // row switches occupy the bank for precharge+activate.
+    std::uint64_t cmd_cycles = config_.t_cl;
+    std::uint64_t busy_cycles = config_.t_ccd;
+    if (bank.open_row == d.row) {
+        ++stats_.row_hits;
+    } else if (bank.open_row < 0) {
+        ++stats_.row_empties;
+        cmd_cycles += config_.t_rcd;
+        busy_cycles += config_.t_rcd;
+    } else {
+        ++stats_.row_misses;
+        cmd_cycles += config_.t_rp + config_.t_rcd;
+        busy_cycles += config_.t_rp + config_.t_rcd;
+    }
+    bank.open_row = d.row;
+
+    const std::uint64_t cmd_done = start + cmd_cycles * deci;
+    const std::uint64_t data_start = std::max(cmd_done, bus_free);
+    const std::uint64_t data_end =
+        data_start + config_.burst_deci_cycles() + config_.t_burst_gap * deci;
+    bus_free = data_end;
+    stats_.bus_busy_deci += data_end - data_start;
+    // Row remains open (open-page policy); the next same-row CAS may issue
+    // tCCD later even while this burst is still on the bus.
+    bank.ready_deci = start + busy_cycles * deci;
+
+    if (is_write) ++stats_.writes; else ++stats_.reads;
+    if (task >= 0) {
+        if (static_cast<std::size_t>(task) >= per_task_bytes_.size())
+            per_task_bytes_.resize(task + 1, 0);
+        per_task_bytes_[task] += line_bytes;
+    }
+
+    const std::uint64_t done_deci = data_end + config_.t_controller * deci;
+    return (done_deci + deci - 1) / deci;
+}
+
+cycle_t dram_system::access_burst(addr_t line_addr, std::uint64_t nlines,
+                                  bool is_write, cycle_t arrival, task_id task,
+                                  cycle_t* first_done) {
+    cycle_t done = arrival;
+    for (std::uint64_t i = 0; i < nlines; ++i) {
+        const cycle_t line_done =
+            access(line_addr + i * line_bytes, is_write, arrival, task);
+        if (i == 0 && first_done != nullptr) *first_done = line_done;
+        done = std::max(done, line_done);
+    }
+    return done;
+}
+
+void dram_system::set_task_share(task_id task, double fraction) {
+    if (task < 0) return;
+    if (static_cast<std::size_t>(task) >= regulators_.size())
+        regulators_.resize(task + 1);
+    regulators_[task].share = std::clamp(fraction, 0.0, 1.0);
+}
+
+void dram_system::clear_task_shares() { regulators_.clear(); }
+
+std::uint64_t dram_system::task_bytes(task_id task) const {
+    if (task < 0 || static_cast<std::size_t>(task) >= per_task_bytes_.size())
+        return 0;
+    return per_task_bytes_[task];
+}
+
+void dram_system::reset_timing() {
+    for (auto& b : banks_) b = bank_state{};
+    std::fill(bus_free_.begin(), bus_free_.end(), 0);
+}
+
+}  // namespace camdn::dram

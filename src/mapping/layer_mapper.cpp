@@ -1,0 +1,198 @@
+#include "mapping/layer_mapper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace camdn::mapping {
+
+namespace {
+
+constexpr std::uint64_t acc_bytes = 4;
+
+/// Power-of-two multiples of `unit` clamped to `dim`, always containing a
+/// value >= dim (so "whole dimension in one tile" is reachable).
+std::vector<std::uint64_t> tile_ladder(std::uint64_t dim, std::uint64_t unit) {
+    std::vector<std::uint64_t> ladder;
+    if (dim <= unit) {
+        ladder.push_back(dim);
+        return ladder;
+    }
+    for (std::uint64_t t = unit; t < dim; t *= 2) ladder.push_back(t);
+    ladder.push_back(dim);
+    return ladder;
+}
+
+/// Largest tk (multiple of 64, clamped to k) whose tile fits the budget;
+/// 0 when even tk = 1 does not fit.
+std::uint64_t max_tk(std::uint64_t tm, std::uint64_t tn, std::uint64_t k,
+                     std::uint64_t budget) {
+    const std::uint64_t acc = tm * tn * acc_bytes;
+    if (acc >= budget) return 0;
+    std::uint64_t tk = (budget - acc) / (tm + tn);
+    if (tk == 0) return 0;
+    if (tk >= k) return k;
+    if (tk >= 64) tk = tk / 64 * 64;
+    return tk;
+}
+
+/// True when `a` is a strictly better candidate than `b` under the
+/// mapper's objective (min DRAM, then fewer pages, then lower estimate).
+bool better(const mapping_candidate& a, const mapping_candidate& b) {
+    if (a.dram_bytes() != b.dram_bytes()) return a.dram_bytes() < b.dram_bytes();
+    if (a.pages_needed != b.pages_needed) return a.pages_needed < b.pages_needed;
+    return a.est_cycles < b.est_cycles;
+}
+
+struct pin_choice {
+    std::uint64_t weight_bytes = 0;  // pinned prefix of the parameters
+    std::uint64_t input_bytes = 0;   // pinned prefix of the input
+};
+
+/// Solves one subspace: fixed placements, enumerate tilings, minimize DRAM.
+std::optional<mapping_candidate> solve_subspace(
+    const model::layer& l, const mapper_config& cfg, std::uint64_t usage_level,
+    const pin_choice& pins, bool input_from_region, bool output_to_region,
+    bool is_lbm, bool in_block_residual, std::uint64_t lbm_block_pages) {
+    using model::layer_kind;
+
+    std::optional<mapping_candidate> best;
+    auto consider = [&](std::uint64_t tm, std::uint64_t tn, std::uint64_t tk) {
+        mapping_candidate cand;
+        cand.usage_level = usage_level;
+        cand.is_lbm = is_lbm;
+        cand.tm = tm;
+        cand.tn = tn;
+        cand.tk = tk;
+        cand.weights_pinned_bytes = pins.weight_bytes;
+        cand.input_pinned_bytes = pins.input_bytes;
+        cand.input_from_region = input_from_region;
+        cand.output_to_region = output_to_region;
+        finalize_candidate(l, cfg, cand, in_block_residual, lbm_block_pages);
+        if (!is_lbm && cand.pages_needed * cfg.page_bytes > usage_level &&
+            cand.pages_needed > 0) {
+            return;  // pinned tensors exceed this usage level
+        }
+        if (!best || better(cand, *best)) best = cand;
+    };
+
+    if (l.kind == layer_kind::elementwise || l.kind == layer_kind::pool ||
+        l.kind == layer_kind::dwconv) {
+        // Streaming operators: a single canonical tiling.
+        consider(l.m, l.n, l.k);
+        return best;
+    }
+
+    const std::uint64_t budget = cfg.tile_budget();
+    for (std::uint64_t tm : tile_ladder(l.m, cfg.npu.pe_rows)) {
+        for (std::uint64_t tn : tile_ladder(l.n, cfg.npu.pe_cols)) {
+            const std::uint64_t tk = max_tk(tm, tn, l.k, budget);
+            if (tk == 0) continue;
+            consider(tm, tn, tk);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+mct map_layer(const model::model& m, std::uint32_t layer_index,
+              const model::layer_block& block, const mapper_config& cfg) {
+    const model::layer& l = m.layers[layer_index];
+    const bool in_block_res = residual_in_block(m, layer_index, block);
+
+    mct table;
+
+    for (std::uint64_t level : cfg.usage_levels) {
+        // Disjoint pinning subspaces within this usage level: split the
+        // budget between the two pinnable tensors at a few ratios, spilling
+        // any slack from a fully covered tensor to the other (partial
+        // pinning keeps a useful candidate at every level).
+        std::vector<pin_choice> choices;
+        choices.push_back({0, 0});
+        for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+            const auto w_budget = static_cast<std::uint64_t>(frac * level);
+            std::uint64_t pw = std::min(l.weight_bytes, w_budget);
+            std::uint64_t pi = std::min(l.input_bytes, level - pw);
+            pw = std::min(l.weight_bytes, level - pi);  // spill back
+            if (pw == 0 && pi == 0) continue;
+            bool dup = false;
+            for (const auto& c : choices)
+                dup |= c.weight_bytes == pw && c.input_bytes == pi;
+            if (!dup) choices.push_back({pw, pi});
+        }
+
+        std::optional<mapping_candidate> best;
+        for (const auto& pins : choices) {
+            auto cand = solve_subspace(l, cfg, level, pins,
+                                       /*input_from_region=*/false,
+                                       /*output_to_region=*/false,
+                                       /*is_lbm=*/false, in_block_res,
+                                       /*lbm_block_pages=*/0);
+            if (cand && (!best || better(*cand, *best))) best = cand;
+        }
+        if (best) table.lwm.push_back(*best);
+    }
+
+    // Sort by pages and keep only candidates that strictly improve DRAM
+    // traffic over every smaller candidate (dominance filter).
+    std::sort(table.lwm.begin(), table.lwm.end(),
+              [](const mapping_candidate& a, const mapping_candidate& b) {
+                  if (a.pages_needed != b.pages_needed)
+                      return a.pages_needed < b.pages_needed;
+                  return a.dram_bytes() < b.dram_bytes();
+              });
+    std::vector<mapping_candidate> kept;
+    for (const auto& cand : table.lwm) {
+        if (kept.empty() || cand.dram_bytes() < kept.back().dram_bytes())
+            kept.push_back(cand);
+    }
+    table.lwm = std::move(kept);
+    assert(!table.lwm.empty());
+    assert(table.lwm.front().pages_needed == 0);
+
+    // LBM candidate: only meaningful for blocks of two or more layers.
+    if (block.size() >= 2) {
+        const std::uint64_t block_pages =
+            ceil_div(block.peak_bytes, cfg.page_bytes);
+        auto cand = solve_subspace(
+            l, cfg, block_pages * cfg.page_bytes, pin_choice{},
+            /*input_from_region=*/layer_index != block.first,
+            /*output_to_region=*/layer_index != block.last,
+            /*is_lbm=*/true, in_block_res, block_pages);
+        if (cand) table.lbm = *cand;
+    }
+
+    return table;
+}
+
+model_mapping map_model(const model::model& m, const mapper_config& cfg) {
+    model_mapping out;
+    out.model_name = m.name;
+    out.blocks =
+        model::segment_layer_blocks(m, cfg.lbm_block_budget, cfg.lbm_max_layers);
+
+    out.block_of.resize(m.layers.size());
+    for (std::uint32_t b = 0; b < out.blocks.size(); ++b) {
+        for (std::uint32_t i = out.blocks[b].first; i <= out.blocks[b].last; ++i)
+            out.block_of[i] = b;
+    }
+
+    out.tables.reserve(m.layers.size());
+    out.layer_est.reserve(m.layers.size());
+    for (std::uint32_t i = 0; i < m.layers.size(); ++i) {
+        out.tables.push_back(map_layer(m, i, out.blocks[out.block_of[i]], cfg));
+        const auto& lwm = out.tables.back().lwm;
+        out.layer_est.push_back(lwm[lwm.size() / 2].est_cycles);
+    }
+
+    out.block_est.resize(out.blocks.size(), 0);
+    for (std::uint32_t b = 0; b < out.blocks.size(); ++b) {
+        for (std::uint32_t i = out.blocks[b].first; i <= out.blocks[b].last; ++i) {
+            const auto& t = out.tables[i];
+            out.block_est[b] += t.lbm ? t.lbm->est_cycles : out.layer_est[i];
+        }
+    }
+    return out;
+}
+
+}  // namespace camdn::mapping

@@ -1,0 +1,33 @@
+// Heuristic-solver-hybrid layer mapper (paper §III-C1).
+//
+// Heuristic rules first shrink the search space:
+//   * tile sizes are multiples of the PE array dims (compute utilization)
+//     drawn from a power-of-two ladder (cache-line utilization);
+//   * tk is maximized for the chosen (tm, tn) — the reduction dimension
+//     never adds traffic, so bigger is never worse;
+//   * loop permutations collapse to the dataflow implied by the tiling.
+// The remaining disjoint subspaces — one per tensor-pinning choice — are
+// solved exactly by enumeration with minimal DRAM access as the objective
+// (standing in for the paper's integer-programming solver; after pruning
+// the subspaces are small enough for the exhaustive solve to be exact).
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/cost_model.h"
+#include "mapping/mapping.h"
+#include "model/model.h"
+
+namespace camdn::mapping {
+
+/// Generates the MCT of one layer: one LWM candidate per usage level
+/// (dominance-deduplicated) and an LBM candidate when the enclosing block
+/// has two or more layers.
+mct map_layer(const model::model& m, std::uint32_t layer_index,
+              const model::layer_block& block, const mapper_config& cfg);
+
+/// Maps a whole model: segments it into layer blocks and produces the
+/// per-layer MCTs plus latency estimates (the "model mapping file").
+model_mapping map_model(const model::model& m, const mapper_config& cfg);
+
+}  // namespace camdn::mapping

@@ -1,0 +1,72 @@
+// Layer intermediate representation.
+//
+// Every operator is canonicalized to GEMM-like dimensions (m, n, k):
+//   conv    m = oh*ow, n = out_c, k = in_c*kh*kw
+//   dwconv  m = oh*ow, n = channels, k = kh*kw (no cross-channel reduction)
+//   gemm    m, n, k verbatim (attention scores/context are gemms whose
+//           second operand is itself an activation, flagged below)
+//   elementwise / pool  m = elements, n = k = 1 (SIMD unit)
+//
+// Alongside the canonical dims each layer carries the *actual* tensor
+// byte sizes (int8 activations/weights), which the traffic model uses —
+// conv input halos overlap, so input_bytes < m*k.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace camdn::model {
+
+enum class layer_kind : std::uint8_t {
+    conv,
+    dwconv,
+    gemm,
+    elementwise,
+    pool,
+};
+
+enum class model_domain : std::uint8_t {
+    vision,
+    nlp,
+    audio,
+    point_cloud,
+};
+
+struct layer {
+    std::string name;
+    layer_kind kind = layer_kind::gemm;
+
+    // Canonical GEMM dims; MACs = m*n*k for dense kinds, m*n*k for dwconv
+    // with k = kh*kw per channel.
+    std::uint64_t m = 1;
+    std::uint64_t n = 1;
+    std::uint64_t k = 1;
+
+    std::uint64_t input_bytes = 0;   ///< primary activation input
+    std::uint64_t weight_bytes = 0;  ///< parameters (or 2nd activation, see flag)
+    std::uint64_t output_bytes = 0;  ///< activation output
+
+    /// True for attention gemms whose "weight" operand is an activation
+    /// produced earlier (K or V) — it is intermediate data, not parameters.
+    bool weight_is_intermediate = false;
+
+    /// Index of the layer whose output is added element-wise into this
+    /// layer's output (residual connections); -1 when none.
+    std::int32_t residual_from = -1;
+
+    std::uint64_t macs() const {
+        if (kind == layer_kind::elementwise || kind == layer_kind::pool)
+            return m;  // one op per element on the SIMD unit
+        return m * n * k;
+    }
+
+    /// Total bytes this layer moves if nothing is ever reused on-chip.
+    std::uint64_t min_traffic_bytes() const {
+        return input_bytes + weight_bytes + output_bytes +
+               (residual_from >= 0 ? output_bytes : 0);
+    }
+};
+
+}  // namespace camdn::model

@@ -1,0 +1,89 @@
+#include "model/layer_blocks.h"
+
+#include <algorithm>
+
+namespace camdn::model {
+
+namespace {
+
+/// Last layer index inside [first, last] that consumes layer i's output.
+std::uint32_t last_use_in_block(const model& m, std::uint32_t i,
+                                std::uint32_t last) {
+    std::uint32_t use = std::min(i + 1, last);  // chained consumer
+    for (std::uint32_t j = i + 1; j <= last; ++j) {
+        if (m.layers[j].residual_from == static_cast<std::int32_t>(i))
+            use = std::max(use, j);
+    }
+    return use;
+}
+
+struct placed {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::uint32_t born;   // producer layer
+    std::uint32_t dies;   // last consumer layer
+};
+
+}  // namespace
+
+layer_block layout_block(const model& m, std::uint32_t first,
+                         std::uint32_t last) {
+    layer_block block;
+    block.first = first;
+    block.last = last;
+    block.out_offset.resize(last - first + 1, 0);
+
+    std::vector<placed> live;
+    std::uint64_t extent = 0;
+    for (std::uint32_t i = first; i <= last; ++i) {
+        const std::uint64_t bytes =
+            round_up(std::max<std::uint64_t>(m.layers[i].output_bytes, 1),
+                     line_bytes);
+        const std::uint32_t dies = last_use_in_block(m, i, last);
+
+        // First-fit: lowest offset where [offset, offset+bytes) does not
+        // overlap any tensor whose lifetime intersects [i, dies].
+        std::vector<const placed*> conflicts;
+        for (const auto& p : live) {
+            if (p.dies >= i && p.born <= dies) conflicts.push_back(&p);
+        }
+        std::sort(conflicts.begin(), conflicts.end(),
+                  [](const placed* a, const placed* b) {
+                      return a->offset < b->offset;
+                  });
+        std::uint64_t offset = 0;
+        for (const auto* p : conflicts) {
+            if (offset + bytes <= p->offset) break;
+            offset = std::max(offset, p->offset + p->bytes);
+        }
+
+        block.out_offset[i - first] = offset;
+        live.push_back(placed{offset, bytes, i, dies});
+        extent = std::max(extent, offset + bytes);
+    }
+    block.peak_bytes = extent;
+    return block;
+}
+
+std::vector<layer_block> segment_layer_blocks(const model& m,
+                                              std::uint64_t budget_bytes,
+                                              std::uint32_t max_layers) {
+    std::vector<layer_block> blocks;
+    const std::uint32_t count = static_cast<std::uint32_t>(m.layers.size());
+    std::uint32_t first = 0;
+    while (first < count) {
+        layer_block current = layout_block(m, first, first);
+        while (current.last + 1 < count && current.size() + 1 <= max_layers) {
+            layer_block extended = layout_block(m, first, current.last + 1);
+            if (extended.peak_bytes > budget_bytes) break;
+            current = std::move(extended);
+        }
+        // A single layer whose output alone exceeds the budget still forms
+        // a (LBM-less) block.
+        first = current.last + 1;
+        blocks.push_back(std::move(current));
+    }
+    return blocks;
+}
+
+}  // namespace camdn::model

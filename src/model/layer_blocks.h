@@ -1,0 +1,52 @@
+// Layer-block segmentation for layer-block mapping (LBM, paper §III-C2).
+//
+// LBM keeps inter-layer intermediate tensors entirely inside the model's
+// cache region, so a block's feasibility is bounded by the bytes of
+// simultaneously live intermediates. Segmentation also computes a concrete
+// region layout — a byte offset for every intermediate produced inside the
+// block — via first-fit allocation over liveness intervals; the layout
+// extent is what the online allocator actually reserves. To prevent one
+// model from occupying too much cache for too long, blocks are capped in
+// length as well.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "model/model.h"
+
+namespace camdn::model {
+
+struct layer_block {
+    std::uint32_t first = 0;  ///< index of first layer in the block
+    std::uint32_t last = 0;   ///< index of last layer (inclusive)
+
+    /// Region layout extent in bytes (what LBM must reserve).
+    std::uint64_t peak_bytes = 0;
+
+    /// Byte offset of layer (first + i)'s output inside the block region.
+    std::vector<std::uint64_t> out_offset;
+
+    std::uint32_t size() const { return last - first + 1; }
+    std::uint64_t offset_of(std::uint32_t layer) const {
+        return out_offset.at(layer - first);
+    }
+};
+
+/// First-fit region layout for layers [first, last] run as one block.
+/// Returns the block with peak_bytes and out_offset filled in. Each
+/// output's lifetime spans from its producer to its last consumer inside
+/// the block (chained successor and residual readers).
+layer_block layout_block(const model& m, std::uint32_t first,
+                         std::uint32_t last);
+
+/// Greedy segmentation: extend the current block while the layout extent
+/// stays within `budget_bytes` and the block has fewer than `max_layers`
+/// layers. Every layer lands in exactly one block; blocks of size 1 mean
+/// LBM is unavailable for that layer.
+std::vector<layer_block> segment_layer_blocks(const model& m,
+                                              std::uint64_t budget_bytes,
+                                              std::uint32_t max_layers = 6);
+
+}  // namespace camdn::model

@@ -1,0 +1,286 @@
+#include "model/model_zoo.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace camdn::model {
+
+namespace {
+
+/// ResNet bottleneck: 1x1 reduce, 3x3 (carries the stride), 1x1 expand,
+/// residual add. Batch-norm and ReLU are fused into the convs; the
+/// stage-entry 1x1 downsample convolution is folded into the residual edge
+/// (see DESIGN.md).
+void bottleneck(model_builder& b, const std::string& prefix, std::uint32_t mid,
+                std::uint32_t out, std::uint32_t stride) {
+    const std::int32_t block_in = static_cast<std::int32_t>(b.last_index());
+    b.conv(prefix + ".conv1", mid, 1, 1);
+    b.conv(prefix + ".conv2", mid, 3, stride);
+    b.conv(prefix + ".conv3", out, 1, 1);
+    b.elementwise(prefix + ".add", block_in);
+}
+
+/// MobileNet-v2 inverted residual: 1x1 expand (ratio t), 3x3 depthwise,
+/// 1x1 linear projection, residual when shapes allow.
+void inverted_residual(model_builder& b, const std::string& prefix,
+                       std::uint32_t t, std::uint32_t out,
+                       std::uint32_t stride) {
+    const std::int32_t block_in = static_cast<std::int32_t>(b.last_index());
+    const std::uint32_t in_c = b.c();
+    if (t != 1) b.conv(prefix + ".expand", in_c * t, 1, 1);
+    b.dwconv(prefix + ".dw", 3, stride);
+    b.conv(prefix + ".project", out, 1, 1);
+    if (stride == 1 && in_c == out) b.elementwise(prefix + ".add", block_in);
+}
+
+/// EfficientNet MBConv: expand, depthwise kxk, squeeze-excite (two tiny
+/// GEMMs + channel scale), linear projection, residual when shapes allow.
+void mbconv(model_builder& b, const std::string& prefix, std::uint32_t t,
+            std::uint32_t out, std::uint32_t kernel, std::uint32_t stride) {
+    const std::int32_t block_in = static_cast<std::int32_t>(b.last_index());
+    const std::uint32_t in_c = b.c();
+    const std::uint32_t expanded = in_c * t;
+    if (t != 1) b.conv(prefix + ".expand", expanded, 1, 1);
+    b.dwconv(prefix + ".dw", kernel, stride);
+
+    // Squeeze-and-excite side branch on the expanded tensor.
+    const std::uint32_t c = b.c();
+    const std::uint32_t h = b.h();
+    const std::uint32_t w = b.w();
+    const std::uint32_t se = in_c / 4 == 0 ? 1 : in_c / 4;
+    b.gemm(prefix + ".se_fc1", 1, se, c);
+    b.gemm(prefix + ".se_fc2", 1, c, se);
+    b.reshape(c, h, w);
+    b.elementwise(prefix + ".se_scale");
+
+    b.conv(prefix + ".project", out, 1, 1);
+    if (stride == 1 && in_c == out) b.elementwise(prefix + ".add", block_in);
+}
+
+/// Transformer encoder block (ViT / BERT / wav2vec 2.0).
+///
+/// Attention score and context GEMMs are canonicalized so MAC counts and
+/// score-matrix sizes are exact; the Q/K/V operand byte sizes are then
+/// overridden to the true seq*d footprints (the m*k / n*k formulas cannot
+/// express the per-head batching).
+void transformer_block(model_builder& b, const std::string& prefix,
+                       std::uint64_t seq, std::uint64_t d, std::uint64_t heads,
+                       std::uint64_t mlp) {
+    const std::int32_t block_in = static_cast<std::int32_t>(b.last_index());
+    b.gemm(prefix + ".qkv", seq, 3 * d, d);
+
+    b.gemm(prefix + ".scores", seq, seq * heads, d / heads,
+           /*weight_is_intermediate=*/true);
+    b.last_layer().input_bytes = seq * d;   // Q
+    b.last_layer().weight_bytes = seq * d;  // K
+
+    b.elementwise_n(prefix + ".softmax", heads * seq * seq);
+
+    b.gemm(prefix + ".context", seq * heads, d / heads, seq,
+           /*weight_is_intermediate=*/true);
+    b.last_layer().weight_bytes = seq * d;  // V
+
+    b.gemm(prefix + ".proj", seq, d, d);
+    const std::int32_t after_attn = static_cast<std::int32_t>(b.last_index());
+    b.elementwise_n(prefix + ".add1", seq * d, block_in);
+
+    b.gemm(prefix + ".mlp1", seq, mlp, d);
+    b.gemm(prefix + ".mlp2", seq, d, mlp);
+    b.elementwise_n(prefix + ".add2", seq * d, after_attn);
+}
+
+}  // namespace
+
+model make_resnet50() {
+    model_builder b("ResNet50", "RS.", model_domain::vision, "Conv", 6.7, 3, 224,
+                    224);
+    b.conv("conv1", 64, 7, 2);
+    b.pool("maxpool", 3, 2);
+    const std::uint32_t mids[4] = {64, 128, 256, 512};
+    const std::uint32_t outs[4] = {256, 512, 1024, 2048};
+    const std::uint32_t repeats[4] = {3, 4, 6, 3};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (std::uint32_t i = 0; i < repeats[stage]; ++i) {
+            const std::uint32_t stride = (stage > 0 && i == 0) ? 2 : 1;
+            bottleneck(b,
+                       "layer" + std::to_string(stage + 1) + "." +
+                           std::to_string(i),
+                       mids[stage], outs[stage], stride);
+        }
+    }
+    b.global_pool("avgpool");
+    b.gemm("fc", 1, 1000, 2048);
+    return std::move(b).build();
+}
+
+model make_mobilenet_v2() {
+    model_builder b("MobileNet-v2", "MB.", model_domain::vision, "DwConv", 2.8,
+                    3, 224, 224);
+    b.conv("conv1", 32, 3, 2);
+    inverted_residual(b, "block0", 1, 16, 1);
+    struct stage_cfg {
+        std::uint32_t t, c, n, s;
+    };
+    const stage_cfg stages[] = {{6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+                                {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1}};
+    int id = 1;
+    for (const auto& st : stages) {
+        for (std::uint32_t i = 0; i < st.n; ++i) {
+            inverted_residual(b, "block" + std::to_string(id++), st.t, st.c,
+                              i == 0 ? st.s : 1);
+        }
+    }
+    b.conv("conv_last", 1280, 1, 1);
+    b.global_pool("avgpool");
+    b.gemm("fc", 1, 1000, 1280);
+    return std::move(b).build();
+}
+
+model make_efficientnet_b0() {
+    model_builder b("EfficientNet-b0", "EF.", model_domain::vision, "DwConv",
+                    2.8, 3, 224, 224);
+    b.conv("stem", 32, 3, 2);
+    struct stage_cfg {
+        std::uint32_t t, c, n, k, s;
+    };
+    const stage_cfg stages[] = {{1, 16, 1, 3, 1}, {6, 24, 2, 3, 2},
+                                {6, 40, 2, 5, 2}, {6, 80, 3, 3, 2},
+                                {6, 112, 3, 5, 1}, {6, 192, 4, 5, 2},
+                                {6, 320, 1, 3, 1}};
+    int id = 0;
+    for (const auto& st : stages) {
+        for (std::uint32_t i = 0; i < st.n; ++i) {
+            mbconv(b, "mbconv" + std::to_string(id++), st.t, st.c, st.k,
+                   i == 0 ? st.s : 1);
+        }
+    }
+    b.conv("head", 1280, 1, 1);
+    b.global_pool("avgpool");
+    b.gemm("fc", 1, 1000, 1280);
+    return std::move(b).build();
+}
+
+model make_vit_base_16() {
+    model_builder b("ViT-base-16", "VT.", model_domain::vision, "Trans", 40.0, 3,
+                    224, 224);
+    b.conv("patch_embed", 768, 16, 16, /*pad=*/0);  // 14x14 patches
+    const std::uint64_t seq = 197;                  // 196 patches + CLS
+    b.elementwise_n("pos_embed", seq * 768);
+    for (int i = 0; i < 12; ++i)
+        transformer_block(b, "enc" + std::to_string(i), seq, 768, 12, 3072);
+    b.gemm("head", 1, 1000, 768);
+    return std::move(b).build();
+}
+
+model make_bert_base() {
+    model_builder b("BERT-base", "BE.", model_domain::nlp, "Trans", 40.0, 1, 1,
+                    128);
+    const std::uint64_t seq = 128;
+    // Embedding gather: reads seq rows of the word/position tables.
+    b.elementwise_n("embeddings", seq * 768);
+    for (int i = 0; i < 12; ++i)
+        transformer_block(b, "enc" + std::to_string(i), seq, 768, 12, 3072);
+    b.gemm("pooler", 1, 768, 768);
+    b.gemm("classifier", 1, 2, 768);
+    return std::move(b).build();
+}
+
+model make_gnmt() {
+    // 8-layer LSTM seq2seq (4 encoder + 4 decoder), hidden 1024, 32 tokens.
+    // Timesteps are batched into one GEMM per layer (m = seq), matching a
+    // throughput-oriented NPU deployment; the x/h inputs concatenate to
+    // k = 2048 and the four gates fuse to n = 4096 (see DESIGN.md).
+    model_builder b("GNMT", "GN.", model_domain::nlp, "LSTM", 6.7, 1, 1, 32);
+    const std::uint64_t seq = 32;
+    const std::uint64_t hidden = 1024;
+    b.elementwise_n("embedding", seq * hidden);
+    for (int i = 0; i < 4; ++i) {
+        b.gemm("enc_lstm" + std::to_string(i), seq, 4 * hidden, 2 * hidden);
+        b.elementwise_n("enc_gates" + std::to_string(i), seq * 4 * hidden);
+    }
+    for (int i = 0; i < 4; ++i) {
+        b.gemm("dec_lstm" + std::to_string(i), seq, 4 * hidden, 2 * hidden);
+        b.elementwise_n("dec_gates" + std::to_string(i), seq * 4 * hidden);
+        if (i == 0) {
+            // Attention over encoder states.
+            b.gemm("attn_scores", seq, seq, hidden, /*weight_is_intermediate=*/true);
+            b.elementwise_n("attn_softmax", seq * seq);
+            b.gemm("attn_context", seq, hidden, seq, /*weight_is_intermediate=*/true);
+        }
+    }
+    b.gemm("vocab_proj", seq, 32000, hidden);
+    return std::move(b).build();
+}
+
+model make_wav2vec2_base() {
+    // One second of 16 kHz audio -> 49 frames -> 12 transformer layers.
+    model_builder b("Wav2Vec2-base", "WV.", model_domain::audio, "Trans", 16.7,
+                    1, 1, 16000);
+    const std::uint32_t kernels[7] = {10, 3, 3, 3, 3, 2, 2};
+    const std::uint32_t strides[7] = {5, 2, 2, 2, 2, 2, 2};
+    for (int i = 0; i < 7; ++i)
+        b.conv1d("feat" + std::to_string(i), 512, kernels[i], strides[i]);
+    const std::uint64_t seq = b.w();  // 49 frames
+    b.gemm("feature_proj", seq, 768, 512);
+    for (int i = 0; i < 12; ++i)
+        transformer_block(b, "enc" + std::to_string(i), seq, 768, 12, 3072);
+    b.gemm("ctc_head", seq, 32, 768);
+    return std::move(b).build();
+}
+
+model make_pointpillars() {
+    // KITTI-scale configuration: 12k pillars x 32 points x 9 features,
+    // 432x496 canvas, three 2D backbone blocks. The FPN upsample/concat is
+    // collapsed into a sequential head (see DESIGN.md).
+    model_builder b("PointPillars", "PP.", model_domain::point_cloud, "Conv",
+                    100.0, 1, 1, 1);
+    const std::uint64_t points = 12000ull * 32;
+    b.gemm("pfn_linear", points, 64, 9);
+    // The per-pillar max-pool is fused into the PFN on NPU deployments:
+    // only the reduced 12000x64 pillar features ever leave the core.
+    b.last_layer().output_bytes = 12000ull * 64;
+    b.reduce_n("scatter", 12000ull * 64, 64ull * 248 * 216 * 4);
+    b.reshape(64, 496, 432);
+
+    b.conv("block1.0", 64, 3, 2);
+    for (int i = 1; i < 4; ++i)
+        b.conv("block1." + std::to_string(i), 64, 3, 1);
+    b.conv("block2.0", 128, 3, 2);
+    for (int i = 1; i < 6; ++i)
+        b.conv("block2." + std::to_string(i), 128, 3, 1);
+    b.conv("block3.0", 256, 3, 2);
+    for (int i = 1; i < 6; ++i)
+        b.conv("block3." + std::to_string(i), 256, 3, 1);
+
+    b.conv("up_lateral", 128, 1, 1);
+    b.reduce_n("upsample", b.c() * std::uint64_t{62} * 54,
+               128ull * 124 * 108);
+    b.reshape(128, 124, 108);
+    b.conv("head_conv", 128, 3, 1);
+    b.conv("head_out", 42, 1, 1);
+    return std::move(b).build();
+}
+
+const std::vector<model>& benchmark_models() {
+    static const std::vector<model> models = [] {
+        std::vector<model> v;
+        v.push_back(make_resnet50());
+        v.push_back(make_mobilenet_v2());
+        v.push_back(make_efficientnet_b0());
+        v.push_back(make_vit_base_16());
+        v.push_back(make_bert_base());
+        v.push_back(make_gnmt());
+        v.push_back(make_wav2vec2_base());
+        v.push_back(make_pointpillars());
+        return v;
+    }();
+    return models;
+}
+
+const model& model_by_abbr(const std::string& abbr) {
+    for (const auto& m : benchmark_models())
+        if (m.abbr == abbr) return m;
+    throw std::out_of_range("unknown model abbreviation: " + abbr);
+}
+
+}  // namespace camdn::model

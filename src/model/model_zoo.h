@@ -1,0 +1,30 @@
+// The eight benchmark models of Table I, built with realistic batch-1
+// shapes (int8 activations/weights). See DESIGN.md for the documented
+// simplifications (fused activations/batch-norm, chained residual IR,
+// batched GNMT timesteps, collapsed PointPillars FPN).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace camdn::model {
+
+model make_resnet50();
+model make_mobilenet_v2();
+model make_efficientnet_b0();
+model make_vit_base_16();
+model make_bert_base();
+model make_gnmt();
+model make_wav2vec2_base();
+model make_pointpillars();
+
+/// All of Table I, in the paper's order (RS. MB. EF. VT. BE. GN. WV. PP.).
+const std::vector<model>& benchmark_models();
+
+/// Lookup by Table I abbreviation ("RS.", "MB.", ...). Throws
+/// std::out_of_range for unknown abbreviations.
+const model& model_by_abbr(const std::string& abbr);
+
+}  // namespace camdn::model

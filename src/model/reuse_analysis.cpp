@@ -1,0 +1,135 @@
+#include "model/reuse_analysis.h"
+
+#include <algorithm>
+
+namespace camdn::model {
+
+namespace {
+
+/// Accumulator bytes per output element held in the scratchpad while the
+/// reduction dimension streams through (int32 partial sums).
+constexpr std::uint64_t acc_bytes = 4;
+
+/// Total shared-cache-visible traffic of one layer under baseline tiling.
+std::uint64_t layer_traffic_bytes(const layer& l,
+                                  std::uint64_t tile_budget_bytes) {
+    const auto [wp, ip] = baseline_refetch_factors(l, tile_budget_bytes);
+    std::uint64_t traffic = l.input_bytes * ip + l.weight_bytes * wp +
+                            l.output_bytes;
+    if (l.residual_from >= 0) traffic += l.output_bytes;
+    return traffic;
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> baseline_refetch_factors(
+    const layer& l, std::uint64_t tile_budget_bytes) {
+    if (l.kind == layer_kind::elementwise || l.kind == layer_kind::pool)
+        return {1, 1};
+
+    if (l.kind == layer_kind::dwconv) {
+        // No cross-channel reduction: channel tiles are independent, the
+        // input is streamed exactly once and the (tiny) weights stay
+        // resident in the scratchpad.
+        return {1, 1};
+    }
+
+    // Dense conv/GEMM: tile (tm, tn) with the reduction dimension k tiled
+    // freely inside the scratchpad (partial sums stay in the accumulators,
+    // so tk never adds traffic). Weights are re-fetched once per m-tile
+    // pass, inputs once per n-tile pass; a tile that covers a whole tensor
+    // at full reduction depth keeps it resident (stationary dataflow).
+    // This mirrors mapping/cost_model's traffic rules for the CU=0 level.
+    auto ladder = [](std::uint64_t dim) {
+        std::vector<std::uint64_t> out;
+        for (std::uint64_t t = 32; t < dim; t *= 2) out.push_back(t);
+        out.push_back(dim);
+        return out;
+    };
+    std::uint64_t best_traffic = UINT64_MAX;
+    std::uint64_t best_wp = 1;
+    std::uint64_t best_ip = 1;
+    for (std::uint64_t tn : ladder(l.n)) {
+        for (std::uint64_t tm : ladder(l.m)) {
+            const std::uint64_t acc = tm * tn * acc_bytes;
+            if (acc >= tile_budget_bytes) continue;
+            std::uint64_t tk = (tile_budget_bytes - acc) / (tm + tn);
+            if (tk == 0) continue;
+            tk = std::min(tk, l.k);
+            std::uint64_t wp = ceil_div(l.m, tm);
+            std::uint64_t ip = ceil_div(l.n, tn);
+            if (ceil_div(l.n, tn) == 1 && tk == l.k) wp = 1;
+            if (ceil_div(l.m, tm) == 1 && tk == l.k) ip = 1;
+            const std::uint64_t traffic =
+                l.weight_bytes * wp + l.input_bytes * ip;
+            if (traffic < best_traffic) {
+                best_traffic = traffic;
+                best_wp = wp;
+                best_ip = ip;
+            }
+        }
+    }
+    return {best_wp, best_ip};
+}
+
+reuse_report analyze_reuse(const model& m, std::uint64_t scratchpad_bytes) {
+    const std::uint64_t tile_budget = scratchpad_bytes / 2;
+    reuse_report report;
+
+    const std::size_t count = m.layers.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const layer& l = m.layers[i];
+        const auto [wp, ip] = baseline_refetch_factors(l, tile_budget);
+
+        // Parameters: accessed wp times within the layer (attention's
+        // activation operands are accounted as intermediates below, with
+        // one extra access for their production).
+        if (l.weight_bytes > 0) {
+            const double accesses =
+                static_cast<double>(wp) + (l.weight_is_intermediate ? 1.0 : 0.0);
+            report.count_hist.add(accesses, static_cast<double>(l.weight_bytes));
+        }
+
+        // The model's external input tensor (layer 0 only).
+        if (i == 0 && l.input_bytes > 0) {
+            report.count_hist.add(static_cast<double>(ip),
+                                  static_cast<double>(l.input_bytes));
+        }
+
+        // This layer's output: written once; read by the chained consumer
+        // (ip passes of the consumer) and by any residual consumers.
+        if (l.output_bytes == 0) continue;
+        double accesses = 1.0;  // the write
+        if (i + 1 < count) {
+            const auto [cwp, cip] =
+                baseline_refetch_factors(m.layers[i + 1], tile_budget);
+            (void)cwp;
+            accesses += static_cast<double>(cip);
+        }
+        std::uint64_t residual_span_traffic = 0;
+        for (std::size_t j = i + 1; j < count; ++j) {
+            if (m.layers[j].residual_from == static_cast<std::int32_t>(i)) {
+                accesses += 1.0;
+                for (std::size_t t = i + 1; t < j; ++t)
+                    residual_span_traffic += layer_traffic_bytes(m.layers[t], tile_budget);
+            }
+        }
+        report.count_hist.add(accesses, static_cast<double>(l.output_bytes));
+
+        // Reuse distance of this intermediate: traffic between its
+        // production (tail of layer i) and its consumption (head of layer
+        // i+1) is approximately half of each layer's total traffic; a
+        // residual consumer further away sees the whole span.
+        if (i + 1 < count) {
+            const std::uint64_t here = layer_traffic_bytes(l, tile_budget);
+            const std::uint64_t next = layer_traffic_bytes(m.layers[i + 1], tile_budget);
+            double distance = 0.5 * static_cast<double>(here + next);
+            distance += static_cast<double>(residual_span_traffic);
+            report.distance_hist.add(distance,
+                                     static_cast<double>(l.output_bytes));
+        }
+    }
+    return report;
+}
+
+}  // namespace camdn::model

@@ -1,0 +1,53 @@
+// Reuse-count and reuse-distance analysis of the shared-cache access
+// stream (reproduces Fig 3 of the paper).
+//
+// A reuse count is the expected number of accesses to a piece of data on
+// the shared cache; a reuse distance is the volume of other traffic between
+// two consecutive accesses to the same data. Both are computed analytically
+// from the layer chain under a cache-oblivious, scratchpad-tiled baseline
+// mapping — the same workload view the motivation experiment uses.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "model/model.h"
+
+namespace camdn::model {
+
+struct reuse_report {
+    /// Byte-weighted reuse counts over all tensors; bucket bounds
+    /// {1, 4, 8} give the paper's classes 1, [2,4], [5,8], [9,inf).
+    bucket_histogram count_hist{{1.0, 4.0, 8.0}};
+
+    /// Byte-weighted reuse distances of intermediate tensors; bounds
+    /// {1 MiB, 2 MiB, 4 MiB} give (0,1], (1,2], (2,4], (4,inf) MiB.
+    bucket_histogram distance_hist{
+        {static_cast<double>(mib(1)), static_cast<double>(mib(2)),
+         static_cast<double>(mib(4))}};
+
+    /// Fraction of bytes accessed exactly once (the paper's headline:
+    /// 68.0% of data has no future reuse on average).
+    double single_use_fraction() const { return count_hist.fraction(0); }
+
+    /// Fraction of intermediate bytes with reuse distance > 1 MiB.
+    double long_distance_fraction() const {
+        return distance_hist.fraction(1) + distance_hist.fraction(2) +
+               distance_hist.fraction(3);
+    }
+};
+
+/// Baseline tiling refetch factors for one layer given a per-tile
+/// scratchpad budget: {weight passes, input passes}. A pass count of p
+/// means every line of that tensor is touched p times on the shared cache.
+std::pair<std::uint64_t, std::uint64_t> baseline_refetch_factors(
+    const layer& l, std::uint64_t tile_budget_bytes);
+
+/// Analyzes `m` under a scratchpad of `scratchpad_bytes` (half is usable
+/// per tile under double buffering, matching npu_config).
+reuse_report analyze_reuse(const model& m,
+                           std::uint64_t scratchpad_bytes = kib(256));
+
+}  // namespace camdn::model

@@ -1,0 +1,109 @@
+#include "npu/dma_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+namespace camdn::npu {
+
+dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
+                       std::uint64_t chunk_lines, std::uint32_t window)
+    : eq_(eq),
+      cache_(cache),
+      chunk_lines_(chunk_lines == 0 ? 1 : chunk_lines),
+      window_(window == 0 ? 1 : window) {}
+
+cycle_t dma_engine::transfer_now(const transfer_request& req, cycle_t arrival) {
+    using kind = transfer_request::kind;
+    switch (req.op) {
+        case kind::transparent_read:
+            return cache_.transparent_burst(req.addr, req.nlines, false, arrival,
+                                            req.task);
+        case kind::transparent_write:
+            return cache_.transparent_burst(req.addr, req.nlines, true, arrival,
+                                            req.task);
+        case kind::region_read:
+            return cache_.region_read_burst(req.task, req.addr, req.nlines,
+                                            arrival, req.group_size);
+        case kind::region_write:
+            return cache_.region_write_burst(req.task, req.addr, req.nlines,
+                                             arrival);
+        case kind::region_fill:
+            return cache_.region_fill_burst(req.task, req.addr, req.dram_addr,
+                                            req.nlines, arrival);
+        case kind::region_writeback:
+            return cache_.region_writeback_burst(req.task, req.addr,
+                                                 req.dram_addr, req.nlines,
+                                                 arrival);
+        case kind::bypass_read:
+            return cache_.bypass_read_burst(req.addr, req.nlines, arrival,
+                                            req.task, req.group_size);
+        case kind::bypass_write:
+            return cache_.bypass_write_burst(req.addr, req.nlines, arrival,
+                                             req.task);
+    }
+    return arrival;
+}
+
+/// In-flight bookkeeping of one submitted transfer.
+struct dma_engine::flight : std::enable_shared_from_this<dma_engine::flight> {
+    dma_engine& engine;
+    transfer_request req;
+    std::function<void(cycle_t)> on_done;
+
+    std::uint64_t issued_lines = 0;   // lines handed to the memory system
+    std::uint64_t retired_chunks = 0;
+    std::uint64_t total_chunks = 0;
+    std::uint64_t issued_chunks = 0;
+    std::deque<cycle_t> outstanding;  // completion times of in-flight chunks
+    cycle_t last_done = 0;
+
+    flight(dma_engine& e, const transfer_request& r,
+           std::function<void(cycle_t)> cb)
+        : engine(e), req(r), on_done(std::move(cb)) {
+        total_chunks = ceil_div(r.nlines, e.chunk_lines_);
+        last_done = e.eq_.now();
+    }
+
+    void pump() {
+        // Issue as long as the window has room and lines remain.
+        while (issued_chunks < total_chunks &&
+               outstanding.size() < engine.window_) {
+            const std::uint64_t lines = std::min<std::uint64_t>(
+                engine.chunk_lines_, req.nlines - issued_lines);
+            transfer_request chunk = req;
+            chunk.addr = req.addr + issued_lines * line_bytes;
+            chunk.dram_addr = req.dram_addr + issued_lines * line_bytes;
+            chunk.nlines = lines;
+            const cycle_t done = engine.transfer_now(chunk, engine.eq_.now());
+            issued_lines += lines;
+            ++issued_chunks;
+            outstanding.push_back(done);
+            last_done = std::max(last_done, done);
+        }
+        if (outstanding.empty()) {
+            // Everything issued and retired.
+            on_done(last_done);
+            return;
+        }
+        // Wake when the oldest chunk retires; that frees a window slot.
+        const cycle_t next = outstanding.front();
+        outstanding.pop_front();
+        ++retired_chunks;
+        auto self = shared_from_this();
+        engine.eq_.schedule(next, [self]() { self->pump(); });
+    }
+};
+
+void dma_engine::submit(const transfer_request& req,
+                        std::function<void(cycle_t)> on_done) {
+    if (req.nlines == 0) {
+        on_done(eq_.now());
+        return;
+    }
+    auto f = std::make_shared<flight>(*this, req, std::move(on_done));
+    f->pump();
+}
+
+}  // namespace camdn::npu

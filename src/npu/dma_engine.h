@@ -1,0 +1,71 @@
+// Chunked, windowed DMA engine.
+//
+// A tile's tensor traffic is described as a transfer_request and processed
+// in fixed-size chunks of cache lines through the event queue, so that
+// concurrently running NPU cores interleave their traffic in simulated time
+// and observe each other's contention in the DRAM banks, channel buses and
+// cache slices. A window of chunks stays in flight (a real DMA engine keeps
+// multiple outstanding requests), so the memory pipe does not drain between
+// chunks: chunk j issues once chunk j-W has completed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/shared_cache.h"
+#include "common/event_queue.h"
+#include "common/types.h"
+
+namespace camdn::npu {
+
+/// One logical tensor transfer of a tile.
+struct transfer_request {
+    enum class kind : std::uint8_t {
+        transparent_read,   ///< baseline path: DMA read through shared cache
+        transparent_write,  ///< baseline path: DMA write through shared cache
+        region_read,        ///< NEC: cache region -> NPU (multicast-aware)
+        region_write,       ///< NEC: NPU -> cache region
+        region_fill,        ///< NEC: DRAM -> cache region
+        region_writeback,   ///< NEC: cache region -> DRAM
+        bypass_read,        ///< NEC: DRAM -> NPU around the cache
+        bypass_write,       ///< NEC: NPU -> DRAM around the cache
+    };
+
+    kind op = kind::transparent_read;
+    task_id task = no_task;
+    addr_t addr = 0;       ///< vcaddr for region ops, DRAM address otherwise
+    addr_t dram_addr = 0;  ///< DRAM side of fill/writeback pairs
+    std::uint64_t nlines = 0;
+    std::uint32_t group_size = 1;  ///< multicast group width (reads)
+};
+
+class dma_engine {
+public:
+    /// `chunk_lines` trades fidelity (finer interleaving) for event count;
+    /// `window` chunks stay outstanding to keep the pipe full.
+    dma_engine(event_queue& eq, cache::shared_cache& cache,
+               std::uint64_t chunk_lines = 128, std::uint32_t window = 4);
+
+    /// Starts a transfer; `on_done` fires with the completion cycle of the
+    /// final chunk. Multiple transfers may be in flight.
+    void submit(const transfer_request& req,
+                std::function<void(cycle_t)> on_done);
+
+    /// Synchronous variant: performs the whole transfer at `arrival` in one
+    /// shot and returns its completion (no chunking, used by unit tests and
+    /// warm-up paths).
+    cycle_t transfer_now(const transfer_request& req, cycle_t arrival);
+
+    std::uint64_t chunk_lines() const { return chunk_lines_; }
+    std::uint32_t window() const { return window_; }
+
+private:
+    struct flight;
+
+    event_queue& eq_;
+    cache::shared_cache& cache_;
+    std::uint64_t chunk_lines_;
+    std::uint32_t window_;
+};
+
+}  // namespace camdn::npu

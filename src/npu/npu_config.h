@@ -1,0 +1,31 @@
+// NPU core parameters (Table II: 32x32 PE array, 256 KiB scratchpad per
+// core, 16 cores, 1 GHz).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace camdn::npu {
+
+struct npu_config {
+    std::uint32_t pe_rows = 32;
+    std::uint32_t pe_cols = 32;
+    std::uint64_t scratchpad_bytes = kib(256);
+    std::uint32_t cores = 16;
+
+    /// Systolic-array pipeline fill/drain overhead per tile pass, cycles.
+    std::uint32_t pipeline_fill = 32;
+
+    /// Elements the vector/SIMD unit processes per cycle (elementwise ops,
+    /// softmax, pooling).
+    std::uint32_t simd_lanes = 64;
+
+    std::uint32_t macs_per_cycle() const { return pe_rows * pe_cols; }
+
+    /// Fraction of the scratchpad usable by one tile under double
+    /// buffering (load of tile i+1 overlaps compute of tile i).
+    std::uint64_t tile_budget_bytes() const { return scratchpad_bytes / 2; }
+};
+
+}  // namespace camdn::npu

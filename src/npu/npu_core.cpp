@@ -1,0 +1,3 @@
+// npu_core is header-only today; this translation unit anchors the library
+// and provides a home for future out-of-line members.
+#include "npu/npu_core.h"

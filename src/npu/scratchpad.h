@@ -1,0 +1,46 @@
+// Scratchpad capacity accounting with high-water tracking.
+//
+// The mapper guarantees statically that tiles fit; this class double-checks
+// that guarantee at execution time (a violated reservation is a mapper bug,
+// surfaced by tests rather than silently mis-simulated).
+#pragma once
+
+#include <cstdint>
+
+namespace camdn::npu {
+
+class scratchpad {
+public:
+    explicit scratchpad(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes) {}
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t high_water() const { return high_water_; }
+    std::uint64_t free_bytes() const { return capacity_ - used_; }
+
+    /// Reserves `bytes`; returns false (and reserves nothing) on overflow.
+    bool reserve(std::uint64_t bytes) {
+        if (used_ + bytes > capacity_) return false;
+        used_ += bytes;
+        if (used_ > high_water_) high_water_ = used_;
+        return true;
+    }
+
+    /// Releases `bytes` (clamped to the amount currently reserved).
+    void release(std::uint64_t bytes) {
+        used_ = bytes > used_ ? 0 : used_ - bytes;
+    }
+
+    void reset() {
+        used_ = 0;
+        high_water_ = 0;
+    }
+
+private:
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t high_water_ = 0;
+};
+
+}  // namespace camdn::npu

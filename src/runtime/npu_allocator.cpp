@@ -1,0 +1,76 @@
+#include "runtime/npu_allocator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace camdn::runtime {
+
+namespace {
+
+std::uint64_t est_remaining_cycles(const task& t) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = t.current_layer; i < t.mapping->layer_est.size(); ++i)
+        rem += t.mapping->layer_est[i];
+    return rem;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> npu_allocator::allocate(
+    const std::vector<task*>& running, cycle_t now) const {
+    std::vector<std::uint32_t> counts(running.size(), 0);
+
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+        if (running[i] != nullptr) active.push_back(i);
+    }
+    if (active.empty()) return counts;
+
+    // Everybody gets one core; if the pool is oversubscribed the caller
+    // queues surplus tasks instead (counts beyond the pool stay zero, the
+    // neediest-first order decides who runs).
+    std::uint32_t used = 0;
+    // Slack = remaining time / remaining work; smaller is needier.
+    std::vector<double> slack(running.size(), 1.0);
+    for (std::size_t i : active) {
+        const task& t = *running[i];
+        const double work =
+            std::max<double>(1.0, static_cast<double>(est_remaining_cycles(t)));
+        const double time =
+            t.deadline == never
+                ? work
+                : static_cast<double>(t.deadline > now ? t.deadline - now : 1);
+        slack[i] = time / work;
+    }
+    std::sort(active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
+        return slack[a] < slack[b];
+    });
+
+    for (std::size_t i : active) {
+        if (used >= total_cores_) break;
+        counts[i] = 1;
+        ++used;
+    }
+
+    // Spread the remaining cores over the neediest tasks, bounded by the
+    // per-task fission limit.
+    bool progress = true;
+    while (used < total_cores_ && progress) {
+        progress = false;
+        for (std::size_t i : active) {
+            if (used >= total_cores_) break;
+            if (counts[i] == 0 || counts[i] >= max_per_task_) continue;
+            // Tasks with no deadline pressure keep a single core unless
+            // cores outnumber tasks (throughput mode).
+            if (slack[i] >= 1.0 &&
+                active.size() * 2 > static_cast<std::size_t>(total_cores_))
+                continue;
+            ++counts[i];
+            ++used;
+            progress = true;
+        }
+    }
+    return counts;
+}
+
+}  // namespace camdn::runtime

@@ -1,0 +1,36 @@
+// AuRORA-style dynamic NPU (core-count) allocation (baseline, §II-B3).
+//
+// AuRORA virtualizes the accelerator pool: each task receives between one
+// and `max_cores_per_task` cores, sized by its deadline slack, re-evaluated
+// at task arrival/completion boundaries. Idle cores are spread round-robin
+// over the neediest tasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/task.h"
+
+namespace camdn::runtime {
+
+class npu_allocator {
+public:
+    explicit npu_allocator(std::uint32_t total_cores,
+                           std::uint32_t max_cores_per_task = 4)
+        : total_cores_(total_cores), max_per_task_(max_cores_per_task) {}
+
+    /// Returns the core count for each running task (index-aligned with
+    /// `running`; zero entries for null/idle slots). The sum never exceeds
+    /// the number of cores and every running task gets at least one.
+    std::vector<std::uint32_t> allocate(const std::vector<task*>& running,
+                                        cycle_t now) const;
+
+    std::uint32_t total_cores() const { return total_cores_; }
+
+private:
+    std::uint32_t total_cores_;
+    std::uint32_t max_per_task_;
+};
+
+}  // namespace camdn::runtime

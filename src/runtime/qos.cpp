@@ -1,0 +1,42 @@
+#include "runtime/qos.h"
+
+#include <algorithm>
+
+namespace camdn::runtime {
+
+qos_metrics compute_qos(const std::vector<qos_record>& records,
+                        std::uint32_t co_located) {
+    qos_metrics m;
+    if (records.empty()) return m;
+
+    std::uint64_t met = 0;
+    // Normalized progress per model (mean over its completions).
+    std::map<std::string, std::pair<double, std::uint64_t>> np_by_model;
+    for (const auto& r : records) {
+        if (r.deadline_rel == never || r.latency <= r.deadline_rel) ++met;
+        const double np =
+            r.latency > 0
+                ? static_cast<double>(r.isolated) / static_cast<double>(r.latency)
+                : 0.0;
+        auto& acc = np_by_model[r.model_abbr];
+        acc.first += np;
+        acc.second += 1;
+    }
+    m.sla_rate = static_cast<double>(met) / records.size();
+
+    double np_sum = 0.0;
+    double np_min = 1e300;
+    double np_max = 0.0;
+    for (const auto& [abbr, acc] : np_by_model) {
+        const double np = acc.first / static_cast<double>(acc.second);
+        np_sum += np;
+        np_min = std::min(np_min, np);
+        np_max = std::max(np_max, np);
+    }
+    const double np_mean = np_sum / static_cast<double>(np_by_model.size());
+    m.stp = np_mean * co_located;
+    m.fairness = np_max > 0.0 ? np_min / np_max : 0.0;
+    return m;
+}
+
+}  // namespace camdn::runtime

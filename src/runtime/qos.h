@@ -1,0 +1,36 @@
+// QoS metrics (paper §IV-A4, definitions following the AuRORA paper):
+//   * SLA satisfaction rate — fraction of inferences meeting the deadline;
+//   * STP (system throughput) — sum of co-located tasks' normalized
+//     progress, where NP = isolated latency / multi-tenant latency;
+//   * Fairness — equality of progress: min NP / max NP across tasks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace camdn::runtime {
+
+struct qos_record {
+    task_id task = no_task;
+    std::string model_abbr;
+    cycle_t latency = 0;
+    cycle_t deadline_rel = never;  ///< relative deadline (QoS level * target)
+    cycle_t isolated = 0;          ///< isolated single-tenant latency
+};
+
+struct qos_metrics {
+    double sla_rate = 0.0;
+    double stp = 0.0;
+    double fairness = 0.0;
+};
+
+/// Aggregates records of one experiment. `co_located` scales mean
+/// normalized progress to system throughput.
+qos_metrics compute_qos(const std::vector<qos_record>& records,
+                        std::uint32_t co_located);
+
+}  // namespace camdn::runtime

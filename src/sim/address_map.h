@@ -1,0 +1,53 @@
+// DRAM address assignment for a task's tensors.
+//
+// Each task owns a disjoint 1 TiB span of the (64-bit, virtual-physical)
+// address space; weights and activations get generous per-layer strides so
+// tensors never alias. The absolute values only influence DRAM bank/row
+// decomposition and transparent-cache tags, which is exactly the contention
+// behaviour the simulation needs. Activation buffers rotate so a layer's
+// output address equals the next layer's input address and residual
+// producers remain addressable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace camdn::sim {
+
+class address_map {
+public:
+    /// `model_salt` distinguishes the parameter regions of different
+    /// models run by the same task slot — without it, model A's layer-i
+    /// weights would alias model B's at the same address and manufacture
+    /// spurious cache reuse across inferences. Activation buffers are
+    /// per-slot scratch that real runtimes do reuse across models.
+    explicit address_map(task_id id, std::uint64_t model_salt = 0)
+        : base_(static_cast<addr_t>(id + 1) << 40),
+          weight_base_(base_ + ((model_salt & 63) << 33)) {}
+
+    /// Base address of layer `i`'s parameter tensor.
+    addr_t weights(std::uint32_t i) const {
+        return weight_base_ + static_cast<addr_t>(i) * weight_stride;
+    }
+
+    /// Base address of the activation tensor produced by layer `i`
+    /// (consumed as layer i+1's input). Buffers rotate modulo 8 so chained
+    /// and residual readers within any realistic span see stable storage.
+    addr_t activation(std::uint32_t i) const {
+        return base_ + act_region + static_cast<addr_t>(i % 8) * act_stride;
+    }
+
+    /// The model's external input tensor.
+    addr_t model_input() const { return base_ + act_region + 8 * act_stride; }
+
+private:
+    static constexpr addr_t weight_stride = addr_t{1} << 26;  // 64 MiB
+    static constexpr addr_t act_region = addr_t{1} << 39;
+    static constexpr addr_t act_stride = addr_t{1} << 26;
+
+    addr_t base_;
+    addr_t weight_base_;
+};
+
+}  // namespace camdn::sim

@@ -1,0 +1,88 @@
+// Multi-tenant experiment harness.
+//
+// Implements the paper's methodology (§IV-A4): N task slots each run a
+// pre-generated random sequence of benchmark models; a slot re-dispatches
+// to an NPU as soon as its previous inference finishes, keeping all cores
+// busy. Policies plug in their resource allocators: MoCA re-partitions
+// bandwidth every epoch, AuRORA sizes core groups by deadline slack, the
+// CaMDN variants manage the cache via static shares or Algorithm 1. In QoS
+// mode every inference carries a deadline of qos_scale * Table I target.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/shared_cache.h"
+#include "common/types.h"
+#include "dram/dram_system.h"
+#include "model/model.h"
+#include "sim/soc_config.h"
+
+namespace camdn::sim {
+
+struct experiment_config {
+    soc_config soc{};
+    policy pol = policy::shared_baseline;
+    camdn_features features{};
+
+    /// Models sampled by the dispatcher (defaults to the whole zoo).
+    std::vector<const model::model*> workload;
+
+    std::uint32_t co_located = 8;          ///< concurrent task slots
+    std::uint32_t inferences_per_slot = 1; ///< inferences per slot
+    std::uint64_t seed = 42;
+
+    bool qos_mode = false;
+    double qos_scale = 1.0;  ///< QoS-H/M/L = 0.8 / 1.0 / 1.2
+
+    /// Spread idle cores over tasks when slots < cores (multi-core
+    /// execution with multicast weight reads). The motivation experiment
+    /// (Fig 2) pins each task to one NPU, per the paper's methodology.
+    bool spread_idle_cores = true;
+
+    /// Poll interval while waiting on a page request (Algorithm 1).
+    cycle_t page_retry_interval = 2'000;
+    /// Bandwidth reallocation epoch for MoCA/AuRORA.
+    cycle_t bw_epoch = 50'000;
+};
+
+struct inference_record {
+    task_id slot = no_task;
+    std::string abbr;
+    cycle_t arrival = 0;  ///< dispatch request (includes queueing)
+    cycle_t start = 0;    ///< first layer issued
+    cycle_t end = 0;
+    std::uint64_t dram_bytes = 0;
+    std::uint32_t cores = 1;
+
+    cycle_t latency() const { return end - arrival; }
+};
+
+struct experiment_result {
+    std::vector<inference_record> completions;
+    cycle_t makespan = 0;
+    double cache_hit_rate = 0.0;  ///< transparent path (baselines)
+    std::uint64_t dram_total_bytes = 0;
+    cache::cache_stats cache_stats{};
+    dram::dram_stats dram_stats{};
+
+    double avg_latency_ms() const;
+    /// Mean latency of completions of one model ("" = all), ms.
+    double mean_latency_ms(const std::string& abbr) const;
+    /// Mean DRAM traffic per completed inference, MiB ("" = all models).
+    double mem_mb_per_inference(const std::string& abbr = "") const;
+    std::uint64_t completions_of(const std::string& abbr) const;
+};
+
+/// Runs one experiment to completion (deterministic under cfg.seed).
+experiment_result run_experiment(const experiment_config& cfg);
+
+/// Single-tenant latency of each model on one core under the shared
+/// baseline (the normalized-progress reference for QoS metrics), keyed by
+/// Table I abbreviation.
+std::map<std::string, cycle_t> isolated_latencies(
+    const soc_config& soc, const std::vector<const model::model*>& models);
+
+}  // namespace camdn::sim

@@ -1,0 +1,41 @@
+#include "sim/mapping_registry.h"
+
+#include <map>
+#include <sstream>
+
+#include "mapping/layer_mapper.h"
+
+namespace camdn::sim {
+
+namespace {
+
+std::string config_key(const model::model& m,
+                       const mapping::mapper_config& cfg) {
+    std::ostringstream key;
+    key << m.name << '|' << cfg.npu.pe_rows << 'x' << cfg.npu.pe_cols << '|'
+        << cfg.npu.scratchpad_bytes << '|' << cfg.page_bytes << '|'
+        << cfg.lbm_block_budget << '|' << cfg.lbm_max_layers << '|'
+        << cfg.est_dram_bytes_per_cycle;
+    for (auto level : cfg.usage_levels) key << ',' << level;
+    return key.str();
+}
+
+std::map<std::string, mapping::model_mapping>& registry() {
+    static std::map<std::string, mapping::model_mapping> instance;
+    return instance;
+}
+
+}  // namespace
+
+const mapping::model_mapping& mapping_for(const model::model& m,
+                                          const mapping::mapper_config& cfg) {
+    auto& reg = registry();
+    const std::string key = config_key(m, cfg);
+    auto it = reg.find(key);
+    if (it == reg.end()) it = reg.emplace(key, mapping::map_model(m, cfg)).first;
+    return it->second;
+}
+
+void clear_mapping_registry() { registry().clear(); }
+
+}  // namespace camdn::sim

@@ -1,0 +1,32 @@
+#include "sim/soc.h"
+
+namespace camdn::sim {
+
+const char* policy_name(policy p) {
+    switch (p) {
+        case policy::shared_baseline: return "Shared-Baseline";
+        case policy::moca: return "MoCA";
+        case policy::aurora: return "AuRORA";
+        case policy::camdn_hw_only: return "CaMDN(HW-only)";
+        case policy::camdn_full: return "CaMDN(Full)";
+    }
+    return "?";
+}
+
+soc::soc(const soc_config& config, policy pol)
+    : config_(config), policy_(pol) {
+    dram_ = std::make_unique<dram::dram_system>(config_.dram);
+    cache_ = std::make_unique<cache::shared_cache>(config_.cache, *dram_);
+    dma_ = std::make_unique<npu::dma_engine>(eq_, *cache_);
+
+    // Way-mask register: CaMDN partitions the transparent path down to the
+    // CPU ways; baselines run the whole cache transparently.
+    cache_->set_transparent_ways(is_camdn(pol) ? config_.cache.cpu_ways()
+                                               : config_.cache.ways);
+
+    cores_.reserve(config_.npu.cores);
+    for (std::uint32_t i = 0; i < config_.npu.cores; ++i)
+        cores_.emplace_back(static_cast<npu_id>(i), config_.npu);
+}
+
+}  // namespace camdn::sim

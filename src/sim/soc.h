@@ -1,0 +1,40 @@
+// The simulated SoC: event queue, DRAM, sliced shared cache, NPU cores and
+// the DMA engine, wired per soc_config and configured for a policy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/shared_cache.h"
+#include "common/event_queue.h"
+#include "dram/dram_system.h"
+#include "npu/dma_engine.h"
+#include "npu/npu_core.h"
+#include "sim/soc_config.h"
+
+namespace camdn::sim {
+
+class soc {
+public:
+    explicit soc(const soc_config& config, policy pol);
+
+    event_queue& eq() { return eq_; }
+    dram::dram_system& dram() { return *dram_; }
+    cache::shared_cache& cache() { return *cache_; }
+    npu::dma_engine& dma() { return *dma_; }
+
+    std::vector<npu::npu_core>& cores() { return cores_; }
+    const soc_config& config() const { return config_; }
+    policy active_policy() const { return policy_; }
+
+private:
+    soc_config config_;
+    policy policy_;
+    event_queue eq_;
+    std::unique_ptr<dram::dram_system> dram_;
+    std::unique_ptr<cache::shared_cache> cache_;
+    std::unique_ptr<npu::dma_engine> dma_;
+    std::vector<npu::npu_core> cores_;
+};
+
+}  // namespace camdn::sim

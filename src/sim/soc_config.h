@@ -1,0 +1,63 @@
+// Aggregate SoC configuration (Table II defaults), the policy taxonomy of
+// the evaluation, and the CaMDN feature toggles used by the ablation bench.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cache/cache_config.h"
+#include "dram/dram_config.h"
+#include "mapping/cost_model.h"
+#include "npu/npu_config.h"
+
+namespace camdn::sim {
+
+/// The five systems compared in the evaluation.
+enum class policy : std::uint8_t {
+    shared_baseline,  ///< transparent shared cache, no resource scheduling
+    moca,             ///< + dynamic memory-bandwidth partitioning
+    aurora,           ///< + dynamic NPU & bandwidth co-allocation
+    camdn_hw_only,    ///< NEC/CPT regions, equal static page split
+    camdn_full,       ///< + cache-aware candidates + Algorithm 1 + LBM
+};
+
+const char* policy_name(policy p);
+
+/// True for the two CaMDN variants (NEC path, way partitioning active).
+constexpr bool is_camdn(policy p) {
+    return p == policy::camdn_hw_only || p == policy::camdn_full;
+}
+
+/// Feature toggles for the ablation study.
+struct camdn_features {
+    bool bypass = true;     ///< bypass semantics for non-reusable streams
+    bool multicast = true;  ///< combine identical reads of multi-core tasks
+    bool lbm = true;        ///< layer-block mapping
+};
+
+struct soc_config {
+    npu::npu_config npu{};
+    cache::cache_config cache{};
+    dram::dram_config dram{};
+
+    /// Derives the offline mapper configuration for this SoC. The usage
+    /// ladder and LBM budget scale with the NPU subspace so larger caches
+    /// yield larger (and more) candidates — the source of the paper's
+    /// "larger enhancement with larger caches" trend.
+    mapping::mapper_config mapper() const {
+        mapping::mapper_config cfg;
+        cfg.npu = npu;
+        cfg.page_bytes = cache.page_bytes;
+        cfg.est_dram_bytes_per_cycle =
+            dram.peak_bytes_per_cycle() / npu.cores;
+        const std::uint64_t subspace = cache.npu_subspace_bytes();
+        cfg.usage_levels = {0};
+        for (std::uint64_t level = kib(256); level <= subspace / 2; level *= 2)
+            cfg.usage_levels.push_back(level);
+        cfg.lbm_block_budget =
+            std::clamp<std::uint64_t>(subspace / 2, mib(1), mib(16));
+        return cfg;
+    }
+};
+
+}  // namespace camdn::sim

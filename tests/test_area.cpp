@@ -1,0 +1,87 @@
+// Tests for the 45 nm area model against Table III's relative breakdown.
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+
+namespace camdn::area {
+namespace {
+
+area_breakdown table2_breakdown() {
+    return estimate_area(npu::npu_config{}, cache::cache_config{});
+}
+
+TEST(area, sram_density_is_size_dependent) {
+    // Per-bit cost falls with macro size (periphery amortization).
+    const double small = sram_area_um2(8 * 1024) / (8 * 1024);
+    const double medium = sram_area_um2(2 * 1024 * 1024) / (2 * 1024 * 1024);
+    const double large = sram_area_um2(32ull * 1024 * 1024) / (32.0 * 1024 * 1024);
+    EXPECT_GT(small, medium);
+    EXPECT_GT(medium, large);
+}
+
+TEST(area, npu_breakdown_has_expected_items) {
+    const auto b = table2_breakdown();
+    EXPECT_GT(b.of(b.npu, "Scratchpad"), 0.0);
+    EXPECT_GT(b.of(b.npu, "PE Array"), 0.0);
+    EXPECT_GT(b.of(b.npu, "CPT"), 0.0);
+    EXPECT_GT(b.of(b.npu, "others"), 0.0);
+}
+
+TEST(area, cpt_is_about_one_percent_of_the_npu) {
+    // Table III: CPT = 0.9% of total NPU area.
+    const auto b = table2_breakdown();
+    const double frac = b.of(b.npu, "CPT") / b.npu_total();
+    EXPECT_GT(frac, 0.004);
+    EXPECT_LT(frac, 0.02);
+}
+
+TEST(area, nec_is_well_under_one_percent_of_a_slice) {
+    // Table III: NEC = 0.3% of total slice area.
+    const auto b = table2_breakdown();
+    const double frac = b.of(b.slice, "NEC") / b.slice_total();
+    EXPECT_GT(frac, 0.001);
+    EXPECT_LT(frac, 0.007);
+}
+
+TEST(area, scratchpad_dominates_the_npu) {
+    // Table III: scratchpad = 79.7% of the NPU.
+    const auto b = table2_breakdown();
+    const double frac = b.of(b.npu, "Scratchpad") / b.npu_total();
+    EXPECT_GT(frac, 0.70);
+    EXPECT_LT(frac, 0.88);
+}
+
+TEST(area, data_array_dominates_the_slice) {
+    // Table III: data array = 88.7% of the slice.
+    const auto b = table2_breakdown();
+    const double frac = b.of(b.slice, "Data Array") / b.slice_total();
+    EXPECT_GT(frac, 0.82);
+    EXPECT_LT(frac, 0.94);
+}
+
+TEST(area, absolute_magnitudes_match_table3_order) {
+    // Paper: NPU ~7.9 mm^2, slice ~24.7 mm^2 (45 nm).
+    const auto b = table2_breakdown();
+    EXPECT_NEAR(b.npu_total() / 1e6, 7.9, 2.0);
+    EXPECT_NEAR(b.slice_total() / 1e6, 24.7, 5.0);
+}
+
+TEST(area, cpt_scales_with_page_count) {
+    cache::cache_config small_pages;
+    small_pages.page_bytes = kib(8);  // 4x the pages -> larger CPT
+    const auto base = table2_breakdown();
+    const auto more = estimate_area(npu::npu_config{}, small_pages);
+    EXPECT_GT(more.of(more.npu, "CPT"), base.of(base.npu, "CPT"));
+}
+
+TEST(area, nec_overhead_per_16mb_cache_stays_negligible) {
+    // Total CaMDN additions (16 CPTs + 8 NECs) versus total chip area of
+    // 16 NPUs + 8 slices: well under 1%.
+    const auto b = table2_breakdown();
+    const double additions = 16 * b.of(b.npu, "CPT") + 8 * b.of(b.slice, "NEC");
+    const double total = 16 * b.npu_total() + 8 * b.slice_total();
+    EXPECT_LT(additions / total, 0.01);
+}
+
+}  // namespace
+}  // namespace camdn::area

@@ -1,0 +1,252 @@
+// Unit tests for the common substrate: event queue, RNG, statistics,
+// table printing and unit helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/types.h"
+
+namespace camdn {
+namespace {
+
+// ---- types.h helpers ----
+
+TEST(types, ceil_div_basics) {
+    EXPECT_EQ(ceil_div(0, 4), 0u);
+    EXPECT_EQ(ceil_div(1, 4), 1u);
+    EXPECT_EQ(ceil_div(4, 4), 1u);
+    EXPECT_EQ(ceil_div(5, 4), 2u);
+    EXPECT_EQ(ceil_div(8, 4), 2u);
+}
+
+TEST(types, round_up) {
+    EXPECT_EQ(round_up(0, 64), 0u);
+    EXPECT_EQ(round_up(1, 64), 64u);
+    EXPECT_EQ(round_up(64, 64), 64u);
+    EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(types, lines_for_covers_partial_lines) {
+    EXPECT_EQ(lines_for(0), 0u);
+    EXPECT_EQ(lines_for(1), 1u);
+    EXPECT_EQ(lines_for(64), 1u);
+    EXPECT_EQ(lines_for(65), 2u);
+    EXPECT_EQ(lines_for(kib(32)), 512u);
+}
+
+TEST(types, unit_helpers) {
+    EXPECT_EQ(kib(1), 1024u);
+    EXPECT_EQ(mib(1), 1024u * 1024);
+    EXPECT_EQ(mib(16) / kib(32), 512u);  // pages in a 16 MiB cache
+}
+
+TEST(types, time_conversions_round_trip) {
+    EXPECT_DOUBLE_EQ(cycles_to_ms(ms_to_cycles(6.7)), 6.7);
+    EXPECT_EQ(ms_to_cycles(1.0), 1'000'000u);
+    EXPECT_EQ(us_to_cycles(1.0), 1'000u);
+}
+
+// ---- event queue ----
+
+TEST(event_queue, runs_in_time_order) {
+    event_queue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(event_queue, fifo_among_equal_timestamps) {
+    event_queue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(event_queue, scheduling_in_past_clamps_to_now) {
+    event_queue eq;
+    cycle_t seen = 0;
+    eq.schedule(100, [&] {
+        eq.schedule(50, [&] { seen = eq.now(); });  // in the past
+    });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(event_queue, run_until_leaves_later_events) {
+    event_queue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run_until(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(event_queue, nested_scheduling_from_callbacks) {
+    event_queue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) eq.schedule_after(10, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(event_queue, step_returns_false_when_empty) {
+    event_queue eq;
+    EXPECT_FALSE(eq.step());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(event_queue, run_respects_max_events) {
+    event_queue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) eq.schedule(i, [&] { ++fired; });
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+}
+
+// ---- rng ----
+
+TEST(rng, deterministic_for_fixed_seed) {
+    rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(rng, different_seeds_differ) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(rng, next_below_is_in_range) {
+    rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 8ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+    }
+}
+
+TEST(rng, next_double_in_unit_interval) {
+    rng r(99);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double x = r.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);  // unbiased mean
+}
+
+TEST(rng, next_below_roughly_uniform) {
+    rng r(5);
+    std::vector<int> buckets(8, 0);
+    for (int i = 0; i < 8000; ++i) ++buckets[r.next_below(8)];
+    for (int b : buckets) EXPECT_NEAR(b, 1000, 150);
+}
+
+// ---- stats ----
+
+TEST(running_stat, tracks_count_mean_min_max) {
+    running_stat s;
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(running_stat, weighted_mean) {
+    running_stat s;
+    s.add(1.0, 3.0);
+    s.add(5.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), (3.0 + 5.0) / 4.0);
+}
+
+TEST(running_stat, empty_is_zero) {
+    running_stat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(bucket_histogram, buckets_are_half_open_upper_inclusive) {
+    bucket_histogram h({1.0, 4.0, 8.0});
+    h.add(1.0);   // bucket 0 (<= 1)
+    h.add(1.5);   // bucket 1
+    h.add(4.0);   // bucket 1 (upper bound inclusive)
+    h.add(5.0);   // bucket 2
+    h.add(100.0); // overflow bucket
+    EXPECT_EQ(h.bucket_count(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucket_weight(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucket_weight(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucket_weight(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucket_weight(3), 1.0);
+}
+
+TEST(bucket_histogram, weighted_fractions_sum_to_one) {
+    bucket_histogram h({10.0, 20.0});
+    h.add(5.0, 2.5);
+    h.add(15.0, 7.5);
+    h.add(25.0, 10.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) total += h.fraction(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.125);
+}
+
+TEST(bucket_histogram, empty_fractions_are_zero) {
+    bucket_histogram h({1.0});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(fmt_fixed, formats_digits) {
+    EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_fixed(1.0, 0), "1");
+    EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+// ---- table printer ----
+
+TEST(table_printer, aligns_columns) {
+    table_printer t({"a", "bbbb"});
+    t.add_row({"xxxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+}
+
+TEST(table_printer, tolerates_ragged_rows) {
+    table_printer t({"h1", "h2"});
+    t.add_row({"only-one"});
+    t.add_row({"a", "b", "c"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+    EXPECT_NE(os.str().find("c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace camdn

@@ -1,0 +1,205 @@
+// Tests for the mapping cost model: footprint arithmetic, traffic
+// conservation, partial pinning monotonicity and stationary dataflows.
+#include <gtest/gtest.h>
+
+#include "mapping/cost_model.h"
+#include "model/model_zoo.h"
+
+namespace camdn::mapping {
+namespace {
+
+model::layer make_gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k) {
+    model::layer l;
+    l.kind = model::layer_kind::gemm;
+    l.m = m;
+    l.n = n;
+    l.k = k;
+    l.input_bytes = m * k;
+    l.weight_bytes = n * k;
+    l.output_bytes = m * n;
+    return l;
+}
+
+mapping_candidate finalize(const model::layer& l, mapping_candidate cand,
+                           const mapper_config& cfg = {},
+                           std::uint64_t lbm_pages = 0) {
+    finalize_candidate(l, cfg, cand, /*in_block_residual=*/false, lbm_pages);
+    return cand;
+}
+
+TEST(cost_model, tile_footprint_formula) {
+    // int8 input rows + int8 weight cols + int32 accumulators.
+    EXPECT_EQ(tile_footprint_bytes(32, 64, 128),
+              32u * 128 + 128u * 64 + 32u * 64 * 4);
+}
+
+TEST(cost_model, streaming_candidate_traffic) {
+    const auto l = make_gemm(1024, 1024, 1024);
+    mapping_candidate c;
+    c.tm = 128;
+    c.tn = 128;
+    c.tk = 256;
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.weight_passes, 8u);
+    EXPECT_EQ(out.input_passes, 8u);
+    EXPECT_EQ(out.dram_read_bytes,
+              l.weight_bytes * 8 + l.input_bytes * 8);
+    EXPECT_EQ(out.dram_write_bytes, l.output_bytes);
+    EXPECT_EQ(out.pages_needed, 0u);
+}
+
+TEST(cost_model, weight_stationary_when_tile_covers_tensor) {
+    const auto l = make_gemm(4096, 64, 128);  // small weights
+    mapping_candidate c;
+    c.tm = 128;
+    c.tn = 64;   // whole n
+    c.tk = 128;  // whole k -> weights resident
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.weight_passes, 1u);
+    EXPECT_EQ(out.flow, dataflow::output_stationary);  // ip == wp == 1
+    EXPECT_EQ(out.dram_read_bytes, l.weight_bytes + l.input_bytes);
+}
+
+TEST(cost_model, input_stationary_when_tile_covers_input) {
+    const auto l = make_gemm(64, 4096, 128);
+    mapping_candidate c;
+    c.tm = 64;   // whole m
+    c.tn = 128;
+    c.tk = 128;  // whole k -> input resident
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.input_passes, 1u);
+    EXPECT_GT(out.weight_passes, 0u);
+}
+
+TEST(cost_model, partial_k_tiles_disable_stationarity) {
+    const auto l = make_gemm(4096, 64, 1024);
+    mapping_candidate c;
+    c.tm = 128;
+    c.tn = 64;
+    c.tk = 256;  // reduction split: weight tile is not the whole tensor
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.weight_passes, ceil_div(l.m, c.tm));
+}
+
+TEST(cost_model, full_pinning_eliminates_refetch) {
+    const auto l = make_gemm(1024, 1024, 1024);
+    mapping_candidate c;
+    c.tm = 128;
+    c.tn = 128;
+    c.tk = 256;
+    c.weights_pinned_bytes = l.weight_bytes;
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.dram_read_bytes, l.weight_bytes + l.input_bytes * 8);
+    EXPECT_EQ(out.cache_read_bytes, l.weight_bytes * 8);
+    EXPECT_EQ(out.cache_write_bytes, l.weight_bytes);
+    EXPECT_EQ(out.pages_needed, ceil_div(l.weight_bytes, kib(32)));
+}
+
+TEST(cost_model, partial_pinning_is_monotone_in_dram) {
+    const auto l = make_gemm(1024, 1024, 1024);
+    std::uint64_t prev = UINT64_MAX;
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        mapping_candidate c;
+        c.tm = 128;
+        c.tn = 128;
+        c.tk = 256;
+        c.input_pinned_bytes =
+            static_cast<std::uint64_t>(frac * l.input_bytes);
+        const auto out = finalize(l, c);
+        EXPECT_LE(out.dram_read_bytes, prev);
+        prev = out.dram_read_bytes;
+    }
+}
+
+TEST(cost_model, pinned_bytes_clamped_to_tensor) {
+    const auto l = make_gemm(64, 64, 64);
+    mapping_candidate c;
+    c.tm = 64;
+    c.tn = 64;
+    c.tk = 64;
+    c.weights_pinned_bytes = mib(100);
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.weights_pinned_bytes, l.weight_bytes);
+}
+
+TEST(cost_model, lbm_chain_has_zero_intermediate_dram) {
+    const auto l = make_gemm(256, 256, 256);
+    mapping_candidate c;
+    c.is_lbm = true;
+    c.tm = 256;
+    c.tn = 256;
+    c.tk = 256;
+    c.input_from_region = true;
+    c.output_to_region = true;
+    const auto out = finalize(l, c, {}, /*lbm_pages=*/7);
+    EXPECT_EQ(out.dram_read_bytes, l.weight_bytes);  // weights only
+    EXPECT_EQ(out.dram_write_bytes, 0u);
+    EXPECT_EQ(out.pages_needed, 7u);
+}
+
+TEST(cost_model, residual_traffic_depends_on_block_residency) {
+    auto l = make_gemm(256, 256, 256);
+    l.residual_from = 0;
+    mapping_candidate c;
+    c.tm = 256;
+    c.tn = 256;
+    c.tk = 256;
+    mapping_candidate in_block = c;
+    in_block.is_lbm = true;  // only LBM keeps the producer region-resident
+    mapper_config cfg;
+    finalize_candidate(l, cfg, c, /*in_block_residual=*/true, 0);
+    finalize_candidate(l, cfg, in_block, /*in_block_residual=*/true, 4);
+    EXPECT_EQ(c.dram_read_bytes - in_block.dram_read_bytes, l.output_bytes);
+    EXPECT_GE(in_block.cache_read_bytes, l.output_bytes);
+}
+
+TEST(cost_model, estimate_covers_compute_and_traffic) {
+    const auto l = make_gemm(2048, 2048, 2048);
+    mapping_candidate c;
+    c.tm = 256;
+    c.tn = 256;
+    c.tk = 256;
+    const auto out = finalize(l, c);
+    EXPECT_GE(out.est_cycles, out.compute_cycles);
+    EXPECT_GT(out.compute_cycles, 0u);
+}
+
+TEST(cost_model, simple_kinds_have_unit_passes) {
+    model::layer l;
+    l.kind = model::layer_kind::pool;
+    l.m = 1'000'000;
+    l.input_bytes = 1'000'000;
+    l.output_bytes = 250'000;
+    mapping_candidate c;
+    c.tm = l.m;
+    c.tn = 1;
+    c.tk = 1;
+    const auto out = finalize(l, c);
+    EXPECT_EQ(out.weight_passes, 1u);
+    EXPECT_EQ(out.input_passes, 1u);
+    EXPECT_EQ(out.dram_read_bytes, l.input_bytes);
+}
+
+TEST(cost_model, conservation_total_bytes_accounted) {
+    // Every byte of every tensor appears in dram or cache traffic at least
+    // once (nothing silently disappears).
+    for (const auto& m : model::benchmark_models()) {
+        mapper_config cfg;
+        for (std::size_t i = 0; i < std::min<std::size_t>(m.layers.size(), 20);
+             ++i) {
+            const auto& l = m.layers[i];
+            mapping_candidate c;
+            c.tm = std::min<std::uint64_t>(l.m, 256);
+            c.tn = std::min<std::uint64_t>(l.n, 256);
+            c.tk = l.k;
+            finalize_candidate(l, cfg, c, false, 0);
+            const auto moved = c.dram_read_bytes + c.dram_write_bytes +
+                               c.cache_read_bytes + c.cache_write_bytes;
+            EXPECT_GE(moved, l.input_bytes + l.weight_bytes + l.output_bytes)
+                << m.name << ":" << l.name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace camdn::mapping

@@ -1,0 +1,199 @@
+// Integration tests of the full simulator through the experiment harness:
+// determinism, accounting conservation, policy mechanics and the feature
+// toggles. Small workloads keep each case under a second.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/model_zoo.h"
+#include "sim/experiment.h"
+
+namespace camdn::sim {
+namespace {
+
+experiment_config small_cfg(policy pol) {
+    experiment_config cfg;
+    cfg.pol = pol;
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.co_located = 4;
+    cfg.inferences_per_slot = 1;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(experiment, completes_all_inferences_for_every_policy) {
+    for (policy pol : {policy::shared_baseline, policy::moca, policy::aurora,
+                       policy::camdn_hw_only, policy::camdn_full}) {
+        const auto res = run_experiment(small_cfg(pol));
+        EXPECT_EQ(res.completions.size(), 4u) << policy_name(pol);
+        EXPECT_GT(res.makespan, 0u) << policy_name(pol);
+        for (const auto& rec : res.completions) {
+            EXPECT_GT(rec.end, rec.arrival) << policy_name(pol);
+            EXPECT_GE(rec.end, rec.start) << policy_name(pol);
+        }
+    }
+}
+
+TEST(experiment, deterministic_under_fixed_seed) {
+    const auto a = run_experiment(small_cfg(policy::camdn_full));
+    const auto b = run_experiment(small_cfg(policy::camdn_full));
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes);
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        EXPECT_EQ(a.completions[i].end, b.completions[i].end);
+        EXPECT_EQ(a.completions[i].abbr, b.completions[i].abbr);
+        EXPECT_EQ(a.completions[i].dram_bytes, b.completions[i].dram_bytes);
+    }
+}
+
+TEST(experiment, different_seeds_change_the_schedule) {
+    auto cfg = small_cfg(policy::shared_baseline);
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB."),
+                    &model::model_by_abbr("EF."), &model::model_by_abbr("GN.")};
+    cfg.co_located = 8;
+    const auto a = run_experiment(cfg);
+    cfg.seed = 997;
+    const auto b = run_experiment(cfg);
+    bool any_different = a.makespan != b.makespan;
+    for (std::size_t i = 0; !any_different && i < a.completions.size(); ++i)
+        any_different = a.completions[i].abbr != b.completions[i].abbr;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(experiment, workload_is_policy_invariant) {
+    // Same seed => the (slot, inference)->model assignment is identical
+    // across policies (fair comparison, as in the paper).
+    const auto a = run_experiment(small_cfg(policy::shared_baseline));
+    const auto b = run_experiment(small_cfg(policy::camdn_full));
+    std::multiset<std::string> ma, mb;
+    for (const auto& r : a.completions) ma.insert(r.abbr);
+    for (const auto& r : b.completions) mb.insert(r.abbr);
+    EXPECT_EQ(ma, mb);
+}
+
+TEST(experiment, single_tenant_runs_alone) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.workload = {&model::model_by_abbr("MB.")};
+    cfg.co_located = 1;
+    cfg.inferences_per_slot = 2;
+    const auto res = run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 2u);
+    EXPECT_EQ(res.completions[0].abbr, "MB.");
+    // No queueing: arrival == start.
+    for (const auto& r : res.completions) EXPECT_EQ(r.arrival, r.start);
+}
+
+TEST(experiment, oversubscribed_slots_queue_for_cores) {
+    experiment_config cfg = small_cfg(policy::shared_baseline);
+    cfg.soc.npu.cores = 2;  // 4 slots on 2 cores
+    const auto res = run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 4u);
+    int queued = 0;
+    for (const auto& r : res.completions) queued += r.start > r.arrival;
+    EXPECT_GT(queued, 0);
+}
+
+TEST(experiment, per_task_dram_bytes_are_attributed) {
+    const auto res = run_experiment(small_cfg(policy::shared_baseline));
+    std::uint64_t attributed = 0;
+    for (const auto& r : res.completions) attributed += r.dram_bytes;
+    EXPECT_GT(attributed, 0u);
+    EXPECT_LE(attributed, res.dram_total_bytes);
+}
+
+TEST(experiment, camdn_uses_regions_not_transparent_path) {
+    const auto res = run_experiment(small_cfg(policy::camdn_full));
+    EXPECT_EQ(res.cache_stats.hits + res.cache_stats.misses, 0u);
+    EXPECT_GT(res.cache_stats.region_reads + res.cache_stats.region_fills +
+                  res.cache_stats.bypass_reads,
+              0u);
+}
+
+TEST(experiment, baselines_use_transparent_path_only) {
+    const auto res = run_experiment(small_cfg(policy::shared_baseline));
+    EXPECT_GT(res.cache_stats.hits + res.cache_stats.misses, 0u);
+    EXPECT_EQ(res.cache_stats.region_reads, 0u);
+    EXPECT_EQ(res.cache_stats.bypass_reads, 0u);
+}
+
+TEST(experiment, moca_actually_regulates) {
+    auto cfg = small_cfg(policy::moca);
+    cfg.co_located = 4;
+    const auto res = run_experiment(cfg);
+    // Regulation may or may not throttle depending on phases, but the
+    // policy path must at least complete and move the same workload.
+    EXPECT_EQ(res.completions.size(), 4u);
+}
+
+TEST(experiment, lbm_toggle_changes_traffic) {
+    auto cfg = small_cfg(policy::camdn_full);
+    cfg.workload = {&model::model_by_abbr("MB.")};
+    const auto with_lbm = run_experiment(cfg);
+    cfg.features.lbm = false;
+    const auto without = run_experiment(cfg);
+    EXPECT_LT(with_lbm.dram_total_bytes, without.dram_total_bytes);
+}
+
+TEST(experiment, bypass_toggle_reroutes_streams) {
+    auto cfg = small_cfg(policy::camdn_full);
+    cfg.features.bypass = false;
+    const auto res = run_experiment(cfg);
+    // Streams now go through the transparent path (within CPU ways).
+    EXPECT_GT(res.cache_stats.hits + res.cache_stats.misses, 0u);
+}
+
+TEST(experiment, empty_workload_defaults_to_the_zoo) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.co_located = 2;
+    cfg.inferences_per_slot = 1;
+    cfg.seed = 3;
+    const auto res = run_experiment(cfg);
+    EXPECT_EQ(res.completions.size(), 2u);
+}
+
+TEST(experiment, qos_mode_assigns_deadlines) {
+    auto cfg = small_cfg(policy::aurora);
+    cfg.qos_mode = true;
+    cfg.qos_scale = 1.0;
+    const auto res = run_experiment(cfg);
+    EXPECT_EQ(res.completions.size(), 4u);
+}
+
+TEST(experiment, result_helpers_aggregate_correctly) {
+    experiment_result res;
+    inference_record a;
+    a.abbr = "RS.";
+    a.arrival = 0;
+    a.end = ms_to_cycles(10.0);
+    a.dram_bytes = mib(64);
+    inference_record b;
+    b.abbr = "MB.";
+    b.arrival = 0;
+    b.end = ms_to_cycles(2.0);
+    b.dram_bytes = mib(16);
+    res.completions = {a, b};
+    EXPECT_DOUBLE_EQ(res.avg_latency_ms(), 6.0);
+    EXPECT_DOUBLE_EQ(res.mean_latency_ms("RS."), 10.0);
+    EXPECT_DOUBLE_EQ(res.mem_mb_per_inference(), 40.0);
+    EXPECT_DOUBLE_EQ(res.mem_mb_per_inference("MB."), 16.0);
+    EXPECT_EQ(res.completions_of("RS."), 1u);
+    EXPECT_EQ(res.completions_of(""), 2u);
+}
+
+TEST(experiment, isolated_latencies_cover_requested_models) {
+    soc_config soc;
+    std::vector<const model::model*> models{&model::model_by_abbr("MB."),
+                                            &model::model_by_abbr("EF.")};
+    const auto iso = isolated_latencies(soc, models);
+    ASSERT_EQ(iso.size(), 2u);
+    EXPECT_GT(iso.at("MB."), 0u);
+    EXPECT_GT(iso.at("EF."), 0u);
+    // EfficientNet-b0 does more work than MobileNet-v2.
+    EXPECT_GT(iso.at("EF."), iso.at("MB."));
+}
+
+}  // namespace
+}  // namespace camdn::sim

@@ -1,0 +1,121 @@
+// Tests for the compact MCT serialization: lossless round-trips and
+// diagnosable failures on malformed documents.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mapping/layer_mapper.h"
+#include "mapping/mct_io.h"
+#include "model/model_zoo.h"
+
+namespace camdn::mapping {
+namespace {
+
+void expect_candidates_equal(const mapping_candidate& a,
+                             const mapping_candidate& b) {
+    EXPECT_EQ(a.usage_level, b.usage_level);
+    EXPECT_EQ(a.is_lbm, b.is_lbm);
+    EXPECT_EQ(a.tm, b.tm);
+    EXPECT_EQ(a.tn, b.tn);
+    EXPECT_EQ(a.tk, b.tk);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.weights_pinned_bytes, b.weights_pinned_bytes);
+    EXPECT_EQ(a.input_pinned_bytes, b.input_pinned_bytes);
+    EXPECT_EQ(a.input_from_region, b.input_from_region);
+    EXPECT_EQ(a.output_to_region, b.output_to_region);
+    EXPECT_EQ(a.weight_passes, b.weight_passes);
+    EXPECT_EQ(a.input_passes, b.input_passes);
+    EXPECT_EQ(a.pages_needed, b.pages_needed);
+    EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+    EXPECT_EQ(a.dram_write_bytes, b.dram_write_bytes);
+    EXPECT_EQ(a.cache_read_bytes, b.cache_read_bytes);
+    EXPECT_EQ(a.cache_write_bytes, b.cache_write_bytes);
+    EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+    EXPECT_EQ(a.est_cycles, b.est_cycles);
+}
+
+class mct_roundtrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(mct_roundtrip, is_lossless) {
+    const auto& m = model::model_by_abbr(GetParam());
+    const auto original = map_model(m, mapper_config{});
+    const auto restored = mapping_from_string(mapping_to_string(original));
+
+    EXPECT_EQ(restored.model_name, original.model_name);
+    ASSERT_EQ(restored.blocks.size(), original.blocks.size());
+    for (std::size_t b = 0; b < original.blocks.size(); ++b) {
+        EXPECT_EQ(restored.blocks[b].first, original.blocks[b].first);
+        EXPECT_EQ(restored.blocks[b].last, original.blocks[b].last);
+        EXPECT_EQ(restored.blocks[b].peak_bytes, original.blocks[b].peak_bytes);
+        EXPECT_EQ(restored.blocks[b].out_offset, original.blocks[b].out_offset);
+    }
+    ASSERT_EQ(restored.tables.size(), original.tables.size());
+    for (std::size_t i = 0; i < original.tables.size(); ++i) {
+        ASSERT_EQ(restored.tables[i].lwm.size(), original.tables[i].lwm.size());
+        for (std::size_t c = 0; c < original.tables[i].lwm.size(); ++c)
+            expect_candidates_equal(restored.tables[i].lwm[c],
+                                    original.tables[i].lwm[c]);
+        ASSERT_EQ(restored.tables[i].lbm.has_value(),
+                  original.tables[i].lbm.has_value());
+        if (original.tables[i].lbm)
+            expect_candidates_equal(*restored.tables[i].lbm,
+                                    *original.tables[i].lbm);
+    }
+    EXPECT_EQ(restored.layer_est, original.layer_est);
+    EXPECT_EQ(restored.block_est, original.block_est);
+    EXPECT_EQ(restored.block_of, original.block_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(all_models, mct_roundtrip,
+                         ::testing::Values("RS.", "MB.", "EF.", "VT.", "BE.",
+                                           "GN.", "WV.", "PP."));
+
+TEST(mct_io, double_roundtrip_is_stable) {
+    const auto& m = model::model_by_abbr("MB.");
+    const auto original = map_model(m, mapper_config{});
+    const std::string once = mapping_to_string(original);
+    const std::string twice = mapping_to_string(mapping_from_string(once));
+    EXPECT_EQ(once, twice);
+}
+
+TEST(mct_io, rejects_bad_magic) {
+    std::istringstream is("not-a-mapping\n");
+    EXPECT_THROW(read_mapping(is), std::runtime_error);
+}
+
+TEST(mct_io, rejects_truncated_document) {
+    const auto& m = model::model_by_abbr("GN.");
+    std::string text = mapping_to_string(map_model(m, mapper_config{}));
+    text.resize(text.size() / 2);
+    EXPECT_THROW(mapping_from_string(text), std::runtime_error);
+}
+
+TEST(mct_io, rejects_malformed_candidate_line) {
+    std::string text =
+        "camdn-mapping-v1\n"
+        "model broken\n"
+        "blocks 1\n"
+        "block 0 0 64 0\n"
+        "layers 1\n"
+        "layer 0 100 1 0\n"
+        "LWM garbage\n";
+    EXPECT_THROW(mapping_from_string(text), std::runtime_error);
+}
+
+TEST(mct_io, error_message_carries_line_number) {
+    std::string text =
+        "camdn-mapping-v1\n"
+        "model broken\n"
+        "blocks 0\n"
+        "layers 1\n"
+        "layer 7 0 0 0\n";  // wrong index
+    try {
+        mapping_from_string(text);
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace camdn::mapping

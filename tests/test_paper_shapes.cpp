@@ -1,0 +1,168 @@
+// Miniature versions of the paper's experiments asserting the acceptance
+// criteria of DESIGN.md §4 — the qualitative shapes that the full benches
+// regenerate at scale.
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "model/reuse_analysis.h"
+#include "runtime/qos.h"
+#include "sim/experiment.h"
+
+namespace camdn::sim {
+namespace {
+
+std::vector<const model::model*> mixed_workload() {
+    return {&model::model_by_abbr("RS."), &model::model_by_abbr("MB."),
+            &model::model_by_abbr("EF."), &model::model_by_abbr("GN.")};
+}
+
+experiment_config base_cfg(policy pol, std::uint32_t co_located) {
+    experiment_config cfg;
+    cfg.pol = pol;
+    cfg.workload = mixed_workload();
+    cfg.co_located = co_located;
+    cfg.inferences_per_slot = 1;
+    cfg.seed = 5;
+    return cfg;
+}
+
+// ---- Fig 2 (motivation): contention degrades the transparent cache ----
+
+TEST(fig2_shape, hit_rate_falls_with_colocation) {
+    const auto solo = run_experiment(base_cfg(policy::shared_baseline, 1));
+    const auto many = run_experiment(base_cfg(policy::shared_baseline, 8));
+    EXPECT_LT(many.cache_hit_rate, solo.cache_hit_rate);
+}
+
+TEST(fig2_shape, memory_access_per_model_rises_with_colocation) {
+    const auto solo = run_experiment(base_cfg(policy::shared_baseline, 1));
+    const auto many = run_experiment(base_cfg(policy::shared_baseline, 8));
+    EXPECT_GT(many.mem_mb_per_inference(), solo.mem_mb_per_inference() * 1.02);
+}
+
+TEST(fig2_shape, latency_rises_with_colocation) {
+    const auto solo = run_experiment(base_cfg(policy::shared_baseline, 1));
+    const auto many = run_experiment(base_cfg(policy::shared_baseline, 8));
+    EXPECT_GT(many.avg_latency_ms(), solo.avg_latency_ms() * 1.3);
+}
+
+TEST(fig2_shape, bigger_cache_softens_contention) {
+    auto small = base_cfg(policy::shared_baseline, 8);
+    small.soc.cache.total_bytes = mib(4);
+    auto large = base_cfg(policy::shared_baseline, 8);
+    large.soc.cache.total_bytes = mib(64);
+    const auto rs = run_experiment(small);
+    const auto rl = run_experiment(large);
+    EXPECT_GT(rl.cache_hit_rate, rs.cache_hit_rate);
+    EXPECT_LE(rl.mem_mb_per_inference(), rs.mem_mb_per_inference());
+}
+
+// ---- Fig 3 (motivation): reuse structure of DNN data ----
+
+TEST(fig3_shape, most_data_is_single_use_on_average) {
+    double sum = 0.0;
+    for (const auto& m : model::benchmark_models())
+        sum += model::analyze_reuse(m).single_use_fraction();
+    EXPECT_GT(sum / 8.0, 0.45);  // paper: 68% on average
+}
+
+TEST(fig3_shape, most_intermediates_have_long_reuse_distance) {
+    double sum = 0.0;
+    for (const auto& m : model::benchmark_models())
+        sum += model::analyze_reuse(m).long_distance_fraction();
+    EXPECT_GT(sum / 8.0, 0.45);  // paper: 61.8% beyond 1 MiB
+}
+
+// ---- Fig 7 (speedup): CaMDN(Full) > CaMDN(HW-only) ~ AuRORA ----
+
+TEST(fig7_shape, camdn_full_beats_aurora_on_average) {
+    const auto aurora = run_experiment(base_cfg(policy::aurora, 8));
+    const auto full = run_experiment(base_cfg(policy::camdn_full, 8));
+    EXPECT_LT(full.avg_latency_ms(), aurora.avg_latency_ms());
+}
+
+TEST(fig7_shape, camdn_full_beats_hw_only_on_average) {
+    const auto hw = run_experiment(base_cfg(policy::camdn_hw_only, 8));
+    const auto full = run_experiment(base_cfg(policy::camdn_full, 8));
+    EXPECT_LE(full.avg_latency_ms(), hw.avg_latency_ms() * 1.05);
+}
+
+TEST(fig7_shape, intermediate_heavy_models_gain_most_memory_reduction) {
+    auto cfg_a = base_cfg(policy::aurora, 8);
+    auto cfg_f = base_cfg(policy::camdn_full, 8);
+    // Restrict the draw to the two compared models so both appear.
+    cfg_a.workload = cfg_f.workload = {&model::model_by_abbr("MB."),
+                                       &model::model_by_abbr("VT.")};
+    cfg_a.inferences_per_slot = cfg_f.inferences_per_slot = 2;
+    const auto aurora = run_experiment(cfg_a);
+    const auto full = run_experiment(cfg_f);
+    const double mb_reduction =
+        1.0 - full.mem_mb_per_inference("MB.") / aurora.mem_mb_per_inference("MB.");
+    const double vt_reduction =
+        1.0 - full.mem_mb_per_inference("VT.") / aurora.mem_mb_per_inference("VT.");
+    EXPECT_GT(mb_reduction, vt_reduction);
+    EXPECT_GT(mb_reduction, 0.2);
+}
+
+// ---- Fig 8 (scaling): reductions persist across scales ----
+
+TEST(fig8_shape, camdn_reduces_latency_at_multiple_scales) {
+    for (std::uint32_t n : {4u, 8u}) {
+        const auto aurora = run_experiment(base_cfg(policy::aurora, n));
+        const auto full = run_experiment(base_cfg(policy::camdn_full, n));
+        EXPECT_LT(full.avg_latency_ms(), aurora.avg_latency_ms())
+            << n << " co-located";
+    }
+}
+
+TEST(fig8_shape, camdn_benefit_grows_with_cache_size) {
+    auto small_a = base_cfg(policy::aurora, 8);
+    auto small_f = base_cfg(policy::camdn_full, 8);
+    small_a.soc.cache.total_bytes = small_f.soc.cache.total_bytes = mib(4);
+    auto large_a = base_cfg(policy::aurora, 8);
+    auto large_f = base_cfg(policy::camdn_full, 8);
+    large_a.soc.cache.total_bytes = large_f.soc.cache.total_bytes = mib(32);
+
+    const double small_gain = run_experiment(small_a).avg_latency_ms() /
+                              run_experiment(small_f).avg_latency_ms();
+    const double large_gain = run_experiment(large_a).avg_latency_ms() /
+                              run_experiment(large_f).avg_latency_ms();
+    // The benefit persists across the sweep (EXPERIMENTS.md records where
+    // this reproduction's trend deviates in magnitude from the paper's).
+    EXPECT_GT(small_gain, 1.15);
+    EXPECT_GT(large_gain, 1.15);
+}
+
+// ---- Fig 9 (QoS): CaMDN improves SLA at equal allocators ----
+
+TEST(fig9_shape, camdn_improves_sla_and_stp) {
+    soc_config soc;
+    const auto iso = isolated_latencies(soc, mixed_workload());
+
+    auto run_qos = [&](policy pol) {
+        auto cfg = base_cfg(pol, 8);
+        cfg.qos_mode = true;
+        cfg.qos_scale = 1.0;
+        cfg.inferences_per_slot = 2;
+        const auto res = run_experiment(cfg);
+        std::vector<runtime::qos_record> records;
+        for (const auto& rec : res.completions) {
+            runtime::qos_record q;
+            q.model_abbr = rec.abbr;
+            q.latency = rec.latency();
+            q.deadline_rel =
+                ms_to_cycles(model::model_by_abbr(rec.abbr).qos_ms);
+            q.isolated = iso.at(rec.abbr);
+            records.push_back(q);
+        }
+        return runtime::compute_qos(records, cfg.co_located);
+    };
+
+    const auto aurora = run_qos(policy::aurora);
+    const auto camdn = run_qos(policy::camdn_full);
+    EXPECT_GE(camdn.sla_rate, aurora.sla_rate);
+    EXPECT_GT(camdn.stp, aurora.stp * 0.95);
+}
+
+}  // namespace
+}  // namespace camdn::sim

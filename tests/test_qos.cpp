@@ -1,0 +1,109 @@
+// Tests for the QoS metric definitions (SLA satisfaction rate, STP,
+// fairness — following the AuRORA paper, §IV-A4).
+#include <gtest/gtest.h>
+
+#include "runtime/qos.h"
+
+namespace camdn::runtime {
+namespace {
+
+qos_record rec(const std::string& abbr, cycle_t latency, cycle_t deadline,
+               cycle_t isolated) {
+    qos_record r;
+    r.model_abbr = abbr;
+    r.latency = latency;
+    r.deadline_rel = deadline;
+    r.isolated = isolated;
+    return r;
+}
+
+TEST(qos, empty_records_zero_metrics) {
+    const auto m = compute_qos({}, 8);
+    EXPECT_DOUBLE_EQ(m.sla_rate, 0.0);
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);
+}
+
+TEST(qos, sla_rate_counts_deadline_hits) {
+    std::vector<qos_record> records{
+        rec("RS.", 100, 200, 100),  // met
+        rec("RS.", 300, 200, 100),  // missed
+        rec("MB.", 50, 60, 50),     // met
+        rec("MB.", 70, 60, 50),     // missed
+    };
+    const auto m = compute_qos(records, 4);
+    EXPECT_DOUBLE_EQ(m.sla_rate, 0.5);
+}
+
+TEST(qos, boundary_latency_meets_deadline) {
+    const auto m = compute_qos({rec("RS.", 200, 200, 100)}, 1);
+    EXPECT_DOUBLE_EQ(m.sla_rate, 1.0);
+}
+
+TEST(qos, no_deadline_always_met) {
+    const auto m = compute_qos({rec("RS.", 500, never, 100)}, 1);
+    EXPECT_DOUBLE_EQ(m.sla_rate, 1.0);
+}
+
+TEST(qos, stp_is_mean_normalized_progress_times_slots) {
+    // NP = isolated / latency: 0.5 and 1.0 -> mean 0.75; 8 slots -> 6.0.
+    std::vector<qos_record> records{
+        rec("RS.", 200, never, 100),  // NP 0.5
+        rec("MB.", 100, never, 100),  // NP 1.0
+    };
+    const auto m = compute_qos(records, 8);
+    EXPECT_DOUBLE_EQ(m.stp, 0.75 * 8);
+}
+
+TEST(qos, per_model_np_averages_before_stp) {
+    // Two RS. completions with NP 0.4 and 0.6 average to 0.5 — the model
+    // is not double-counted against MB.'s single completion.
+    std::vector<qos_record> records{
+        rec("RS.", 250, never, 100),
+        rec("RS.", 167, never, 100),
+        rec("MB.", 100, never, 100),
+    };
+    const auto m = compute_qos(records, 2);
+    EXPECT_NEAR(m.stp, (0.5 + 1.0) / 2.0 * 2.0, 0.01);
+}
+
+TEST(qos, fairness_is_min_over_max_progress) {
+    std::vector<qos_record> records{
+        rec("RS.", 200, never, 100),  // NP 0.5
+        rec("MB.", 125, never, 100),  // NP 0.8
+    };
+    const auto m = compute_qos(records, 2);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.5 / 0.8);
+}
+
+TEST(qos, perfect_equality_gives_fairness_one) {
+    std::vector<qos_record> records{
+        rec("RS.", 200, never, 100),
+        rec("MB.", 400, never, 200),
+    };
+    const auto m = compute_qos(records, 2);
+    EXPECT_DOUBLE_EQ(m.fairness, 1.0);
+}
+
+TEST(qos, zero_latency_records_are_tolerated) {
+    const auto m = compute_qos({rec("RS.", 0, never, 100)}, 1);
+    EXPECT_GE(m.stp, 0.0);
+}
+
+TEST(qos, better_system_dominates_on_all_metrics) {
+    // Construct "slow" and "fast" runs of the same workload; the fast one
+    // must not lose on any metric — a sanity property the Fig 9 bench
+    // relies on when comparing policies.
+    std::vector<qos_record> slow{
+        rec("RS.", 400, 300, 100), rec("MB.", 300, 250, 100)};
+    std::vector<qos_record> fast{
+        rec("RS.", 200, 300, 100), rec("MB.", 150, 250, 100)};
+    const auto ms = compute_qos(slow, 2);
+    const auto mf = compute_qos(fast, 2);
+    EXPECT_GE(mf.sla_rate, ms.sla_rate);
+    EXPECT_GE(mf.stp, ms.stp);
+    EXPECT_GE(mf.fairness, ms.fairness);
+}
+
+}  // namespace
+}  // namespace camdn::runtime

@@ -1,0 +1,158 @@
+// Tests for the Fig 3 reuse analysis: bucket accounting, refetch factors
+// and the paper's qualitative claims about DNN data reuse.
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "model/reuse_analysis.h"
+
+namespace camdn::model {
+namespace {
+
+layer make_gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k) {
+    layer l;
+    l.kind = layer_kind::gemm;
+    l.m = m;
+    l.n = n;
+    l.k = k;
+    l.input_bytes = m * k;
+    l.weight_bytes = n * k;
+    l.output_bytes = m * n;
+    return l;
+}
+
+TEST(refetch, elementwise_and_pool_are_single_pass) {
+    layer l;
+    l.kind = layer_kind::elementwise;
+    l.m = 1'000'000;
+    const auto [wp, ip] = baseline_refetch_factors(l, kib(128));
+    EXPECT_EQ(wp, 1u);
+    EXPECT_EQ(ip, 1u);
+}
+
+TEST(refetch, dwconv_streams_once) {
+    layer l;
+    l.kind = layer_kind::dwconv;
+    l.m = 112 * 112;
+    l.n = 96;
+    l.k = 9;
+    const auto [wp, ip] = baseline_refetch_factors(l, kib(128));
+    EXPECT_EQ(wp, 1u);
+    EXPECT_EQ(ip, 1u);
+}
+
+TEST(refetch, small_gemm_fits_without_refetch) {
+    const layer l = make_gemm(32, 32, 64);
+    const auto [wp, ip] = baseline_refetch_factors(l, kib(128));
+    EXPECT_EQ(wp, 1u);
+    EXPECT_EQ(ip, 1u);
+}
+
+TEST(refetch, wide_gemm_refetches_input) {
+    // n far exceeds any scratchpad tile: input must be re-read.
+    const layer l = make_gemm(256, 32'000, 1024);
+    const auto [wp, ip] = baseline_refetch_factors(l, kib(128));
+    EXPECT_GT(ip * wp, 1u);
+}
+
+TEST(refetch, bigger_scratchpad_never_increases_traffic) {
+    const layer l = make_gemm(4096, 4096, 1024);
+    std::uint64_t prev = UINT64_MAX;
+    for (std::uint64_t budget : {kib(32), kib(64), kib(128), kib(256), kib(512)}) {
+        const auto [wp, ip] = baseline_refetch_factors(l, budget);
+        const std::uint64_t traffic = l.weight_bytes * wp + l.input_bytes * ip;
+        EXPECT_LE(traffic, prev) << "budget " << budget;
+        prev = traffic;
+    }
+}
+
+TEST(reuse_report, fractions_sum_to_one) {
+    const auto rep = analyze_reuse(model_by_abbr("RS."));
+    double count_total = 0.0, dist_total = 0.0;
+    for (std::size_t i = 0; i < rep.count_hist.bucket_count(); ++i)
+        count_total += rep.count_hist.fraction(i);
+    for (std::size_t i = 0; i < rep.distance_hist.bucket_count(); ++i)
+        dist_total += rep.distance_hist.fraction(i);
+    EXPECT_NEAR(count_total, 1.0, 1e-9);
+    EXPECT_NEAR(dist_total, 1.0, 1e-9);
+}
+
+TEST(reuse_report, weights_dominated_models_are_mostly_single_use) {
+    // ViT/BERT stream tens of MB of parameters exactly once.
+    for (const char* abbr : {"VT.", "BE.", "GN."}) {
+        const auto rep = analyze_reuse(model_by_abbr(abbr));
+        EXPECT_GT(rep.single_use_fraction(), 0.4) << abbr;
+    }
+}
+
+TEST(reuse_report, average_single_use_matches_paper_magnitude) {
+    // Paper §II-C: on average 68.0% of data has no future reuse.
+    double sum = 0.0;
+    for (const auto& m : benchmark_models())
+        sum += analyze_reuse(m).single_use_fraction();
+    const double avg = sum / 8.0;
+    EXPECT_GT(avg, 0.45);
+    EXPECT_LT(avg, 0.85);
+}
+
+TEST(reuse_report, intermediates_have_long_reuse_distances) {
+    // Paper §II-C: 61.8% of intermediate data has reuse distance > 1 MiB.
+    double sum = 0.0;
+    for (const auto& m : benchmark_models())
+        sum += analyze_reuse(m).long_distance_fraction();
+    const double avg = sum / 8.0;
+    EXPECT_GT(avg, 0.45);
+}
+
+TEST(reuse_report, distance_buckets_follow_layer_traffic) {
+    // A model made of large layers produces long distances.
+    model big;
+    big.name = "big";
+    for (int i = 0; i < 4; ++i) {
+        layer l = make_gemm(2048, 2048, 2048);
+        l.name = "g" + std::to_string(i);
+        big.layers.push_back(l);
+    }
+    const auto rep = analyze_reuse(big);
+    EXPECT_GT(rep.long_distance_fraction(), 0.9);
+
+    model small;
+    small.name = "small";
+    for (int i = 0; i < 4; ++i) {
+        layer l = make_gemm(64, 64, 64);
+        l.name = "s" + std::to_string(i);
+        small.layers.push_back(l);
+    }
+    const auto rep2 = analyze_reuse(small);
+    EXPECT_LT(rep2.long_distance_fraction(), 0.1);
+}
+
+TEST(reuse_report, residuals_add_accesses_and_distance) {
+    model chain;
+    chain.name = "chain";
+    for (int i = 0; i < 3; ++i) chain.layers.push_back(make_gemm(512, 512, 512));
+    model with_res = chain;
+    with_res.layers[2].residual_from = 0;
+    const auto plain = analyze_reuse(chain);
+    const auto res = analyze_reuse(with_res);
+    // The residual edge adds one more access to layer 0's output, moving
+    // weight out of the lowest count bucket.
+    EXPECT_LE(res.count_hist.fraction(0), plain.count_hist.fraction(0));
+}
+
+// Per-model sanity: every model yields a meaningful, non-degenerate report.
+class reuse_all_models : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(reuse_all_models, report_is_non_degenerate) {
+    const auto rep = analyze_reuse(model_by_abbr(GetParam()));
+    EXPECT_GT(rep.count_hist.total_weight(), 0.0);
+    EXPECT_GT(rep.distance_hist.total_weight(), 0.0);
+    EXPECT_GE(rep.single_use_fraction(), 0.0);
+    EXPECT_LE(rep.single_use_fraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(all_models, reuse_all_models,
+                         ::testing::Values("RS.", "MB.", "EF.", "VT.", "BE.",
+                                           "GN.", "WV.", "PP."));
+
+}  // namespace
+}  // namespace camdn::model

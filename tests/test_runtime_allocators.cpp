@@ -1,0 +1,169 @@
+// Tests for the baseline resource allocators: MoCA-style bandwidth
+// partitioning and AuRORA-style NPU core allocation.
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.h"
+#include "mapping/layer_mapper.h"
+#include "model/model.h"
+#include "runtime/bandwidth_allocator.h"
+#include "runtime/npu_allocator.h"
+
+namespace camdn::runtime {
+namespace {
+
+struct rig {
+    model::model mdl;
+    mapping::model_mapping mapping;
+    dram::dram_system dram{dram::dram_config{}};
+
+    rig() {
+        model::model_builder b("synthetic", "SY.", model::model_domain::vision,
+                               "Conv", 5.0, 1, 1, 1);
+        b.gemm("g0", 1024, 1024, 1024);
+        b.gemm("g1", 1024, 1024, 1024);
+        mdl = std::move(b).build();
+        mapping = mapping::map_model(mdl, mapping::mapper_config{});
+    }
+
+    task make_task(task_id id, cycle_t deadline = never) {
+        task t;
+        t.id = id;
+        t.mdl = &mdl;
+        t.mapping = &mapping;
+        t.cores = {static_cast<npu_id>(id)};
+        t.deadline = deadline;
+        return t;
+    }
+};
+
+TEST(bandwidth_allocator, equal_demand_equal_share) {
+    rig r;
+    bandwidth_allocator bw(r.dram, /*headroom=*/1.0);
+    task a = r.make_task(0);
+    task b = r.make_task(1);
+    std::vector<task*> running{&a, &b};
+    bw.reallocate(running, 0);
+
+    // Equal demand halves the budget: a stream of one task saturates at
+    // about half the peak.
+    const std::uint64_t lines = 40'000;
+    const cycle_t done = r.dram.access_burst(0, lines, false, 0, 0);
+    const double achieved =
+        static_cast<double>(lines * line_bytes) / static_cast<double>(done);
+    EXPECT_LT(achieved, 0.6 * 102.4);
+    EXPECT_GT(achieved, 0.35 * 102.4);
+}
+
+TEST(bandwidth_allocator, urgent_task_gets_more) {
+    rig r;
+    bandwidth_allocator bw(r.dram, 1.0);
+    task urgent = r.make_task(0, /*deadline=*/1'000);  // nearly due
+    task relaxed = r.make_task(1, /*deadline=*/1'000'000'000);
+    std::vector<task*> running{&urgent, &relaxed};
+    bw.reallocate(running, 0);
+
+    const std::uint64_t lines = 20'000;
+    const cycle_t urgent_done = r.dram.access_burst(0, lines, false, 0, 0);
+    r.dram.reset_timing();
+    const cycle_t relaxed_done =
+        r.dram.access_burst(mib(512), lines, false, 0, 1);
+    EXPECT_LT(urgent_done, relaxed_done);
+}
+
+TEST(bandwidth_allocator, clear_removes_regulation) {
+    rig r;
+    bandwidth_allocator bw(r.dram, 1.0);
+    task a = r.make_task(0);
+    task b = r.make_task(1);
+    std::vector<task*> running{&a, &b};
+    bw.reallocate(running, 0);
+    bw.clear();
+    r.dram.access_burst(0, 30'000, false, 0, 0);
+    EXPECT_EQ(r.dram.stats().throttled, 0u);
+}
+
+TEST(bandwidth_allocator, skips_idle_slots) {
+    rig r;
+    bandwidth_allocator bw(r.dram, 1.0);
+    task a = r.make_task(0);
+    task idle = r.make_task(1);
+    idle.cores.clear();  // not running
+    std::vector<task*> running{&a, &idle, nullptr};
+    bw.reallocate(running, 0);  // must not crash and not throttle task 1
+    r.dram.access_burst(0, 1'000, false, 0, 1);
+    EXPECT_EQ(r.dram.stats().throttled, 0u);
+}
+
+TEST(npu_allocator, one_core_each_when_tasks_match_cores) {
+    rig r;
+    npu_allocator alloc(4);
+    std::vector<task> tasks;
+    for (int i = 0; i < 4; ++i) tasks.push_back(r.make_task(i));
+    std::vector<task*> running;
+    for (auto& t : tasks) running.push_back(&t);
+    const auto counts = alloc.allocate(running, 0);
+    for (auto c : counts) EXPECT_EQ(c, 1u);
+}
+
+TEST(npu_allocator, total_never_exceeds_pool) {
+    rig r;
+    npu_allocator alloc(8, /*max per task=*/4);
+    std::vector<task> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back(r.make_task(i, /*deadline=*/1));  // extremely needy
+    std::vector<task*> running;
+    for (auto& t : tasks) running.push_back(&t);
+    const auto counts = alloc.allocate(running, 0);
+    std::uint32_t used = 0;
+    for (auto c : counts) {
+        used += c;
+        EXPECT_LE(c, 4u);
+    }
+    EXPECT_LE(used, 8u);
+}
+
+TEST(npu_allocator, needy_tasks_get_extra_cores) {
+    rig r;
+    // Odd pool: after everyone gets a fair spread, the leftover core goes
+    // to the neediest task.
+    npu_allocator alloc(5);
+    task urgent = r.make_task(0, /*deadline=*/1'000);
+    task relaxed = r.make_task(1, never);
+    std::vector<task*> running{&urgent, &relaxed};
+    const auto counts = alloc.allocate(running, 0);
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GE(counts[1], 1u);
+}
+
+TEST(npu_allocator, oversubscription_serves_neediest_first) {
+    rig r;
+    npu_allocator alloc(2);
+    task a = r.make_task(0, /*deadline=*/10'000'000);
+    task b = r.make_task(1, /*deadline=*/1'000);  // needier
+    task c = r.make_task(2, /*deadline=*/5'000'000);
+    std::vector<task*> running{&a, &b, &c};
+    const auto counts = alloc.allocate(running, 0);
+    EXPECT_EQ(counts[1], 1u);  // the neediest always runs
+    std::uint32_t used = counts[0] + counts[1] + counts[2];
+    EXPECT_EQ(used, 2u);
+}
+
+TEST(npu_allocator, null_slots_are_skipped) {
+    rig r;
+    npu_allocator alloc(4);
+    task a = r.make_task(0);
+    std::vector<task*> running{nullptr, &a, nullptr};
+    const auto counts = alloc.allocate(running, 0);
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_GE(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(npu_allocator, empty_running_set) {
+    npu_allocator alloc(4);
+    std::vector<task*> running;
+    EXPECT_TRUE(alloc.allocate(running, 0).empty());
+}
+
+}  // namespace
+}  // namespace camdn::runtime
