@@ -2,25 +2,17 @@
 // bypass and multicast semantics, layer-block mapping (LBM), and the cache
 // page size. Each row disables one feature of CaMDN(Full) (or changes the
 // page geometry) under the Fig 7 workload.
-#include <cstdlib>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 namespace {
 
-struct row {
-    std::string label;
-    double latency_ms;
-    double mem_mb;
-};
-
-row run(const std::string& label, sim::camdn_features features,
-        std::uint64_t page_bytes, std::uint32_t inferences) {
+sim::experiment_config row_cfg(sim::camdn_features features,
+                               std::uint64_t page_bytes,
+                               std::uint32_t inferences) {
     sim::experiment_config cfg;
     cfg.pol = sim::policy::camdn_full;
     cfg.features = features;
@@ -28,49 +20,50 @@ row run(const std::string& label, sim::camdn_features features,
     cfg.co_located = 16;
     cfg.inferences_per_slot = inferences;
     cfg.seed = 42;
-    const auto res = sim::run_experiment(cfg);
-    return {label, res.avg_latency_ms(), res.mem_mb_per_inference()};
+    return cfg;
 }
 
 }  // namespace
 
 int main() {
-    const bool fast = std::getenv("REPRO_FAST") != nullptr;
-    const std::uint32_t inferences = fast ? 1 : 2;
+    const std::uint32_t inferences = bench::fast_mode() ? 1 : 2;
 
-    std::cout << "Ablation: CaMDN(Full) feature and page-size study\n"
-              << "(16 co-located DNNs, Table II otherwise)\n\n";
+    bench::banner(
+        "Ablation: CaMDN(Full) feature and page-size study\n"
+        "(16 co-located DNNs, Table II otherwise)");
 
-    std::vector<row> rows;
-    sim::camdn_features all{};
-    rows.push_back(run("Full (32KB pages)", all, kib(32), inferences));
-
+    const sim::camdn_features all{};
     sim::camdn_features no_bypass = all;
     no_bypass.bypass = false;
-    rows.push_back(run("- bypass", no_bypass, kib(32), inferences));
-
     sim::camdn_features no_multicast = all;
     no_multicast.multicast = false;
-    rows.push_back(run("- multicast", no_multicast, kib(32), inferences));
-
     sim::camdn_features no_lbm = all;
     no_lbm.lbm = false;
-    rows.push_back(run("- LBM", no_lbm, kib(32), inferences));
 
-    rows.push_back(run("8KB pages", all, kib(8), inferences));
-    rows.push_back(run("16KB pages", all, kib(16), inferences));
-    rows.push_back(run("64KB pages", all, kib(64), inferences));
-    rows.push_back(run("128KB pages", all, kib(128), inferences));
+    const std::vector<std::string> labels{
+        "Full (32KB pages)", "- bypass", "- multicast", "- LBM",
+        "8KB pages", "16KB pages", "64KB pages", "128KB pages"};
+    const std::vector<sim::experiment_config> cfgs{
+        row_cfg(all, kib(32), inferences),
+        row_cfg(no_bypass, kib(32), inferences),
+        row_cfg(no_multicast, kib(32), inferences),
+        row_cfg(no_lbm, kib(32), inferences),
+        row_cfg(all, kib(8), inferences),
+        row_cfg(all, kib(16), inferences),
+        row_cfg(all, kib(64), inferences),
+        row_cfg(all, kib(128), inferences)};
+    const auto results = sim::run_sweep(cfgs);
 
     table_printer t({"Configuration", "avg latency (ms)", "vs Full",
                      "mem (MB/inf)", "vs Full"});
-    const double base_lat = rows[0].latency_ms;
-    const double base_mem = rows[0].mem_mb;
-    for (const auto& r : rows) {
-        t.add_row({r.label, fmt_fixed(r.latency_ms, 2),
-                   fmt_fixed(r.latency_ms / base_lat, 2) + "x",
-                   fmt_fixed(r.mem_mb, 1),
-                   fmt_fixed(r.mem_mb / base_mem, 2) + "x"});
+    const double base_lat = results[0].avg_latency_ms();
+    const double base_mem = results[0].mem_mb_per_inference();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        t.add_row({labels[i], fmt_fixed(results[i].avg_latency_ms(), 2),
+                   fmt_fixed(results[i].avg_latency_ms() / base_lat, 2) + "x",
+                   fmt_fixed(results[i].mem_mb_per_inference(), 1),
+                   fmt_fixed(results[i].mem_mb_per_inference() / base_mem, 2) +
+                       "x"});
     }
     t.print(std::cout);
 

@@ -5,34 +5,27 @@
 // Paper reference points (16 MiB): hit rate falls 18.9%..59.7% and memory
 // access rises 32.7%..64.1% from 1 to 32 DNNs; latency grows 3.46x..5.65x.
 // Set REPRO_FAST=1 for a reduced grid.
-#include <cstdlib>
 #include <iostream>
 #include <map>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 int main() {
-    const bool fast = std::getenv("REPRO_FAST") != nullptr;
-    const std::vector<std::uint32_t> dnn_counts =
-        fast ? std::vector<std::uint32_t>{1, 4, 16}
-             : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32};
-    const std::vector<std::uint64_t> cache_sizes =
-        fast ? std::vector<std::uint64_t>{mib(4), mib(16), mib(64)}
-             : std::vector<std::uint64_t>{mib(4), mib(8), mib(16), mib(32),
-                                          mib(64)};
+    const auto dnn_counts =
+        bench::pick(std::vector<std::uint32_t>{1, 4, 16},
+                    std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32});
+    const auto cache_sizes = bench::pick(
+        std::vector<std::uint64_t>{mib(4), mib(16), mib(64)},
+        std::vector<std::uint64_t>{mib(4), mib(8), mib(16), mib(32), mib(64)});
 
-    std::cout << "Figure 2: cache inefficiency with multi-tenant DNNs\n"
-              << "(transparent shared cache, random dispatch on 16 NPUs)\n\n";
+    bench::banner(
+        "Figure 2: cache inefficiency with multi-tenant DNNs\n"
+        "(transparent shared cache, random dispatch on 16 NPUs)");
 
-    struct point {
-        double hit_rate, mem_mb, latency_ms;
-    };
-    std::map<std::pair<std::uint64_t, std::uint32_t>, point> grid;
-
+    // One sweep over the whole (cache size x DNN count) grid.
+    std::vector<sim::experiment_config> cfgs;
     for (auto cache_bytes : cache_sizes) {
         for (auto dnns : dnn_counts) {
             sim::experiment_config cfg;
@@ -42,10 +35,21 @@ int main() {
             // One NPU per task (paper §II-C methodology) and a roughly
             // constant completion count per grid point for stable stats.
             cfg.spread_idle_cores = false;
-            cfg.inferences_per_slot =
-                std::max<std::uint32_t>(2, 32 / dnns);
+            cfg.inferences_per_slot = std::max<std::uint32_t>(2, 32 / dnns);
             cfg.seed = 42;
-            const auto res = sim::run_experiment(cfg);
+            cfgs.push_back(std::move(cfg));
+        }
+    }
+    const auto results = sim::run_sweep(cfgs);
+
+    struct point {
+        double hit_rate, mem_mb, latency_ms;
+    };
+    std::map<std::pair<std::uint64_t, std::uint32_t>, point> grid;
+    std::size_t idx = 0;
+    for (auto cache_bytes : cache_sizes) {
+        for (auto dnns : dnn_counts) {
+            const auto& res = results[idx++];
             grid[{cache_bytes, dnns}] = point{res.cache_hit_rate,
                                               res.mem_mb_per_inference(),
                                               res.avg_latency_ms()};

@@ -7,26 +7,24 @@
 #include <array>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "model/model_zoo.h"
+#include "bench/harness.h"
 #include "model/reuse_analysis.h"
 
 using namespace camdn;
 
 int main() {
-    std::cout << "Table I: benchmark models for multi-tenant execution\n";
+    bench::banner("Table I: benchmark models for multi-tenant execution");
     {
         table_printer t({"Domain", "Model", "Abbr.", "Type", "QoS(ms)",
                          "Layers", "MACs(G)", "Weights(MB)"});
         const char* domains[] = {"Computer Vision", "NLP", "Audio",
                                  "Point Cloud"};
-        for (const auto& m : model::benchmark_models()) {
-            t.add_row({domains[static_cast<int>(m.domain)], m.name, m.abbr,
-                       m.type, fmt_fixed(m.qos_ms, 1),
-                       std::to_string(m.layers.size()),
-                       fmt_fixed(m.total_macs() / 1e9, 2),
-                       fmt_fixed(m.total_weight_bytes() / 1048576.0, 1)});
+        for (const auto* m : bench::zoo()) {
+            t.add_row({domains[static_cast<int>(m->domain)], m->name, m->abbr,
+                       m->type, fmt_fixed(m->qos_ms, 1),
+                       std::to_string(m->layers.size()),
+                       fmt_fixed(m->total_macs() / 1e9, 2),
+                       fmt_fixed(m->total_weight_bytes() / 1048576.0, 1)});
         }
         t.print(std::cout);
     }

@@ -4,42 +4,24 @@
 // Paper reference: CaMDN(Full) averages 1.88x (max 2.56x, on the
 // intermediate-heavy MobileNet-v2 / EfficientNet-b0); CaMDN(Full) exceeds
 // CaMDN(HW-only) by 1.18x on average; memory access falls 33.4% on average.
-#include <cstdlib>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "model/model_zoo.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 int main() {
-    const bool fast = std::getenv("REPRO_FAST") != nullptr;
-
     sim::experiment_config cfg;
     cfg.co_located = 16;  // every NPU busy -> maximum cache contention
-    cfg.inferences_per_slot = fast ? 2 : 4;
+    cfg.inferences_per_slot = bench::fast_mode() ? 2 : 4;
     cfg.seed = 42;
 
-    std::cout << "Table II SoC: " << cfg.soc.npu.cores << " NPUs ("
-              << cfg.soc.npu.pe_rows << "x" << cfg.soc.npu.pe_cols
-              << " PEs, " << cfg.soc.npu.scratchpad_bytes / kib(1)
-              << "KB scratchpad), " << cfg.soc.cache.total_bytes / mib(1)
-              << "MB cache (" << cfg.soc.cache.npu_ways << "/"
-              << cfg.soc.cache.ways << " NPU ways, "
-              << cfg.soc.cache.slices << " slices), "
-              << fmt_fixed(cfg.soc.dram.peak_bytes_per_cycle(), 1)
-              << "GB/s DRAM\n\n";
+    bench::banner("Table II SoC: " + bench::soc_summary(cfg.soc));
 
-    sim::experiment_result results[3];
-    const sim::policy pols[3] = {sim::policy::aurora,
-                                 sim::policy::camdn_hw_only,
-                                 sim::policy::camdn_full};
-    for (int p = 0; p < 3; ++p) {
-        cfg.pol = pols[p];
-        results[p] = sim::run_experiment(cfg);
-    }
+    const auto results =
+        bench::run_policies(cfg, {sim::policy::aurora,
+                                  sim::policy::camdn_hw_only,
+                                  sim::policy::camdn_full});
 
     std::cout << "Figure 7: model-wise speedup over AuRORA\n";
     table_printer t({"Model", "AuRORA(ms)", "HW-only(ms)", "Full(ms)",
@@ -47,15 +29,15 @@ int main() {
     double hw_sum = 0.0, full_sum = 0.0, full_max = 0.0;
     double mem_red_sum = 0.0;
     int counted = 0;
-    for (const auto& m : model::benchmark_models()) {
-        const double base = results[0].mean_latency_ms(m.abbr);
-        const double hw = results[1].mean_latency_ms(m.abbr);
-        const double full = results[2].mean_latency_ms(m.abbr);
+    for (const auto* m : bench::zoo()) {
+        const double base = results[0].mean_latency_ms(m->abbr);
+        const double hw = results[1].mean_latency_ms(m->abbr);
+        const double full = results[2].mean_latency_ms(m->abbr);
         if (base == 0.0 || hw == 0.0 || full == 0.0) continue;
         const double mem_red =
-            100.0 * (1.0 - results[2].mem_mb_per_inference(m.abbr) /
-                               results[0].mem_mb_per_inference(m.abbr));
-        t.add_row({m.abbr, fmt_fixed(base, 2), fmt_fixed(hw, 2),
+            100.0 * (1.0 - results[2].mem_mb_per_inference(m->abbr) /
+                               results[0].mem_mb_per_inference(m->abbr));
+        t.add_row({m->abbr, fmt_fixed(base, 2), fmt_fixed(hw, 2),
                    fmt_fixed(full, 2), fmt_fixed(base / hw, 2),
                    fmt_fixed(base / full, 2), fmt_fixed(mem_red, 1)});
         hw_sum += base / hw;

@@ -4,64 +4,74 @@
 //
 // Paper reference: CaMDN(Full) reduces latency 34.3%..42.3% and memory
 // access 16.0%..37.7% across scales.
-#include <cstdlib>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 namespace {
 
-struct pair_result {
-    double base_lat, full_lat, base_mem, full_mem;
-};
-
-pair_result run_pair(std::uint64_t cache_bytes, std::uint32_t dnns,
-                     std::uint32_t inferences) {
-    pair_result out{};
-    for (int p = 0; p < 2; ++p) {
-        sim::experiment_config cfg;
-        cfg.pol = p == 0 ? sim::policy::aurora : sim::policy::camdn_full;
-        cfg.soc.cache.total_bytes = cache_bytes;
-        cfg.co_located = dnns;
-        cfg.inferences_per_slot = inferences;
-        cfg.seed = 42;
-        const auto res = sim::run_experiment(cfg);
-        (p == 0 ? out.base_lat : out.full_lat) = res.avg_latency_ms();
-        (p == 0 ? out.base_mem : out.full_mem) = res.mem_mb_per_inference();
-    }
-    return out;
+sim::experiment_config point_cfg(sim::policy pol, std::uint64_t cache_bytes,
+                                 std::uint32_t dnns, std::uint32_t inferences) {
+    sim::experiment_config cfg;
+    cfg.pol = pol;
+    cfg.soc.cache.total_bytes = cache_bytes;
+    cfg.co_located = dnns;
+    cfg.inferences_per_slot = inferences;
+    cfg.seed = 42;
+    return cfg;
 }
 
-void emit(table_printer& t, const std::string& label, const pair_result& r) {
-    t.add_row({label, fmt_fixed(r.base_lat, 2), fmt_fixed(r.full_lat, 2),
-               fmt_fixed(100.0 * (1.0 - r.full_lat / r.base_lat), 1),
-               fmt_fixed(r.base_mem, 1), fmt_fixed(r.full_mem, 1),
-               fmt_fixed(100.0 * (1.0 - r.full_mem / r.base_mem), 1)});
+void emit(table_printer& t, const std::string& label,
+          const sim::experiment_result& base, const sim::experiment_result& full) {
+    const double base_lat = base.avg_latency_ms();
+    const double full_lat = full.avg_latency_ms();
+    const double base_mem = base.mem_mb_per_inference();
+    const double full_mem = full.mem_mb_per_inference();
+    t.add_row({label, fmt_fixed(base_lat, 2), fmt_fixed(full_lat, 2),
+               fmt_fixed(100.0 * (1.0 - full_lat / base_lat), 1),
+               fmt_fixed(base_mem, 1), fmt_fixed(full_mem, 1),
+               fmt_fixed(100.0 * (1.0 - full_mem / base_mem), 1)});
 }
 
 }  // namespace
 
 int main() {
-    const bool fast = std::getenv("REPRO_FAST") != nullptr;
-    const std::uint32_t inferences = fast ? 1 : 2;
+    const std::uint32_t inferences = bench::fast_mode() ? 1 : 2;
 
-    std::cout << "Figure 8: scaling of AuRORA vs CaMDN(Full)\n\n";
+    bench::banner("Figure 8: scaling of AuRORA vs CaMDN(Full)");
+
+    const auto sizes = bench::pick(
+        std::vector<std::uint64_t>{mib(4), mib(16), mib(64)},
+        std::vector<std::uint64_t>{mib(4), mib(8), mib(16), mib(32), mib(64)});
+    const auto counts =
+        bench::pick(std::vector<std::uint32_t>{2, 8, 16},
+                    std::vector<std::uint32_t>{1, 2, 4, 8, 16});
+
+    // Both sub-figures as one parallel sweep: (AuRORA, Full) per point.
+    std::vector<sim::experiment_config> cfgs;
+    for (auto bytes : sizes) {
+        cfgs.push_back(point_cfg(sim::policy::aurora, bytes, 8, inferences));
+        cfgs.push_back(point_cfg(sim::policy::camdn_full, bytes, 8, inferences));
+    }
+    for (auto dnns : counts) {
+        cfgs.push_back(point_cfg(sim::policy::aurora, mib(16), dnns, inferences));
+        cfgs.push_back(
+            point_cfg(sim::policy::camdn_full, mib(16), dnns, inferences));
+    }
+    const auto results = sim::run_sweep(cfgs);
+    std::size_t idx = 0;
 
     std::cout << "(a) cache capacity sweep, 8 co-located DNNs\n";
     {
         table_printer t({"Cache", "AuRORA(ms)", "Full(ms)", "lat red.%",
                          "AuRORA(MB)", "Full(MB)", "mem red.%"});
-        const std::vector<std::uint64_t> sizes =
-            fast ? std::vector<std::uint64_t>{mib(4), mib(16), mib(64)}
-                 : std::vector<std::uint64_t>{mib(4), mib(8), mib(16), mib(32),
-                                              mib(64)};
-        for (auto bytes : sizes)
-            emit(t, std::to_string(bytes / mib(1)) + "MB",
-                 run_pair(bytes, 8, inferences));
+        for (auto bytes : sizes) {
+            const auto& base = results[idx++];
+            const auto& full = results[idx++];
+            emit(t, std::to_string(bytes / mib(1)) + "MB", base, full);
+        }
         t.print(std::cout);
     }
 
@@ -69,11 +79,11 @@ int main() {
     {
         table_printer t({"DNNs", "AuRORA(ms)", "Full(ms)", "lat red.%",
                          "AuRORA(MB)", "Full(MB)", "mem red.%"});
-        const std::vector<std::uint32_t> counts =
-            fast ? std::vector<std::uint32_t>{2, 8, 16}
-                 : std::vector<std::uint32_t>{1, 2, 4, 8, 16};
-        for (auto dnns : counts)
-            emit(t, std::to_string(dnns), run_pair(mib(16), dnns, inferences));
+        for (auto dnns : counts) {
+            const auto& base = results[idx++];
+            const auto& full = results[idx++];
+            emit(t, std::to_string(dnns), base, full);
+        }
         t.print(std::cout);
     }
 

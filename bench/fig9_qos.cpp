@@ -5,27 +5,20 @@
 //
 // Paper reference: CaMDN improves SLA rate 5.9x, STP 2.5x and fairness
 // 3.0x on average, with the largest gains at QoS-H.
-#include <cstdlib>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "model/model_zoo.h"
-#include "runtime/qos.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 int main() {
-    const bool fast = std::getenv("REPRO_FAST") != nullptr;
-
-    sim::soc_config soc;
-    std::vector<const model::model*> workload;
-    for (const auto& m : model::benchmark_models()) workload.push_back(&m);
+    constexpr std::uint32_t co_located = 16;
+    const sim::soc_config soc;
+    const auto workload = bench::zoo();
 
     std::cout << "Computing isolated latencies (normalized-progress "
                  "reference)...\n";
-    const auto iso = sim::isolated_latencies(soc, workload);
+    const auto& iso = sim::cached_isolated_latencies(soc, workload);
 
     const struct {
         const char* name;
@@ -34,35 +27,33 @@ int main() {
     const sim::policy pols[] = {sim::policy::moca, sim::policy::aurora,
                                 sim::policy::camdn_full};
 
-    std::cout << "\nFigure 9: QoS improvement (16 co-located tasks)\n";
-    table_printer t({"Level", "Policy", "SLA rate", "STP", "Fairness"});
-    double camdn_sla = 0, base_sla = 0, camdn_stp = 0, base_stp = 0,
-           camdn_fair = 0, base_fair = 0;
+    // All (level, policy) cells as one parallel sweep.
+    std::vector<sim::experiment_config> cfgs;
     for (const auto& level : levels) {
         for (const auto pol : pols) {
             sim::experiment_config cfg;
             cfg.soc = soc;
             cfg.pol = pol;
-            cfg.co_located = 16;
-            cfg.inferences_per_slot = fast ? 1 : 3;
+            cfg.co_located = co_located;
+            cfg.inferences_per_slot = bench::fast_mode() ? 1 : 3;
             cfg.seed = 42;
             cfg.qos_mode = true;
             cfg.qos_scale = level.scale;
-            const auto res = sim::run_experiment(cfg);
+            cfgs.push_back(std::move(cfg));
+        }
+    }
+    const auto results = sim::run_sweep(cfgs);
 
-            std::vector<runtime::qos_record> records;
-            for (const auto& rec : res.completions) {
-                runtime::qos_record q;
-                q.task = rec.slot;
-                q.model_abbr = rec.abbr;
-                q.latency = rec.latency();
-                q.deadline_rel = static_cast<cycle_t>(
-                    level.scale *
-                    ms_to_cycles(model::model_by_abbr(rec.abbr).qos_ms));
-                q.isolated = iso.at(rec.abbr);
-                records.push_back(q);
-            }
-            const auto m = runtime::compute_qos(records, cfg.co_located);
+    std::cout << "\nFigure 9: QoS improvement (16 co-located tasks)\n";
+    table_printer t({"Level", "Policy", "SLA rate", "STP", "Fairness"});
+    double camdn_sla = 0, base_sla = 0, camdn_stp = 0, base_stp = 0,
+           camdn_fair = 0, base_fair = 0;
+    std::size_t idx = 0;
+    for (const auto& level : levels) {
+        for (const auto pol : pols) {
+            const auto& res = results[idx++];
+            const auto records = bench::qos_records(res, level.scale, iso);
+            const auto m = runtime::compute_qos(records, co_located);
             t.add_row({level.name, sim::policy_name(pol),
                        fmt_fixed(m.sla_rate, 3), fmt_fixed(m.stp, 2),
                        fmt_fixed(m.fairness, 3)});

@@ -1,0 +1,92 @@
+// Shared harness for the figure benches and the examples.
+//
+// Collapses the config/loop/print boilerplate that used to be copy-pasted
+// per binary: REPRO_FAST gating, fast/full sweep-axis selection, the Table
+// II banner, parallel policy sweeps on the sweep engine, and QoS record
+// assembly against the memoized single-tenant reference.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "model/model_zoo.h"
+#include "runtime/qos.h"
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+
+namespace camdn::bench {
+
+/// REPRO_FAST=1 shrinks grids and repetition counts for smoke runs.
+inline bool fast_mode() { return std::getenv("REPRO_FAST") != nullptr; }
+
+/// Picks the fast or full variant of a sweep axis.
+template <typename T>
+T pick(const T& fast_axis, const T& full_axis) {
+    return fast_mode() ? fast_axis : full_axis;
+}
+
+/// Prints the bench/example title followed by a blank line.
+inline void banner(const std::string& title) {
+    std::cout << title << "\n\n";
+}
+
+/// All Table I benchmark models, as workload pointers.
+inline std::vector<const model::model*> zoo() {
+    std::vector<const model::model*> out;
+    for (const auto& m : model::benchmark_models()) out.push_back(&m);
+    return out;
+}
+
+/// One-line Table II summary of an SoC configuration.
+inline std::string soc_summary(const sim::soc_config& soc) {
+    return std::to_string(soc.npu.cores) + " NPUs (" +
+           std::to_string(soc.npu.pe_rows) + "x" +
+           std::to_string(soc.npu.pe_cols) + " PEs, " +
+           std::to_string(soc.npu.scratchpad_bytes / kib(1)) +
+           "KB scratchpad), " + std::to_string(soc.cache.total_bytes / mib(1)) +
+           "MB cache (" + std::to_string(soc.cache.npu_ways) + "/" +
+           std::to_string(soc.cache.ways) + " NPU ways, " +
+           std::to_string(soc.cache.slices) + " slices), " +
+           fmt_fixed(soc.dram.peak_bytes_per_cycle(), 1) + "GB/s DRAM";
+}
+
+/// Runs `base` once per policy through the parallel sweep engine; results
+/// come back in policy order, bit-identical to sequential runs.
+inline std::vector<sim::experiment_result> run_policies(
+    const sim::experiment_config& base, const std::vector<sim::policy>& pols) {
+    std::vector<sim::experiment_config> cfgs;
+    cfgs.reserve(pols.size());
+    for (auto pol : pols) {
+        cfgs.push_back(base);
+        cfgs.back().pol = pol;
+    }
+    return sim::run_sweep(cfgs);
+}
+
+/// Builds compute_qos() input from one result: deadline = scale * Table I
+/// target, normalized progress against the isolated reference (use
+/// sim::cached_isolated_latencies for `iso`).
+inline std::vector<runtime::qos_record> qos_records(
+    const sim::experiment_result& res, double scale,
+    const std::map<std::string, cycle_t>& iso) {
+    std::vector<runtime::qos_record> records;
+    records.reserve(res.completions.size());
+    for (const auto& rec : res.completions) {
+        runtime::qos_record q;
+        q.task = rec.slot;
+        q.model_abbr = rec.abbr;
+        q.latency = rec.latency();
+        q.deadline_rel = static_cast<cycle_t>(
+            scale * ms_to_cycles(model::model_by_abbr(rec.abbr).qos_ms));
+        q.isolated = iso.at(rec.abbr);
+        records.push_back(std::move(q));
+    }
+    return records;
+}
+
+}  // namespace camdn::bench

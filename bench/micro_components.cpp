@@ -4,13 +4,13 @@
 // hardware performance.
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "cache/shared_cache.h"
 #include "common/event_queue.h"
 #include "dram/dram_system.h"
 #include "mapping/layer_mapper.h"
-#include "model/model_zoo.h"
 #include "runtime/cache_allocation.h"
-#include "sim/experiment.h"
+#include "sim/sweep.h"
 
 using namespace camdn;
 
@@ -141,5 +141,41 @@ static void bm_end_to_end_small_experiment(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_end_to_end_small_experiment)->Unit(benchmark::kMillisecond);
+
+// Sweep-engine throughput: the Fig-7 policy triple on a small workload,
+// serial (threads=1) vs the machine's thread pool (threads=0). The ratio
+// approaches the core count on multi-core hosts.
+static void bm_sweep_policies(benchmark::State& state) {
+    sim::experiment_config base;
+    base.workload = {&model::model_by_abbr("MB.")};
+    base.co_located = 2;
+    base.inferences_per_slot = 1;
+    std::vector<sim::experiment_config> cfgs;
+    for (auto pol : {sim::policy::aurora, sim::policy::camdn_hw_only,
+                     sim::policy::camdn_full}) {
+        cfgs.push_back(base);
+        cfgs.back().pol = pol;
+    }
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_sweep(cfgs, threads));
+    }
+    state.SetItemsProcessed(state.iterations() * cfgs.size());
+}
+BENCHMARK(bm_sweep_policies)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+static void bm_open_loop_experiment(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::experiment_config cfg;
+        cfg.pol = sim::policy::camdn_full;
+        cfg.kind = runtime::workload_kind::open_loop_poisson;
+        cfg.workload = {&model::model_by_abbr("MB.")};
+        cfg.co_located = 2;
+        cfg.arrival_rate_per_ms = 4.0;
+        cfg.total_arrivals = 8;
+        benchmark::DoNotOptimize(sim::run_experiment(cfg));
+    }
+}
+BENCHMARK(bm_open_loop_experiment)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -6,16 +6,15 @@
 #include <iostream>
 
 #include "area/area_model.h"
-#include "common/stats.h"
-#include "common/table_printer.h"
+#include "bench/harness.h"
 
 using namespace camdn;
 
 int main() {
     const auto b = area::estimate_area(npu::npu_config{}, cache::cache_config{});
 
-    std::cout << "Table III: area breakdown of the CaMDN architecture "
-                 "(45 nm)\n\n";
+    bench::banner(
+        "Table III: area breakdown of the CaMDN architecture (45 nm)");
 
     auto print_side = [](const std::string& title,
                          const std::vector<area::area_item>& items,

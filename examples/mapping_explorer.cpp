@@ -3,22 +3,29 @@
 // Tables (usage level, tiling, pinning, pages, traffic), then demonstrates
 // the compact mapping-file round trip.
 //
-//   ./build/examples/mapping_explorer [abbr] [max_layers]   (default RS. 12)
+//   ./build/mapping_explorer [abbr] [max_layers]   (default RS. 12)
 #include <iostream>
 #include <sstream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
+#include "bench/harness.h"
 #include "mapping/layer_mapper.h"
 #include "mapping/mct_io.h"
-#include "model/model_zoo.h"
-#include "sim/soc_config.h"
 
 int main(int argc, char** argv) {
     using namespace camdn;
 
     const std::string abbr = argc > 1 ? argv[1] : "RS.";
     const std::size_t max_layers = argc > 2 ? std::atoi(argv[2]) : 12;
+
+    bool known = false;
+    for (const auto* candidate : bench::zoo()) known |= candidate->abbr == abbr;
+    if (!known) {
+        std::cerr << "Unknown model '" << abbr << "'. Table I abbreviations:";
+        for (const auto* candidate : bench::zoo())
+            std::cerr << ' ' << candidate->abbr;
+        std::cerr << '\n';
+        return 1;
+    }
 
     const auto& m = model::model_by_abbr(abbr);
     const auto cfg = sim::soc_config{}.mapper();

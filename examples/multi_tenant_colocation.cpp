@@ -3,13 +3,10 @@
 // introduction). Shows per-model latency and memory traffic under every
 // policy, and the page-level view of the dynamic cache allocation.
 //
-//   ./build/examples/multi_tenant_colocation
+//   ./build/multi_tenant_colocation
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "model/model_zoo.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 int main() {
     using namespace camdn;
@@ -22,26 +19,29 @@ int main() {
         &model::model_by_abbr("RS."), &model::model_by_abbr("MB."),
         &model::model_by_abbr("WV."), &model::model_by_abbr("BE.")};
 
-    std::cout << "AR/VR co-location scenario: RS. + MB. + WV. + BE.\n"
-              << "8 task slots on 16 NPUs, 16 MiB shared cache\n\n";
+    bench::banner(
+        "AR/VR co-location scenario: RS. + MB. + WV. + BE.\n"
+        "8 task slots on 16 NPUs, 16 MiB shared cache");
+
+    sim::experiment_config cfg;
+    cfg.workload = pipeline;
+    cfg.co_located = 8;
+    cfg.inferences_per_slot = 3;
+    cfg.seed = 2025;
+    const std::vector<sim::policy> pols{sim::policy::shared_baseline,
+                                        sim::policy::aurora,
+                                        sim::policy::camdn_full};
+    const auto results = bench::run_policies(cfg, pols);
 
     table_printer t({"policy", "model", "mean latency (ms)", "DRAM (MiB/inf)",
                      "inferences"});
-    for (sim::policy pol : {sim::policy::shared_baseline, sim::policy::aurora,
-                            sim::policy::camdn_full}) {
-        sim::experiment_config cfg;
-        cfg.pol = pol;
-        cfg.workload = pipeline;
-        cfg.co_located = 8;
-        cfg.inferences_per_slot = 3;
-        cfg.seed = 2025;
-        const auto res = sim::run_experiment(cfg);
+    for (std::size_t i = 0; i < pols.size(); ++i) {
         for (const auto* m : pipeline) {
-            if (res.completions_of(m->abbr) == 0) continue;
-            t.add_row({sim::policy_name(pol), m->abbr,
-                       fmt_fixed(res.mean_latency_ms(m->abbr), 2),
-                       fmt_fixed(res.mem_mb_per_inference(m->abbr), 1),
-                       std::to_string(res.completions_of(m->abbr))});
+            if (results[i].completions_of(m->abbr) == 0) continue;
+            t.add_row({sim::policy_name(pols[i]), m->abbr,
+                       fmt_fixed(results[i].mean_latency_ms(m->abbr), 2),
+                       fmt_fixed(results[i].mem_mb_per_inference(m->abbr), 1),
+                       std::to_string(results[i].completions_of(m->abbr))});
         }
         t.add_row({"", "", "", "", ""});
     }

@@ -1,0 +1,101 @@
+// Domain example: open-loop serving. Unlike the paper's closed-loop slots
+// (which re-dispatch on completion and therefore never queue), requests
+// here arrive on their own clock: a Poisson stream at a configurable rate
+// hits a bounded admission queue, and overload shows up as queue delay and
+// dropped arrivals. A second part replays an explicit bursty trace.
+//
+//   ./build/open_loop_serving [rate_per_ms]   (default sweep 1/2/4 per ms)
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace camdn;
+
+namespace {
+
+double mean_queue_delay_ms(const sim::experiment_result& res) {
+    double sum = 0.0;
+    for (const auto& rec : res.completions)
+        sum += cycles_to_ms(rec.queue_delay());
+    return res.completions.empty() ? 0.0
+                                   : sum / static_cast<double>(res.completions.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::vector<const model::model*> workload{
+        &model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+        &model::model_by_abbr("RS.")};
+
+    bench::banner(
+        "Open-loop serving: Poisson arrivals on 4 task slots, bounded\n"
+        "admission queue (8 requests), shared baseline vs CaMDN(Full)");
+
+    std::vector<double> rates{1.0, 2.0, 4.0};
+    if (argc > 1) rates = {std::atof(argv[1])};
+
+    const std::vector<sim::policy> pols{sim::policy::shared_baseline,
+                                        sim::policy::camdn_full};
+    std::vector<sim::experiment_config> cfgs;
+    for (const double rate : rates) {
+        for (const auto pol : pols) {
+            sim::experiment_config cfg;
+            cfg.pol = pol;
+            cfg.kind = runtime::workload_kind::open_loop_poisson;
+            cfg.workload = workload;
+            cfg.co_located = 4;
+            cfg.arrival_rate_per_ms = rate;
+            cfg.total_arrivals = bench::fast_mode() ? 16 : 48;
+            cfg.admission_queue_limit = 8;
+            cfg.seed = 42;
+            cfgs.push_back(std::move(cfg));
+        }
+    }
+    const auto results = sim::run_sweep(cfgs);
+
+    table_printer t({"rate (/ms)", "policy", "served", "dropped",
+                     "mean lat (ms)", "queue delay (ms)"});
+    std::size_t idx = 0;
+    for (const double rate : rates) {
+        for (const auto pol : pols) {
+            const auto& res = results[idx++];
+            t.add_row({fmt_fixed(rate, 1), sim::policy_name(pol),
+                       std::to_string(res.completions.size()),
+                       std::to_string(res.rejected_arrivals),
+                       fmt_fixed(res.avg_latency_ms(), 2),
+                       fmt_fixed(mean_queue_delay_ms(res), 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nTrace replay: a 6-request burst at t=0 followed by a\n"
+                 "second burst at t=2ms (e.g. a frame boundary in an AR\n"
+                 "pipeline), on 2 slots:\n\n";
+
+    sim::experiment_config burst;
+    burst.pol = sim::policy::camdn_full;
+    burst.kind = runtime::workload_kind::trace_replay;
+    burst.co_located = 2;
+    for (int i = 0; i < 6; ++i) {
+        burst.trace.push_back({0, &model::model_by_abbr("MB.")});
+        burst.trace.push_back(
+            {ms_to_cycles(2.0), &model::model_by_abbr("MB.")});
+    }
+    const auto res = sim::run_experiment(burst);
+
+    table_printer bt({"arrival (ms)", "start (ms)", "end (ms)",
+                      "queue delay (ms)"});
+    for (const auto& rec : res.completions)
+        bt.add_row({fmt_fixed(cycles_to_ms(rec.arrival), 2),
+                    fmt_fixed(cycles_to_ms(rec.start), 2),
+                    fmt_fixed(cycles_to_ms(rec.end), 2),
+                    fmt_fixed(cycles_to_ms(rec.queue_delay()), 2)});
+    bt.print(std::cout);
+
+    std::cout << "\nClosed-loop slots hide queueing by construction; the\n"
+                 "open-loop generators expose it, which is the regime where\n"
+                 "cache scheduling buys head-room before the queue grows.\n";
+    return 0;
+}

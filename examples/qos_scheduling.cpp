@@ -3,15 +3,11 @@
 // SLA satisfaction, system throughput and fairness per policy — the
 // cloud/edge serving scenario of the paper's QoS experiment.
 //
-//   ./build/examples/qos_scheduling [qos_scale]   (default 1.0)
+//   ./build/qos_scheduling [qos_scale]   (default 1.0)
 #include <cstdlib>
 #include <iostream>
 
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "model/model_zoo.h"
-#include "runtime/qos.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 int main(int argc, char** argv) {
     using namespace camdn;
@@ -29,37 +25,27 @@ int main(int argc, char** argv) {
     for (const auto* m : workload)
         std::cout << m->abbr << fmt_fixed(scale * m->qos_ms, 1) << "ms  ";
     std::cout << "\n\nMeasuring isolated latencies for normalized progress...\n";
-    const auto iso = sim::isolated_latencies(soc, workload);
+    const auto& iso = sim::cached_isolated_latencies(soc, workload);
+
+    sim::experiment_config cfg;
+    cfg.soc = soc;
+    cfg.workload = workload;
+    cfg.co_located = 12;
+    cfg.inferences_per_slot = 2;
+    cfg.seed = 7;
+    cfg.qos_mode = true;
+    cfg.qos_scale = scale;
+    const std::vector<sim::policy> pols{sim::policy::moca, sim::policy::aurora,
+                                        sim::policy::camdn_full};
+    const auto results = bench::run_policies(cfg, pols);
 
     table_printer t({"policy", "SLA rate", "STP", "fairness", "mean lat (ms)"});
-    for (sim::policy pol : {sim::policy::moca, sim::policy::aurora,
-                            sim::policy::camdn_full}) {
-        sim::experiment_config cfg;
-        cfg.soc = soc;
-        cfg.pol = pol;
-        cfg.workload = workload;
-        cfg.co_located = 12;
-        cfg.inferences_per_slot = 2;
-        cfg.seed = 7;
-        cfg.qos_mode = true;
-        cfg.qos_scale = scale;
-        const auto res = sim::run_experiment(cfg);
-
-        std::vector<runtime::qos_record> records;
-        for (const auto& rec : res.completions) {
-            runtime::qos_record q;
-            q.task = rec.slot;
-            q.model_abbr = rec.abbr;
-            q.latency = rec.latency();
-            q.deadline_rel = static_cast<cycle_t>(
-                scale * ms_to_cycles(model::model_by_abbr(rec.abbr).qos_ms));
-            q.isolated = iso.at(rec.abbr);
-            records.push_back(q);
-        }
+    for (std::size_t i = 0; i < pols.size(); ++i) {
+        const auto records = bench::qos_records(results[i], scale, iso);
         const auto m = runtime::compute_qos(records, cfg.co_located);
-        t.add_row({sim::policy_name(pol), fmt_fixed(m.sla_rate, 3),
+        t.add_row({sim::policy_name(pols[i]), fmt_fixed(m.sla_rate, 3),
                    fmt_fixed(m.stp, 2), fmt_fixed(m.fairness, 3),
-                   fmt_fixed(res.avg_latency_ms(), 2)});
+                   fmt_fixed(results[i].avg_latency_ms(), 2)});
     }
     t.print(std::cout);
 

@@ -1,15 +1,13 @@
 // Quickstart: co-locate eight DNNs on a 16-NPU SoC (Table II defaults) and
-// compare the shared-cache baseline against CaMDN(Full).
+// compare the shared-cache baseline against CaMDN(Full). The three policy
+// runs execute in parallel on the sweep engine.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 #include <iostream>
 
-#include "common/table_printer.h"
-#include "common/stats.h"
-#include "model/model_zoo.h"
-#include "sim/experiment.h"
+#include "bench/harness.h"
 
 int main() {
     using namespace camdn;
@@ -17,29 +15,26 @@ int main() {
     // Table II SoC: 16 NPUs (32x32 PEs, 256 KiB scratchpads), 16 MiB shared
     // cache in 8 slices with 12/16 ways for the NPU subspace, 102.4 GB/s
     // DRAM over 4 channels.
-    sim::soc_config soc;
-
     sim::experiment_config cfg;
-    cfg.soc = soc;
     cfg.co_located = 8;
     cfg.inferences_per_slot = 1;
     cfg.seed = 7;
 
-    std::cout << "CaMDN quickstart: 8 co-located DNNs, "
-              << soc.npu.cores << " NPUs, "
-              << soc.cache.total_bytes / mib(1) << " MiB shared cache\n\n";
+    bench::banner("CaMDN quickstart: 8 co-located DNNs, " +
+                  bench::soc_summary(cfg.soc));
+
+    const std::vector<sim::policy> pols{sim::policy::shared_baseline,
+                                        sim::policy::camdn_hw_only,
+                                        sim::policy::camdn_full};
+    const auto results = bench::run_policies(cfg, pols);
 
     table_printer table({"policy", "avg latency (ms)", "DRAM per inference (MiB)",
                          "cache hit rate"});
-    for (sim::policy pol :
-         {sim::policy::shared_baseline, sim::policy::camdn_hw_only,
-          sim::policy::camdn_full}) {
-        cfg.pol = pol;
-        const auto res = sim::run_experiment(cfg);
-        table.add_row({sim::policy_name(pol),
-                       fmt_fixed(res.avg_latency_ms(), 2),
-                       fmt_fixed(res.mem_mb_per_inference(), 1),
-                       fmt_fixed(res.cache_hit_rate, 3)});
+    for (std::size_t i = 0; i < pols.size(); ++i) {
+        table.add_row({sim::policy_name(pols[i]),
+                       fmt_fixed(results[i].avg_latency_ms(), 2),
+                       fmt_fixed(results[i].mem_mb_per_inference(), 1),
+                       fmt_fixed(results[i].cache_hit_rate, 3)});
     }
     table.print(std::cout);
 

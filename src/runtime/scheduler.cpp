@@ -1,0 +1,375 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/layer_executor.h"
+#include "sim/mapping_registry.h"
+
+namespace camdn::runtime {
+
+scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
+    : cfg_(cfg),
+      gen_(gen),
+      machine_(cfg.soc, cfg.pol),
+      bw_(machine_.dram()) {}
+
+std::vector<const task*> scheduler::running_tasks_const() const {
+    std::vector<const task*> out;
+    for (const auto& t : tasks_)
+        if (t.running()) out.push_back(&t);
+    return out;
+}
+
+std::vector<task*> scheduler::running_tasks() {
+    std::vector<task*> out;
+    for (auto& t : tasks_)
+        if (t.running()) out.push_back(&t);
+    return out;
+}
+
+std::uint64_t scheduler::est_total_cycles(const task& t) const {
+    std::uint64_t sum = 0;
+    for (auto e : t.mapping->layer_est) sum += e;
+    return sum;
+}
+
+void scheduler::at(cycle_t when, std::function<void()> fn) {
+    // Generator-scheduled events (arrivals) can change exhausted(); the
+    // wrapper re-evaluates completion so a drained open-loop run
+    // terminates its bandwidth-epoch chain.
+    machine_.eq().schedule(when, [this, fn = std::move(fn)]() {
+        fn();
+        update_done();
+    });
+}
+
+void scheduler::submit(const model::model* mdl, task_id slot) {
+    dispatch_queue_.push_back({mdl, machine_.eq().now(), slot});
+    in_flight_ += 1;
+    try_dispatch();
+}
+
+void scheduler::update_done() {
+    if (in_flight_ == 0 && dispatch_queue_.empty() && gen_.exhausted())
+        done_ = true;
+}
+
+void scheduler::schedule_bw_epoch() {
+    if (done_ || !use_bw_alloc()) return;
+    auto running = running_tasks();
+    bw_.reallocate(running, machine_.eq().now());
+    machine_.eq().schedule_after(cfg_.bw_epoch, [this]() { schedule_bw_epoch(); });
+}
+
+task_id scheduler::pick_free_slot() const {
+    for (std::size_t s = 0; s < slot_busy_.size(); ++s)
+        if (!slot_busy_[s]) return static_cast<task_id>(s);
+    return no_task;
+}
+
+void scheduler::try_dispatch() {
+    while (!dispatch_queue_.empty() && !free_cores_.empty()) {
+        // First dispatchable item in FIFO order: a request pinned to a
+        // still-busy slot must not head-of-line block later requests whose
+        // slot (or any free slot) is available.
+        std::size_t idx = 0;
+        task_id slot = no_task;
+        for (; idx < dispatch_queue_.size(); ++idx) {
+            const work_item& cand = dispatch_queue_[idx];
+            slot = cand.slot != no_task ? (slot_busy_[cand.slot] ? no_task
+                                                                 : cand.slot)
+                                        : pick_free_slot();
+            if (slot != no_task) break;
+        }
+        if (slot == no_task) return;  // nothing dispatchable right now
+
+        const model::model* mdl = dispatch_queue_[idx].mdl;
+        const cycle_t arrival = dispatch_queue_[idx].arrival;
+        dispatch_queue_.erase(dispatch_queue_.begin() + idx);
+        slot_busy_[slot] = true;
+
+        task& t = tasks_[slot];
+        t.mdl = mdl;
+        t.mapping = &sim::mapping_for(*mdl, cfg_.soc.mapper());
+        t.current_layer = 0;
+        // Re-key the slot's parameter addresses to the dispatched model
+        // (FNV-1a of the name keeps runs reproducible across processes).
+        std::uint64_t salt = 1469598103934665603ull;
+        for (char ch : mdl->name) salt = (salt ^ static_cast<unsigned char>(ch)) *
+                                         1099511628211ull;
+        addrs_[slot] = sim::address_map(slot, salt);
+        t.arrival = arrival;
+        // The deadline anchors at arrival — the same reference the SLA
+        // metrics use — so queue delay consumes slack. Closed-loop slots
+        // dispatch the moment they submit, where this equals the old
+        // driver's now()-anchored deadline bit for bit; open-loop requests
+        // that waited for admission arrive at dispatch already urgent.
+        t.deadline = cfg_.qos_mode
+                         ? arrival +
+                               static_cast<cycle_t>(cfg_.qos_scale *
+                                                    ms_to_cycles(mdl->qos_ms))
+                         : never;
+
+        // Core-group sizing. QoS mode sizes groups by deadline slack
+        // (AuRORA's policy, also adopted by CaMDN in the QoS experiment);
+        // throughput mode spreads idle cores evenly across every policy so
+        // low co-location points compare systems, not core counts.
+        std::uint32_t want = 1;
+        if (use_npu_alloc() && t.deadline != never) {
+            const double est = static_cast<double>(est_total_cycles(t));
+            const double window = static_cast<double>(
+                t.deadline > machine_.eq().now()
+                    ? t.deadline - machine_.eq().now()
+                    : 1);
+            want = static_cast<std::uint32_t>(
+                std::clamp(est / window + 0.999, 1.0, 4.0));
+        } else if (!cfg_.qos_mode && cfg_.spread_idle_cores &&
+                   cfg_.co_located < cfg_.soc.npu.cores) {
+            want = std::min<std::uint32_t>(
+                4, cfg_.soc.npu.cores / cfg_.co_located);
+        }
+        want = std::min<std::uint32_t>(
+            want, static_cast<std::uint32_t>(free_cores_.size()));
+        want = std::max<std::uint32_t>(want, 1);
+
+        t.cores.clear();
+        for (std::uint32_t i = 0; i < want; ++i) {
+            t.cores.push_back(free_cores_.back());
+            free_cores_.pop_back();
+        }
+        for (npu_id c : t.cores)
+            machine_.cores()[c].assign(t.id, machine_.eq().now());
+
+        begin_inference(t);
+    }
+}
+
+void scheduler::begin_inference(task& t) {
+    t.started = machine_.eq().now();
+    t.dram_bytes_mark = machine_.dram().task_bytes(t.id);
+    t.lbm_enabled = false;
+    t.t_next = machine_.eq().now();
+    t.p_next = 0;
+
+    if (cfg_.pol == sim::policy::camdn_hw_only) {
+        // Equal static split of the NPU subspace, granted once per
+        // inference; no dynamic adjustment afterwards.
+        const std::uint32_t share =
+            machine_.cache().pages().total_pages() / cfg_.co_located;
+        const std::uint32_t have = machine_.cache().pages().allocated(t.id);
+        if (share > have)
+            machine_.cache().pages().try_allocate(t.id, share - have);
+        t.p_alloc = machine_.cache().pages().allocated(t.id);
+        remap_cpt(t);
+    }
+
+    begin_layer(t);
+}
+
+void scheduler::begin_layer(task& t) {
+    // Bandwidth-partitioning policies track layer changes: demands shift at
+    // layer granularity, so shares are refreshed here as well as at epochs.
+    if (use_bw_alloc()) {
+        auto running = running_tasks();
+        bw_.reallocate(running, machine_.eq().now());
+    }
+
+    const mapping::mct& table = t.current_mct();
+
+    switch (cfg_.pol) {
+        case sim::policy::shared_baseline:
+        case sim::policy::moca:
+        case sim::policy::aurora:
+            run_layer(t, table.minimal());
+            return;
+
+        case sim::policy::camdn_hw_only: {
+            // Architecture only: the static share bounds the LWM candidate;
+            // LBM and prediction belong to the scheduling method (Full).
+            const std::uint32_t share = t.p_alloc;
+            const mapping::mapping_candidate* best = &table.lwm.front();
+            for (const auto& cand : table.lwm)
+                if (cand.pages_needed <= share &&
+                    cand.pages_needed >= best->pages_needed)
+                    best = &cand;
+            run_layer(t, *best);
+            return;
+        }
+
+        case sim::policy::camdn_full: {
+            auto running = running_tasks_const();
+            auto decision = alg_.select(t, running, machine_.cache().pages(),
+                                        machine_.eq().now(), cfg_.features.lbm);
+            negotiate_pages(t, decision);
+            return;
+        }
+    }
+}
+
+void scheduler::negotiate_pages(task& t, allocation_decision d) {
+    auto& pool = machine_.cache().pages();
+    const std::uint32_t target = d.pages_needed;
+
+    // Shrink first: excess pages return to the pool immediately.
+    if (t.p_alloc > target) {
+        pool.release(t.id, t.p_alloc - target);
+        t.p_alloc = pool.allocated(t.id);
+        remap_cpt(t);
+    }
+    if (t.p_alloc < target) {
+        auto got = pool.try_allocate(t.id, target - t.p_alloc);
+        if (!got) {
+            const cycle_t now = machine_.eq().now();
+            if (d.timeout != never && now >= d.timeout) {
+                // Timeout: fall back to the next-smaller candidate.
+                negotiate_pages(
+                    t, alg_.downgrade(t, d.candidate->pages_needed, now));
+                return;
+            }
+            const cycle_t retry =
+                std::min(d.timeout, now + cfg_.page_retry_interval);
+            machine_.eq().schedule(retry,
+                                   [this, &t, d]() { negotiate_pages(t, d); });
+            return;
+        }
+        t.p_alloc = pool.allocated(t.id);
+        remap_cpt(t);
+    }
+    grant_and_run(t, d);
+}
+
+void scheduler::grant_and_run(task& t, const allocation_decision& d) {
+    if (d.candidate->is_lbm && !t.lbm_enabled) {
+        t.lbm_enabled = true;
+        t.lbm_block = t.mapping->block_of[t.current_layer];
+    }
+    // Publish the Algorithm 1 prediction state: the co-runners see when
+    // this task will reallocate next and how many pages it expects to use.
+    t.t_next = machine_.eq().now() + d.candidate->est_cycles;
+    t.p_next = predict_next_pages(t);
+    run_layer(t, *d.candidate);
+}
+
+std::uint32_t scheduler::predict_next_pages(const task& t) {
+    const std::uint32_t next = t.current_layer + 1;
+    if (next >= t.mdl->layers.size()) return 0;
+    const mapping::mct& table = t.mapping->tables[next];
+    if (t.lbm_enabled && t.mapping->block_of[next] == t.lbm_block && table.lbm)
+        return table.lbm->pages_needed;
+    // Predicted steady-state demand: the largest candidate within the
+    // equal split — co-runners converge to their fair share, so pages held
+    // beyond it are expected to come back to the pool.
+    const std::uint32_t fair =
+        machine_.cache().pages().total_pages() / cfg_.co_located;
+    const mapping::mapping_candidate* pick = &table.lwm.front();
+    for (const auto& cand : table.lwm)
+        if (cand.pages_needed <= fair && cand.pages_needed >= pick->pages_needed)
+            pick = &cand;
+    return pick->pages_needed;
+}
+
+void scheduler::remap_cpt(task& t) {
+    auto& cpt = machine_.cache().cpt(t.id);
+    cpt.clear();
+    const auto& pages = machine_.cache().pages().pages_of(t.id);
+    for (std::uint32_t v = 0; v < pages.size(); ++v) cpt.map(v, pages[v]);
+}
+
+void scheduler::run_layer(task& t, const mapping::mapping_candidate& cand) {
+    sim::execute_layer(machine_, cfg_.features, t, cand, addrs_[t.id],
+                       [this, &t](cycle_t end) { end_layer(t, end); });
+}
+
+void scheduler::end_layer(task& t, cycle_t end) {
+    t.t_next = end;  // reallocating right now
+
+    if (cfg_.pol == sim::policy::camdn_full && t.lbm_enabled &&
+        t.mapping->is_block_tail(t.current_layer)) {
+        // The block's intermediates are dead; return the arena promptly.
+        machine_.cache().pages().release_all(t.id);
+        t.p_alloc = 0;
+        t.lbm_enabled = false;
+        remap_cpt(t);
+    }
+
+    t.current_layer += 1;
+    if (t.current_layer < t.mdl->layers.size()) {
+        begin_layer(t);
+    } else {
+        end_inference(t, end);
+    }
+}
+
+void scheduler::end_inference(task& t, cycle_t end) {
+    if (cfg_.pol == sim::policy::camdn_full ||
+        cfg_.pol == sim::policy::camdn_hw_only) {
+        machine_.cache().pages().release_all(t.id);
+        t.p_alloc = 0;
+        t.lbm_enabled = false;
+        machine_.cache().destroy_cpt(t.id);
+    }
+    machine_.dram().set_task_share(t.id, 0.0);
+
+    sim::inference_record rec;
+    rec.slot = t.id;
+    rec.abbr = t.mdl->abbr;
+    rec.arrival = t.arrival;
+    rec.start = t.started;
+    rec.end = end;
+    rec.cores = static_cast<std::uint32_t>(t.cores.size());
+    rec.dram_bytes = machine_.dram().task_bytes(t.id) - t.dram_bytes_mark;
+    result_.completions.push_back(std::move(rec));
+
+    for (npu_id c : t.cores) {
+        machine_.cores()[c].release(machine_.eq().now());
+        free_cores_.push_back(c);
+    }
+    t.cores.clear();
+    t.completed_inferences += 1;
+    slot_busy_[t.id] = false;
+    assert(in_flight_ > 0);
+    in_flight_ -= 1;
+
+    completion_info info;
+    info.slot = t.id;
+    info.mdl = t.mdl;
+    info.arrival = t.arrival;
+    info.start = t.started;
+    info.end = end;
+    gen_.on_complete(*this, info);
+    update_done();
+    try_dispatch();
+}
+
+sim::experiment_result scheduler::run() {
+    const std::uint32_t slots = cfg_.co_located;
+    tasks_.resize(slots);
+    slot_busy_.assign(slots, false);
+    addrs_.reserve(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) {
+        tasks_[s].id = static_cast<task_id>(s);
+        addrs_.emplace_back(static_cast<task_id>(s));
+    }
+
+    for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
+        free_cores_.push_back(static_cast<npu_id>(c - 1));
+
+    gen_.start(*this);
+    update_done();
+    schedule_bw_epoch();
+
+    machine_.eq().run();
+    assert(in_flight_ == 0 && "experiment ended with live inferences");
+    assert(gen_.exhausted() && "experiment ended with pending arrivals");
+
+    result_.makespan = machine_.eq().now();
+    result_.cache_hit_rate = machine_.cache().stats().hit_rate();
+    result_.cache_stats = machine_.cache().stats();
+    result_.dram_stats = machine_.dram().stats();
+    result_.dram_total_bytes = machine_.dram().stats().bytes();
+    result_.rejected_arrivals = gen_.rejected();
+    return result_;
+}
+
+}  // namespace camdn::runtime

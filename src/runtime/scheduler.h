@@ -1,0 +1,98 @@
+// The online multi-tenant scheduler, extracted from the experiment driver
+// into a public runtime subsystem.
+//
+// Owns the simulated SoC and the per-slot task state. A workload_generator
+// submits inferences (closed-loop slots, open-loop arrivals or a trace);
+// the scheduler queues them for admission, assigns free task slots and NPU
+// core groups, and runs each layer through the active policy's resource
+// path: MoCA re-partitions bandwidth every epoch, AuRORA sizes core groups
+// by deadline slack, the CaMDN variants manage the cache via static shares
+// or the per-layer Algorithm-1 page negotiation with LBM.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "runtime/bandwidth_allocator.h"
+#include "runtime/cache_allocation.h"
+#include "runtime/task.h"
+#include "runtime/workload.h"
+#include "sim/address_map.h"
+#include "sim/experiment.h"
+#include "sim/soc.h"
+
+namespace camdn::runtime {
+
+class scheduler final : public workload_control {
+public:
+    /// `cfg` and `gen` must outlive the scheduler.
+    scheduler(const sim::experiment_config& cfg, workload_generator& gen);
+
+    /// Runs the generator's workload to completion (deterministic under
+    /// cfg.seed). Call at most once.
+    sim::experiment_result run();
+
+    // ---- workload_control ----
+    cycle_t now() const override { return machine_.eq().now(); }
+    void at(cycle_t when, std::function<void()> fn) override;
+    void submit(const model::model* mdl, task_id slot = no_task) override;
+    std::size_t pending() const override { return dispatch_queue_.size(); }
+
+private:
+    /// One admitted inference request. slot == no_task means "any free
+    /// slot" (open-loop arrivals); closed-loop requests pin their slot.
+    struct work_item {
+        const model::model* mdl = nullptr;
+        cycle_t arrival = 0;
+        task_id slot = no_task;
+    };
+
+    bool use_bw_alloc() const {
+        return cfg_.pol == sim::policy::moca ||
+               cfg_.pol == sim::policy::aurora ||
+               (cfg_.qos_mode && sim::is_camdn(cfg_.pol));
+    }
+    bool use_npu_alloc() const {
+        return cfg_.pol == sim::policy::aurora ||
+               (cfg_.qos_mode && sim::is_camdn(cfg_.pol));
+    }
+
+    std::vector<const task*> running_tasks_const() const;
+    std::vector<task*> running_tasks();
+    std::uint64_t est_total_cycles(const task& t) const;
+
+    task_id pick_free_slot() const;
+    void try_dispatch();
+    void begin_inference(task& t);
+    void begin_layer(task& t);
+    void negotiate_pages(task& t, allocation_decision d);
+    void grant_and_run(task& t, const allocation_decision& d);
+    void run_layer(task& t, const mapping::mapping_candidate& cand);
+    void end_layer(task& t, cycle_t end);
+    void end_inference(task& t, cycle_t end);
+    void remap_cpt(task& t);
+    std::uint32_t predict_next_pages(const task& t);
+    void schedule_bw_epoch();
+    void update_done();
+
+    const sim::experiment_config& cfg_;
+    workload_generator& gen_;
+    sim::soc machine_;
+    cache_allocation_algorithm alg_;
+    bandwidth_allocator bw_;
+
+    std::vector<task> tasks_;
+    std::vector<sim::address_map> addrs_;
+    std::vector<bool> slot_busy_;
+
+    std::vector<npu_id> free_cores_;
+    std::deque<work_item> dispatch_queue_;
+
+    sim::experiment_result result_;
+    std::uint32_t in_flight_ = 0;
+    bool done_ = false;
+};
+
+}  // namespace camdn::runtime

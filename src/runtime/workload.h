@@ -1,0 +1,95 @@
+// Pluggable workload generation for the multi-tenant runtime.
+//
+// The scheduler executes inferences; a workload_generator decides *what
+// arrives when*. closed_loop reproduces the paper's methodology (§IV-A4:
+// N task slots that re-dispatch on completion, bit-identical to the
+// original driver under the same seed); open_loop_poisson models
+// rate-driven serving with a bounded admission queue; trace_replay
+// replays an explicit (time, model) arrival list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "model/model.h"
+
+namespace camdn::sim {
+struct experiment_config;
+}
+
+namespace camdn::runtime {
+
+/// Which generator run_experiment builds from an experiment_config.
+enum class workload_kind : std::uint8_t {
+    closed_loop,        ///< N slots x fixed inference count, re-dispatch on completion
+    open_loop_poisson,  ///< rate-driven arrivals, bounded admission queue
+    trace_replay,       ///< explicit (time, model) arrival list
+};
+
+/// One arrival of a trace_replay workload.
+struct trace_arrival {
+    cycle_t at = 0;
+    const model::model* mdl = nullptr;
+};
+
+/// The scheduler surface a generator drives. Implemented by
+/// runtime::scheduler; generators never touch the SoC directly.
+class workload_control {
+public:
+    virtual ~workload_control() = default;
+
+    /// Current simulation time.
+    virtual cycle_t now() const = 0;
+
+    /// Schedules `fn` at absolute simulation time `when` (generators use
+    /// this for future arrivals; past times clamp to now()).
+    virtual void at(cycle_t when, std::function<void()> fn) = 0;
+
+    /// Submits one inference of `mdl`, stamped with arrival = now().
+    /// `slot` pins the request to one task slot (closed-loop semantics);
+    /// no_task lets the dispatcher run it on any free slot.
+    virtual void submit(const model::model* mdl, task_id slot = no_task) = 0;
+
+    /// Admitted requests not yet dispatched to cores (admission queue).
+    virtual std::size_t pending() const = 0;
+};
+
+/// What a generator learns about a finished inference.
+struct completion_info {
+    task_id slot = no_task;
+    const model::model* mdl = nullptr;
+    cycle_t arrival = 0;
+    cycle_t start = 0;
+    cycle_t end = 0;
+};
+
+/// Arrival-side behaviour of one experiment. Implementations must be
+/// deterministic: the same construction parameters yield the same arrival
+/// pattern regardless of how the simulation interleaves.
+class workload_generator {
+public:
+    virtual ~workload_generator() = default;
+
+    /// Called once at simulation start: submit initial work and schedule
+    /// every future arrival through `ctl`.
+    virtual void start(workload_control& ctl) = 0;
+
+    /// Called after each inference completes (its cores are already back
+    /// in the free pool, so a submission here can dispatch immediately).
+    virtual void on_complete(workload_control& ctl,
+                             const completion_info& c) = 0;
+
+    /// True once no further arrivals will ever be submitted.
+    virtual bool exhausted() const = 0;
+
+    /// Arrivals refused at a full admission queue (open loop).
+    virtual std::uint64_t rejected() const { return 0; }
+};
+
+/// Builds the generator selected by cfg.kind from an experiment config.
+std::unique_ptr<workload_generator> make_workload_generator(
+    const sim::experiment_config& cfg);
+
+}  // namespace camdn::runtime

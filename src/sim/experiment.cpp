@@ -1,401 +1,11 @@
 #include "sim/experiment.h"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
-#include <memory>
-
-#include "common/rng.h"
-#include "mapping/layer_mapper.h"
 #include "model/model_zoo.h"
-#include "runtime/bandwidth_allocator.h"
-#include "runtime/cache_allocation.h"
-#include "runtime/npu_allocator.h"
-#include "runtime/task.h"
-#include "sim/layer_executor.h"
-#include "sim/mapping_registry.h"
+#include "runtime/scheduler.h"
+#include "runtime/workload.h"
+#include "sim/sweep.h"
 
 namespace camdn::sim {
-
-namespace {
-
-class scheduler {
-public:
-    explicit scheduler(const experiment_config& cfg)
-        : cfg_(cfg),
-          machine_(cfg.soc, cfg.pol),
-          bw_(machine_.dram()),
-          npus_(cfg.soc.npu.cores) {}
-
-    experiment_result run();
-
-private:
-    bool use_bw_alloc() const {
-        return cfg_.pol == policy::moca || cfg_.pol == policy::aurora ||
-               (cfg_.qos_mode && is_camdn(cfg_.pol));
-    }
-    bool use_npu_alloc() const {
-        return cfg_.pol == policy::aurora ||
-               (cfg_.qos_mode && is_camdn(cfg_.pol));
-    }
-
-    std::vector<const runtime::task*> running_tasks_const() const {
-        std::vector<const runtime::task*> out;
-        for (const auto& t : tasks_)
-            if (t.running()) out.push_back(&t);
-        return out;
-    }
-    std::vector<runtime::task*> running_tasks() {
-        std::vector<runtime::task*> out;
-        for (auto& t : tasks_)
-            if (t.running()) out.push_back(&t);
-        return out;
-    }
-
-    std::uint64_t est_total_cycles(const runtime::task& t) const {
-        std::uint64_t sum = 0;
-        for (auto e : t.mapping->layer_est) sum += e;
-        return sum;
-    }
-
-    void enqueue_slot(task_id slot);
-    void try_dispatch();
-    void begin_inference(runtime::task& t);
-    void begin_layer(runtime::task& t);
-    void negotiate_pages(runtime::task& t, runtime::allocation_decision d);
-    void grant_and_run(runtime::task& t, const runtime::allocation_decision& d);
-    void run_layer(runtime::task& t, const mapping::mapping_candidate& cand);
-    void end_layer(runtime::task& t, cycle_t end);
-    void end_inference(runtime::task& t, cycle_t end);
-    void remap_cpt(runtime::task& t);
-    std::uint32_t predict_next_pages(const runtime::task& t);
-    void schedule_bw_epoch();
-
-    const experiment_config& cfg_;
-    soc machine_;
-    runtime::cache_allocation_algorithm alg_;
-    runtime::bandwidth_allocator bw_;
-    runtime::npu_allocator npus_;
-
-    std::vector<runtime::task> tasks_;
-    std::vector<address_map> addrs_;
-    std::vector<std::vector<const model::model*>> plan_;
-    std::vector<std::uint32_t> next_inference_;
-    std::vector<cycle_t> slot_arrival_;
-
-    std::vector<npu_id> free_cores_;
-    std::deque<task_id> dispatch_queue_;
-
-    experiment_result result_;
-    std::uint32_t live_slots_ = 0;
-    bool done_ = false;
-};
-
-void scheduler::schedule_bw_epoch() {
-    if (done_ || !use_bw_alloc()) return;
-    auto running = running_tasks();
-    bw_.reallocate(running, machine_.eq().now());
-    machine_.eq().schedule_after(cfg_.bw_epoch, [this]() { schedule_bw_epoch(); });
-}
-
-void scheduler::enqueue_slot(task_id slot) {
-    slot_arrival_[slot] = machine_.eq().now();
-    dispatch_queue_.push_back(slot);
-    try_dispatch();
-}
-
-void scheduler::try_dispatch() {
-    while (!dispatch_queue_.empty() && !free_cores_.empty()) {
-        const task_id slot = dispatch_queue_.front();
-        dispatch_queue_.pop_front();
-        runtime::task& t = tasks_[slot];
-
-        const model::model* mdl = plan_[slot][next_inference_[slot]];
-        t.mdl = mdl;
-        t.mapping = &mapping_for(*mdl, cfg_.soc.mapper());
-        t.current_layer = 0;
-        // Re-key the slot's parameter addresses to the dispatched model
-        // (FNV-1a of the name keeps runs reproducible across processes).
-        std::uint64_t salt = 1469598103934665603ull;
-        for (char ch : mdl->name) salt = (salt ^ static_cast<unsigned char>(ch)) *
-                                         1099511628211ull;
-        addrs_[slot] = address_map(slot, salt);
-        t.arrival = slot_arrival_[slot];
-        t.deadline = cfg_.qos_mode
-                         ? machine_.eq().now() +
-                               static_cast<cycle_t>(cfg_.qos_scale *
-                                                    ms_to_cycles(mdl->qos_ms))
-                         : never;
-
-        // Core-group sizing. QoS mode sizes groups by deadline slack
-        // (AuRORA's policy, also adopted by CaMDN in the QoS experiment);
-        // throughput mode spreads idle cores evenly across every policy so
-        // low co-location points compare systems, not core counts.
-        std::uint32_t want = 1;
-        if (use_npu_alloc() && t.deadline != never) {
-            const double est = static_cast<double>(est_total_cycles(t));
-            const double window = static_cast<double>(
-                t.deadline > machine_.eq().now()
-                    ? t.deadline - machine_.eq().now()
-                    : 1);
-            want = static_cast<std::uint32_t>(
-                std::clamp(est / window + 0.999, 1.0, 4.0));
-        } else if (!cfg_.qos_mode && cfg_.spread_idle_cores &&
-                   cfg_.co_located < cfg_.soc.npu.cores) {
-            want = std::min<std::uint32_t>(
-                4, cfg_.soc.npu.cores / cfg_.co_located);
-        }
-        want = std::min<std::uint32_t>(
-            want, static_cast<std::uint32_t>(free_cores_.size()));
-        want = std::max<std::uint32_t>(want, 1);
-
-        t.cores.clear();
-        for (std::uint32_t i = 0; i < want; ++i) {
-            t.cores.push_back(free_cores_.back());
-            free_cores_.pop_back();
-        }
-        for (npu_id c : t.cores)
-            machine_.cores()[c].assign(t.id, machine_.eq().now());
-
-        begin_inference(t);
-    }
-}
-
-void scheduler::begin_inference(runtime::task& t) {
-    t.started = machine_.eq().now();
-    t.dram_bytes_mark = machine_.dram().task_bytes(t.id);
-    t.lbm_enabled = false;
-    t.t_next = machine_.eq().now();
-    t.p_next = 0;
-
-    if (cfg_.pol == policy::camdn_hw_only) {
-        // Equal static split of the NPU subspace, granted once per
-        // inference; no dynamic adjustment afterwards.
-        const std::uint32_t share =
-            machine_.cache().pages().total_pages() / cfg_.co_located;
-        const std::uint32_t have = machine_.cache().pages().allocated(t.id);
-        if (share > have)
-            machine_.cache().pages().try_allocate(t.id, share - have);
-        t.p_alloc = machine_.cache().pages().allocated(t.id);
-        remap_cpt(t);
-    }
-
-    begin_layer(t);
-}
-
-void scheduler::begin_layer(runtime::task& t) {
-    // Bandwidth-partitioning policies track layer changes: demands shift at
-    // layer granularity, so shares are refreshed here as well as at epochs.
-    if (use_bw_alloc()) {
-        auto running = running_tasks();
-        bw_.reallocate(running, machine_.eq().now());
-    }
-
-    const mapping::mct& table = t.current_mct();
-
-    switch (cfg_.pol) {
-        case policy::shared_baseline:
-        case policy::moca:
-        case policy::aurora:
-            run_layer(t, table.minimal());
-            return;
-
-        case policy::camdn_hw_only: {
-            // Architecture only: the static share bounds the LWM candidate;
-            // LBM and prediction belong to the scheduling method (Full).
-            const std::uint32_t share = t.p_alloc;
-            const mapping::mapping_candidate* best = &table.lwm.front();
-            for (const auto& cand : table.lwm)
-                if (cand.pages_needed <= share &&
-                    cand.pages_needed >= best->pages_needed)
-                    best = &cand;
-            run_layer(t, *best);
-            return;
-        }
-
-        case policy::camdn_full: {
-            auto running = running_tasks_const();
-            auto decision = alg_.select(t, running, machine_.cache().pages(),
-                                        machine_.eq().now(), cfg_.features.lbm);
-            negotiate_pages(t, decision);
-            return;
-        }
-    }
-}
-
-void scheduler::negotiate_pages(runtime::task& t,
-                                runtime::allocation_decision d) {
-    auto& pool = machine_.cache().pages();
-    const std::uint32_t target = d.pages_needed;
-
-    // Shrink first: excess pages return to the pool immediately.
-    if (t.p_alloc > target) {
-        pool.release(t.id, t.p_alloc - target);
-        t.p_alloc = pool.allocated(t.id);
-        remap_cpt(t);
-    }
-    if (t.p_alloc < target) {
-        auto got = pool.try_allocate(t.id, target - t.p_alloc);
-        if (!got) {
-            const cycle_t now = machine_.eq().now();
-            if (d.timeout != never && now >= d.timeout) {
-                // Timeout: fall back to the next-smaller candidate.
-                negotiate_pages(
-                    t, alg_.downgrade(t, d.candidate->pages_needed, now));
-                return;
-            }
-            const cycle_t retry =
-                std::min(d.timeout, now + cfg_.page_retry_interval);
-            machine_.eq().schedule(retry,
-                                   [this, &t, d]() { negotiate_pages(t, d); });
-            return;
-        }
-        t.p_alloc = pool.allocated(t.id);
-        remap_cpt(t);
-    }
-    grant_and_run(t, d);
-}
-
-void scheduler::grant_and_run(runtime::task& t,
-                              const runtime::allocation_decision& d) {
-    if (d.candidate->is_lbm && !t.lbm_enabled) {
-        t.lbm_enabled = true;
-        t.lbm_block = t.mapping->block_of[t.current_layer];
-    }
-    // Publish the Algorithm 1 prediction state: the co-runners see when
-    // this task will reallocate next and how many pages it expects to use.
-    t.t_next = machine_.eq().now() + d.candidate->est_cycles;
-    t.p_next = predict_next_pages(t);
-    run_layer(t, *d.candidate);
-}
-
-std::uint32_t scheduler::predict_next_pages(const runtime::task& t) {
-    const std::uint32_t next = t.current_layer + 1;
-    if (next >= t.mdl->layers.size()) return 0;
-    const mapping::mct& table = t.mapping->tables[next];
-    if (t.lbm_enabled && t.mapping->block_of[next] == t.lbm_block && table.lbm)
-        return table.lbm->pages_needed;
-    // Predicted steady-state demand: the largest candidate within the
-    // equal split — co-runners converge to their fair share, so pages held
-    // beyond it are expected to come back to the pool.
-    const std::uint32_t fair =
-        machine_.cache().pages().total_pages() / cfg_.co_located;
-    const mapping::mapping_candidate* pick = &table.lwm.front();
-    for (const auto& cand : table.lwm)
-        if (cand.pages_needed <= fair && cand.pages_needed >= pick->pages_needed)
-            pick = &cand;
-    return pick->pages_needed;
-}
-
-void scheduler::remap_cpt(runtime::task& t) {
-    auto& cpt = machine_.cache().cpt(t.id);
-    cpt.clear();
-    const auto& pages = machine_.cache().pages().pages_of(t.id);
-    for (std::uint32_t v = 0; v < pages.size(); ++v) cpt.map(v, pages[v]);
-}
-
-void scheduler::run_layer(runtime::task& t,
-                          const mapping::mapping_candidate& cand) {
-    execute_layer(machine_, cfg_.features, t, cand, addrs_[t.id],
-                  [this, &t](cycle_t end) { end_layer(t, end); });
-}
-
-void scheduler::end_layer(runtime::task& t, cycle_t end) {
-    t.t_next = end;  // reallocating right now
-
-    if (is_camdn(cfg_.pol) && cfg_.pol == policy::camdn_full &&
-        t.lbm_enabled && t.mapping->is_block_tail(t.current_layer)) {
-        // The block's intermediates are dead; return the arena promptly.
-        machine_.cache().pages().release_all(t.id);
-        t.p_alloc = 0;
-        t.lbm_enabled = false;
-        remap_cpt(t);
-    }
-
-    t.current_layer += 1;
-    if (t.current_layer < t.mdl->layers.size()) {
-        begin_layer(t);
-    } else {
-        end_inference(t, end);
-    }
-}
-
-void scheduler::end_inference(runtime::task& t, cycle_t end) {
-    if (cfg_.pol == policy::camdn_full || cfg_.pol == policy::camdn_hw_only) {
-        machine_.cache().pages().release_all(t.id);
-        t.p_alloc = 0;
-        t.lbm_enabled = false;
-        machine_.cache().destroy_cpt(t.id);
-    }
-    machine_.dram().set_task_share(t.id, 0.0);
-
-    inference_record rec;
-    rec.slot = t.id;
-    rec.abbr = t.mdl->abbr;
-    rec.arrival = t.arrival;
-    rec.start = t.started;
-    rec.end = end;
-    rec.cores = static_cast<std::uint32_t>(t.cores.size());
-    rec.dram_bytes = machine_.dram().task_bytes(t.id) - t.dram_bytes_mark;
-    result_.completions.push_back(std::move(rec));
-
-    for (npu_id c : t.cores) {
-        machine_.cores()[c].release(machine_.eq().now());
-        free_cores_.push_back(c);
-    }
-    t.cores.clear();
-
-    next_inference_[t.id] += 1;
-    if (next_inference_[t.id] < cfg_.inferences_per_slot) {
-        enqueue_slot(t.id);
-    } else {
-        assert(live_slots_ > 0);
-        live_slots_ -= 1;
-        if (live_slots_ == 0) done_ = true;
-        try_dispatch();
-    }
-}
-
-experiment_result scheduler::run() {
-    const std::uint32_t slots = cfg_.co_located;
-    tasks_.resize(slots);
-    next_inference_.assign(slots, 0);
-    slot_arrival_.assign(slots, 0);
-    plan_.resize(slots);
-    addrs_.reserve(slots);
-
-    // Pre-generate the random model sequence per slot so every policy sees
-    // the identical workload (paper: random dispatch, fair comparison).
-    rng r(cfg_.seed);
-    for (std::uint32_t s = 0; s < slots; ++s) {
-        tasks_[s].id = static_cast<task_id>(s);
-        addrs_.emplace_back(static_cast<task_id>(s));
-        plan_[s].reserve(cfg_.inferences_per_slot);
-        for (std::uint32_t j = 0; j < cfg_.inferences_per_slot; ++j) {
-            plan_[s].push_back(
-                cfg_.workload[r.next_below(cfg_.workload.size())]);
-        }
-    }
-
-    for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
-        free_cores_.push_back(static_cast<npu_id>(c - 1));
-
-    live_slots_ = slots;
-    for (std::uint32_t s = 0; s < slots; ++s) enqueue_slot(s);
-    schedule_bw_epoch();
-
-    machine_.eq().run();
-    assert(live_slots_ == 0 && "experiment ended with live slots");
-
-    result_.makespan = machine_.eq().now();
-    result_.cache_hit_rate = machine_.cache().stats().hit_rate();
-    result_.cache_stats = machine_.cache().stats();
-    result_.dram_stats = machine_.dram().stats();
-    result_.dram_total_bytes = machine_.dram().stats().bytes();
-    return result_;
-}
-
-}  // namespace
 
 double experiment_result::avg_latency_ms() const {
     return mean_latency_ms("");
@@ -436,13 +46,17 @@ experiment_result run_experiment(const experiment_config& cfg) {
         for (const auto& m : model::benchmark_models())
             local.workload.push_back(&m);
     }
-    scheduler s(local);
+    auto gen = runtime::make_workload_generator(local);
+    runtime::scheduler s(local, *gen);
     return s.run();
 }
 
 std::map<std::string, cycle_t> isolated_latencies(
     const soc_config& soc, const std::vector<const model::model*>& models) {
-    std::map<std::string, cycle_t> out;
+    // One single-tenant run per model; each is independent, so the sweep
+    // pool spreads them over cores without changing any result.
+    std::vector<experiment_config> cfgs;
+    cfgs.reserve(models.size());
     for (const auto* m : models) {
         experiment_config cfg;
         cfg.soc = soc;
@@ -450,9 +64,15 @@ std::map<std::string, cycle_t> isolated_latencies(
         cfg.workload = {m};
         cfg.co_located = 1;
         cfg.inferences_per_slot = 1;
-        const auto res = run_experiment(cfg);
-        out[m->abbr] = res.completions.empty() ? 0 : res.completions[0].latency();
+        cfgs.push_back(std::move(cfg));
     }
+    const auto results = run_sweep(cfgs);
+
+    std::map<std::string, cycle_t> out;
+    for (std::size_t i = 0; i < models.size(); ++i)
+        out[models[i]->abbr] =
+            results[i].completions.empty() ? 0
+                                           : results[i].completions[0].latency();
     return out;
 }
 

@@ -1,12 +1,16 @@
-// Multi-tenant experiment harness.
+// Multi-tenant experiment harness: the configuration/result types and the
+// one-call driver around the runtime scheduler + workload generators.
 //
-// Implements the paper's methodology (§IV-A4): N task slots each run a
-// pre-generated random sequence of benchmark models; a slot re-dispatches
-// to an NPU as soon as its previous inference finishes, keeping all cores
-// busy. Policies plug in their resource allocators: MoCA re-partitions
-// bandwidth every epoch, AuRORA sizes core groups by deadline slack, the
-// CaMDN variants manage the cache via static shares or Algorithm 1. In QoS
-// mode every inference carries a deadline of qos_scale * Table I target.
+// The default scenario is the paper's methodology (§IV-A4): N task slots
+// each run a pre-generated random sequence of benchmark models; a slot
+// re-dispatches to an NPU as soon as its previous inference finishes,
+// keeping all cores busy (runtime::workload_kind::closed_loop). Open-loop
+// Poisson traffic and explicit trace replay select alternative workload
+// generators via `kind`. Policies plug in their resource allocators: MoCA
+// re-partitions bandwidth every epoch, AuRORA sizes core groups by
+// deadline slack, the CaMDN variants manage the cache via static shares or
+// Algorithm 1. In QoS mode every inference carries a deadline of
+// qos_scale * Table I target.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include "common/types.h"
 #include "dram/dram_system.h"
 #include "model/model.h"
+#include "runtime/workload.h"
 #include "sim/soc_config.h"
 
 namespace camdn::sim {
@@ -31,8 +36,20 @@ struct experiment_config {
     std::vector<const model::model*> workload;
 
     std::uint32_t co_located = 8;          ///< concurrent task slots
-    std::uint32_t inferences_per_slot = 1; ///< inferences per slot
+    std::uint32_t inferences_per_slot = 1; ///< inferences per slot (closed loop)
     std::uint64_t seed = 42;
+
+    /// Arrival-side scenario (see runtime/workload.h).
+    runtime::workload_kind kind = runtime::workload_kind::closed_loop;
+
+    // ---- open_loop_poisson ----
+    double arrival_rate_per_ms = 4.0;      ///< mean Poisson arrival rate
+    std::uint32_t total_arrivals = 32;     ///< arrivals generated in total
+    /// Arrivals beyond this many queued requests are dropped (0 = no bound).
+    std::uint32_t admission_queue_limit = 64;
+
+    // ---- trace_replay ----
+    std::vector<runtime::trace_arrival> trace;
 
     bool qos_mode = false;
     double qos_scale = 1.0;  ///< QoS-H/M/L = 0.8 / 1.0 / 1.2
@@ -58,6 +75,8 @@ struct inference_record {
     std::uint32_t cores = 1;
 
     cycle_t latency() const { return end - arrival; }
+    /// Time spent waiting for admission + a free slot/core group.
+    cycle_t queue_delay() const { return start - arrival; }
 };
 
 struct experiment_result {
@@ -67,6 +86,8 @@ struct experiment_result {
     std::uint64_t dram_total_bytes = 0;
     cache::cache_stats cache_stats{};
     dram::dram_stats dram_stats{};
+    /// Arrivals refused at a full admission queue (open loop).
+    std::uint64_t rejected_arrivals = 0;
 
     double avg_latency_ms() const;
     /// Mean latency of completions of one model ("" = all), ms.

@@ -1,6 +1,7 @@
 #include "sim/mapping_registry.h"
 
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "mapping/layer_mapper.h"
@@ -20,6 +21,8 @@ std::string config_key(const model::model& m,
     return key.str();
 }
 
+std::mutex registry_mutex;
+
 std::map<std::string, mapping::model_mapping>& registry() {
     static std::map<std::string, mapping::model_mapping> instance;
     return instance;
@@ -29,13 +32,25 @@ std::map<std::string, mapping::model_mapping>& registry() {
 
 const mapping::model_mapping& mapping_for(const model::model& m,
                                           const mapping::mapper_config& cfg) {
+    // Sweep threads share the registry. Mapping runs outside the lock so
+    // concurrent first uses of *different* models proceed in parallel; a
+    // race on the same key wastes one mapping and keeps the first entry
+    // (map node references stay stable either way).
     auto& reg = registry();
     const std::string key = config_key(m, cfg);
-    auto it = reg.find(key);
-    if (it == reg.end()) it = reg.emplace(key, mapping::map_model(m, cfg)).first;
-    return it->second;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex);
+        auto it = reg.find(key);
+        if (it != reg.end()) return it->second;
+    }
+    auto mapped = mapping::map_model(m, cfg);
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    return reg.emplace(key, std::move(mapped)).first->second;
 }
 
-void clear_mapping_registry() { registry().clear(); }
+void clear_mapping_registry() {
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    registry().clear();
+}
 
 }  // namespace camdn::sim

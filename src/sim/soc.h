@@ -19,6 +19,7 @@ public:
     explicit soc(const soc_config& config, policy pol);
 
     event_queue& eq() { return eq_; }
+    const event_queue& eq() const { return eq_; }
     dram::dram_system& dram() { return *dram_; }
     cache::shared_cache& cache() { return *cache_; }
     npu::dma_engine& dma() { return *dma_; }

@@ -183,6 +183,92 @@ TEST(experiment, result_helpers_aggregate_correctly) {
     EXPECT_EQ(res.completions_of(""), 2u);
 }
 
+// ---- Golden tests --------------------------------------------------------
+// Full inference records captured from the pre-refactor monolithic driver
+// (the 459-line scheduler inside experiment.cpp before the runtime
+// extraction). The closed_loop generator must reproduce them bit for bit.
+
+struct golden_rec {
+    task_id slot;
+    const char* abbr;
+    cycle_t arrival, start, end;
+    std::uint64_t dram_bytes;
+    std::uint32_t cores;
+};
+
+void expect_golden(const experiment_result& res, cycle_t makespan,
+                   std::uint64_t dram_total,
+                   const std::vector<golden_rec>& recs) {
+    EXPECT_EQ(res.makespan, makespan);
+    EXPECT_EQ(res.dram_total_bytes, dram_total);
+    ASSERT_EQ(res.completions.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const auto& got = res.completions[i];
+        const auto& want = recs[i];
+        EXPECT_EQ(got.slot, want.slot) << "record " << i;
+        EXPECT_EQ(got.abbr, want.abbr) << "record " << i;
+        EXPECT_EQ(got.arrival, want.arrival) << "record " << i;
+        EXPECT_EQ(got.start, want.start) << "record " << i;
+        EXPECT_EQ(got.end, want.end) << "record " << i;
+        EXPECT_EQ(got.dram_bytes, want.dram_bytes) << "record " << i;
+        EXPECT_EQ(got.cores, want.cores) << "record " << i;
+    }
+}
+
+TEST(experiment_golden, camdn_full_matches_pre_refactor_driver) {
+    experiment_config cfg;
+    cfg.pol = policy::camdn_full;
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.co_located = 4;
+    cfg.inferences_per_slot = 2;
+    cfg.seed = 11;
+    expect_golden(run_experiment(cfg), 1771603, 98272896,
+                  {{0, "MB.", 0, 0, 311320, 5028160, 4},
+                   {1, "MB.", 0, 0, 311842, 5028160, 4},
+                   {3, "MB.", 0, 0, 313264, 5028160, 4},
+                   {0, "MB.", 311320, 311320, 591217, 5028160, 4},
+                   {3, "MB.", 313264, 313264, 592738, 5028160, 4},
+                   {2, "RS.", 0, 0, 1477978, 34051968, 4},
+                   {2, "MB.", 1477978, 1477978, 1746333, 5028160, 4},
+                   {1, "RS.", 311842, 311842, 1771603, 34051968, 4}});
+}
+
+TEST(experiment_golden, shared_baseline_matches_pre_refactor_driver) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.co_located = 4;
+    cfg.inferences_per_slot = 2;
+    cfg.seed = 11;
+    expect_golden(run_experiment(cfg), 2171755, 122625408,
+                  {{0, "MB.", 0, 0, 365694, 8826432, 4},
+                   {1, "MB.", 0, 0, 366894, 8807296, 4},
+                   {3, "MB.", 0, 0, 376090, 8827776, 4},
+                   {0, "MB.", 365694, 365694, 717493, 8292032, 4},
+                   {3, "MB.", 376090, 376090, 728997, 8223232, 4},
+                   {2, "RS.", 0, 0, 1841771, 36577856, 4},
+                   {2, "MB.", 1841771, 1841771, 2121781, 4876992, 4},
+                   {1, "RS.", 366894, 366894, 2171755, 35273472, 4}});
+}
+
+TEST(experiment_golden, aurora_qos_matches_pre_refactor_driver) {
+    experiment_config cfg;
+    cfg.pol = policy::aurora;
+    cfg.workload = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF.")};
+    cfg.co_located = 4;
+    cfg.inferences_per_slot = 1;
+    cfg.seed = 7;
+    cfg.qos_mode = true;
+    cfg.qos_scale = 1.0;
+    // Makespan exceeds the last completion (719856): the driver's final
+    // bandwidth-reallocation epoch fires at 750000, exactly as before.
+    expect_golden(run_experiment(cfg), 750000, 36468736,
+                  {{0, "MB.", 0, 0, 704400, 9060288, 1},
+                   {1, "MB.", 0, 0, 708188, 9081920, 1},
+                   {2, "MB.", 0, 0, 713506, 9140096, 1},
+                   {3, "MB.", 0, 0, 719856, 9175936, 1}});
+}
+
 TEST(experiment, isolated_latencies_cover_requested_models) {
     soc_config soc;
     std::vector<const model::model*> models{&model::model_by_abbr("MB."),

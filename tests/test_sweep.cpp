@@ -1,0 +1,134 @@
+// Tests of the parallel sweep engine: parallel execution must be
+// bit-identical to sequential execution, and the memoized isolated-latency
+// cache must agree with the uncached reference.
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+
+namespace camdn::sim {
+namespace {
+
+std::vector<experiment_config> mixed_configs() {
+    std::vector<experiment_config> cfgs;
+    const policy pols[] = {policy::shared_baseline, policy::moca,
+                           policy::aurora, policy::camdn_hw_only,
+                           policy::camdn_full};
+    for (std::size_t i = 0; i < 5; ++i) {
+        experiment_config cfg;
+        cfg.pol = pols[i];
+        cfg.workload = {&model::model_by_abbr("RS."),
+                        &model::model_by_abbr("MB.")};
+        cfg.co_located = 4;
+        cfg.inferences_per_slot = 1;
+        cfg.seed = 11 + i;
+        cfgs.push_back(std::move(cfg));
+    }
+    // One open-loop config in the mix: the sweep engine must be agnostic
+    // to the workload generator.
+    experiment_config open;
+    open.pol = policy::camdn_full;
+    open.kind = runtime::workload_kind::open_loop_poisson;
+    open.workload = {&model::model_by_abbr("MB.")};
+    open.co_located = 2;
+    open.arrival_rate_per_ms = 4.0;
+    open.total_arrivals = 6;
+    open.seed = 3;
+    cfgs.push_back(std::move(open));
+    return cfgs;
+}
+
+void expect_identical(const experiment_result& a, const experiment_result& b) {
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes);
+    EXPECT_EQ(a.rejected_arrivals, b.rejected_arrivals);
+    EXPECT_DOUBLE_EQ(a.cache_hit_rate, b.cache_hit_rate);
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        EXPECT_EQ(a.completions[i].slot, b.completions[i].slot);
+        EXPECT_EQ(a.completions[i].abbr, b.completions[i].abbr);
+        EXPECT_EQ(a.completions[i].arrival, b.completions[i].arrival);
+        EXPECT_EQ(a.completions[i].start, b.completions[i].start);
+        EXPECT_EQ(a.completions[i].end, b.completions[i].end);
+        EXPECT_EQ(a.completions[i].dram_bytes, b.completions[i].dram_bytes);
+        EXPECT_EQ(a.completions[i].cores, b.completions[i].cores);
+    }
+}
+
+TEST(sweep, parallel_results_are_bit_identical_to_sequential) {
+    const auto cfgs = mixed_configs();
+    const auto sequential = run_sweep(cfgs, 1);
+    const auto parallel = run_sweep(cfgs, 4);
+    ASSERT_EQ(sequential.size(), cfgs.size());
+    ASSERT_EQ(parallel.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        expect_identical(sequential[i], parallel[i]);
+}
+
+TEST(sweep, matches_direct_run_experiment) {
+    const auto cfgs = mixed_configs();
+    const auto swept = run_sweep(cfgs, 4);
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        expect_identical(run_experiment(cfgs[i]), swept[i]);
+}
+
+TEST(sweep, preserves_input_order) {
+    const auto cfgs = mixed_configs();
+    const auto results = run_sweep(cfgs, 4);
+    // Each config has a distinct completion count or workload signature;
+    // the co_located=2 open-loop config sits last.
+    EXPECT_EQ(results.back().completions.size(), 6u);
+    for (std::size_t i = 0; i + 1 < cfgs.size(); ++i)
+        EXPECT_EQ(results[i].completions.size(), 4u);
+}
+
+TEST(sweep, empty_input_yields_empty_output) {
+    EXPECT_TRUE(run_sweep({}, 4).empty());
+}
+
+TEST(sweep, more_threads_than_configs_is_fine) {
+    std::vector<experiment_config> cfgs(1);
+    cfgs[0].pol = policy::shared_baseline;
+    cfgs[0].workload = {&model::model_by_abbr("MB.")};
+    cfgs[0].co_located = 2;
+    cfgs[0].seed = 1;
+    const auto results = run_sweep(cfgs, 16);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].completions.size(), 2u);
+}
+
+TEST(sweep, cached_isolated_latencies_match_uncached_reference) {
+    clear_isolated_latency_cache();
+    soc_config soc;
+    std::vector<const model::model*> models{&model::model_by_abbr("MB."),
+                                            &model::model_by_abbr("EF.")};
+    const auto& cached = cached_isolated_latencies(soc, models);
+    const auto reference = isolated_latencies(soc, models);
+    EXPECT_EQ(cached, reference);
+}
+
+TEST(sweep, cached_isolated_latencies_memoizes_per_key) {
+    clear_isolated_latency_cache();
+    soc_config soc;
+    std::vector<const model::model*> models{&model::model_by_abbr("MB.")};
+    const auto& first = cached_isolated_latencies(soc, models);
+    const auto& second = cached_isolated_latencies(soc, models);
+    EXPECT_EQ(&first, &second);  // same cache entry, no recompute
+
+    // A different SoC is a different key.
+    soc_config big = soc;
+    big.cache.total_bytes = mib(64);
+    const auto& other = cached_isolated_latencies(big, models);
+    EXPECT_NE(&first, &other);
+
+    // So is a different model set.
+    std::vector<const model::model*> more{&model::model_by_abbr("MB."),
+                                          &model::model_by_abbr("RS.")};
+    const auto& wider = cached_isolated_latencies(soc, more);
+    EXPECT_NE(&first, &wider);
+    EXPECT_EQ(wider.count("RS."), 1u);
+}
+
+}  // namespace
+}  // namespace camdn::sim

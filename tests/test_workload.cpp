@@ -1,0 +1,202 @@
+// Tests of the pluggable workload generators: closed-loop equivalence is
+// covered by the golden tests in test_experiment.cpp; here the open-loop
+// Poisson generator (determinism, admission bound, queue-delay accounting)
+// and trace replay (arrival honoring, ordering) are exercised end to end
+// through run_experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "model/model_zoo.h"
+#include "sim/experiment.h"
+
+namespace camdn::sim {
+namespace {
+
+experiment_config open_loop_cfg() {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.co_located = 2;
+    cfg.arrival_rate_per_ms = 4.0;
+    cfg.total_arrivals = 12;
+    cfg.admission_queue_limit = 0;  // unbounded
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(open_loop, completes_every_admitted_arrival) {
+    const auto res = run_experiment(open_loop_cfg());
+    EXPECT_EQ(res.completions.size(), 12u);
+    EXPECT_EQ(res.rejected_arrivals, 0u);
+}
+
+TEST(open_loop, deterministic_under_fixed_seed) {
+    const auto a = run_experiment(open_loop_cfg());
+    const auto b = run_experiment(open_loop_cfg());
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes);
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        EXPECT_EQ(a.completions[i].arrival, b.completions[i].arrival);
+        EXPECT_EQ(a.completions[i].start, b.completions[i].start);
+        EXPECT_EQ(a.completions[i].end, b.completions[i].end);
+        EXPECT_EQ(a.completions[i].abbr, b.completions[i].abbr);
+        EXPECT_EQ(a.completions[i].dram_bytes, b.completions[i].dram_bytes);
+    }
+}
+
+TEST(open_loop, different_seeds_change_the_arrival_pattern) {
+    auto cfg = open_loop_cfg();
+    const auto a = run_experiment(cfg);
+    cfg.seed = 977;
+    const auto b = run_experiment(cfg);
+    bool any_different = a.makespan != b.makespan;
+    for (std::size_t i = 0;
+         !any_different && i < a.completions.size() && i < b.completions.size();
+         ++i)
+        any_different = a.completions[i].arrival != b.completions[i].arrival ||
+                        a.completions[i].abbr != b.completions[i].abbr;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(open_loop, arrivals_are_spread_in_time) {
+    // Open loop means arrival times come from the generator's clock, not
+    // from completions: they must not all be zero, and must be
+    // non-decreasing in completion-independent order.
+    const auto res = run_experiment(open_loop_cfg());
+    std::set<cycle_t> arrivals;
+    for (const auto& rec : res.completions) arrivals.insert(rec.arrival);
+    EXPECT_GT(arrivals.size(), 1u);
+    EXPECT_GT(*arrivals.rbegin(), 0u);
+}
+
+TEST(open_loop, respects_admission_queue_bound) {
+    auto cfg = open_loop_cfg();
+    // Overload: a burst far faster than two slots can serve, with a tiny
+    // admission queue. Excess arrivals must be dropped, never queued.
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.total_arrivals = 40;
+    cfg.admission_queue_limit = 3;
+    const auto res = run_experiment(cfg);
+    EXPECT_GT(res.rejected_arrivals, 0u);
+    EXPECT_EQ(res.completions.size() + res.rejected_arrivals, 40u);
+}
+
+TEST(open_loop, unbounded_queue_drops_nothing_under_overload) {
+    auto cfg = open_loop_cfg();
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.total_arrivals = 20;
+    cfg.admission_queue_limit = 0;
+    const auto res = run_experiment(cfg);
+    EXPECT_EQ(res.rejected_arrivals, 0u);
+    EXPECT_EQ(res.completions.size(), 20u);
+}
+
+TEST(open_loop, queue_delay_is_accounted_under_overload) {
+    auto cfg = open_loop_cfg();
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.total_arrivals = 20;
+    cfg.admission_queue_limit = 0;
+    const auto res = run_experiment(cfg);
+    int queued = 0;
+    for (const auto& rec : res.completions) {
+        EXPECT_EQ(rec.queue_delay(), rec.start - rec.arrival);
+        queued += rec.queue_delay() > 0;
+    }
+    EXPECT_GT(queued, 0);
+}
+
+TEST(open_loop, rejected_arrivals_reduce_served_load) {
+    auto cfg = open_loop_cfg();
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.total_arrivals = 40;
+    cfg.admission_queue_limit = 3;
+    const auto bounded = run_experiment(cfg);
+    cfg.admission_queue_limit = 0;
+    const auto unbounded = run_experiment(cfg);
+    EXPECT_LT(bounded.completions.size(), unbounded.completions.size());
+    EXPECT_LE(bounded.makespan, unbounded.makespan);
+}
+
+TEST(trace_replay, honors_arrival_times_and_models) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::trace_replay;
+    cfg.co_located = 2;
+    cfg.trace = {{0, &model::model_by_abbr("MB.")},
+                 {ms_to_cycles(1.0), &model::model_by_abbr("MB.")},
+                 {ms_to_cycles(5.0), &model::model_by_abbr("RS.")}};
+    const auto res = run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 3u);
+
+    std::vector<cycle_t> arrivals;
+    std::multiset<std::string> models;
+    for (const auto& rec : res.completions) {
+        arrivals.push_back(rec.arrival);
+        models.insert(rec.abbr);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    EXPECT_EQ(arrivals[0], 0u);
+    EXPECT_EQ(arrivals[1], ms_to_cycles(1.0));
+    EXPECT_EQ(arrivals[2], ms_to_cycles(5.0));
+    EXPECT_EQ(models, (std::multiset<std::string>{"MB.", "MB.", "RS."}));
+}
+
+TEST(trace_replay, unsorted_trace_is_replayed_in_time_order) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::trace_replay;
+    cfg.co_located = 1;
+    cfg.trace = {{ms_to_cycles(4.0), &model::model_by_abbr("MB.")},
+                 {0, &model::model_by_abbr("RS.")}};
+    const auto res = run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 2u);
+    EXPECT_EQ(res.completions[0].abbr, "RS.");
+    EXPECT_EQ(res.completions[0].arrival, 0u);
+    EXPECT_EQ(res.completions[1].abbr, "MB.");
+    EXPECT_EQ(res.completions[1].arrival, ms_to_cycles(4.0));
+}
+
+TEST(trace_replay, burst_queues_on_scarce_slots) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::trace_replay;
+    cfg.co_located = 1;  // one slot, three simultaneous arrivals
+    for (int i = 0; i < 3; ++i)
+        cfg.trace.push_back({0, &model::model_by_abbr("MB.")});
+    const auto res = run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 3u);
+    int queued = 0;
+    for (const auto& rec : res.completions) {
+        EXPECT_EQ(rec.arrival, 0u);
+        queued += rec.queue_delay() > 0;
+    }
+    EXPECT_EQ(queued, 2);
+}
+
+TEST(trace_replay, empty_trace_completes_immediately) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::trace_replay;
+    cfg.co_located = 2;
+    const auto res = run_experiment(cfg);
+    EXPECT_TRUE(res.completions.empty());
+    EXPECT_EQ(res.makespan, 0u);
+}
+
+TEST(open_loop, works_with_every_policy) {
+    for (policy pol : {policy::shared_baseline, policy::moca, policy::aurora,
+                       policy::camdn_hw_only, policy::camdn_full}) {
+        auto cfg = open_loop_cfg();
+        cfg.pol = pol;
+        cfg.total_arrivals = 6;
+        const auto res = run_experiment(cfg);
+        EXPECT_EQ(res.completions.size(), 6u) << policy_name(pol);
+    }
+}
+
+}  // namespace
+}  // namespace camdn::sim
