@@ -6,10 +6,15 @@
 // assembly against the memoized single-tenant reference.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -66,6 +71,92 @@ inline std::vector<sim::experiment_result> run_policies(
         cfgs.back().pol = pol;
     }
     return sim::run_sweep(cfgs);
+}
+
+// ---- Machine-readable bench output --------------------------------------
+//
+// Opt-in via CAMDN_BENCH_JSON=<path>: every row a bench reports through
+// json_report() is collected and written to <path> as a JSON array at
+// process exit (e.g. CAMDN_BENCH_JSON=BENCH_fleet.json ./fleet_scaling),
+// alongside the printed tables. Without the variable, reporting is a no-op.
+
+/// One key/value of a JSON row; the value is pre-rendered JSON.
+struct json_field {
+    std::string key;
+    std::string literal;
+};
+
+inline std::string json_quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out + "\"";
+}
+
+inline json_field jstr(std::string key, const std::string& value) {
+    return {std::move(key), json_quote(value)};
+}
+inline json_field jnum(std::string key, double value) {
+    std::ostringstream os;
+    os << value;
+    return {std::move(key), os.str()};
+}
+inline json_field jint(std::string key, std::uint64_t value) {
+    return {std::move(key), std::to_string(value)};
+}
+
+class json_reporter {
+public:
+    static json_reporter& instance() {
+        static json_reporter reporter;
+        return reporter;
+    }
+
+    bool enabled() const { return path_ != nullptr; }
+
+    void add_row(const std::string& bench,
+                 const std::vector<json_field>& fields) {
+        if (!enabled()) return;
+        std::string row = "{\"bench\": " + json_quote(bench);
+        for (const auto& f : fields)
+            row += ", " + json_quote(f.key) + ": " + f.literal;
+        rows_.push_back(row + "}");
+    }
+
+    ~json_reporter() {
+        if (!enabled()) return;
+        std::ofstream out(path_);
+        out << "[\n";
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            out << "  " << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+        out << "]\n";
+    }
+
+private:
+    json_reporter() : path_(std::getenv("CAMDN_BENCH_JSON")) {}
+
+    const char* path_;
+    std::vector<std::string> rows_;
+};
+
+/// Reports one bench data point (no-op unless CAMDN_BENCH_JSON is set).
+inline void json_report(const std::string& bench,
+                        const std::vector<json_field>& fields) {
+    json_reporter::instance().add_row(bench, fields);
 }
 
 /// Builds compute_qos() input from one result: deadline = scale * Table I

@@ -1,0 +1,95 @@
+// Domain example: a heterogeneous serving cluster.
+//
+// Four SoCs — two with the Table II cache, two with a half-size cache —
+// serve a shared Poisson stream of three models with a skewed traffic
+// mix. The placement planner decides residency/replication against each
+// SoC's page capacity, then the three routing policies compete on the
+// identical stream: round_robin is load- and cache-blind,
+// least_outstanding balances load, cache_affinity additionally keeps each
+// model on SoCs where its pages are warm.
+//
+//   ./build/cluster_serving [arrivals]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "serve/cluster.h"
+#include "serve/placement.h"
+
+using namespace camdn;
+
+int main(int argc, char** argv) {
+    bench::banner(
+        "Cluster serving: 4 heterogeneous SoCs, 3 tenants, skewed mix\n"
+        "(RS. 50%, MB. 25%, EF. 25%), one shared Poisson stream");
+
+    serve::cluster_config base;
+    for (int s = 0; s < 4; ++s) {
+        serve::soc_instance_config inst;
+        inst.slots = 2;
+        inst.admission_queue_limit = 12;
+        if (s >= 2) inst.soc.cache.total_bytes = mib(8);  // small-cache pair
+        base.socs.push_back(inst);
+    }
+    base.models = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB."),
+                   &model::model_by_abbr("EF.")};
+    base.traffic_share = {2.0, 1.0, 1.0};
+    base.arrival_rate_per_ms = 3.0;
+    base.total_arrivals = bench::fast_mode() ? 32 : 96;
+    if (argc > 1) base.total_arrivals = std::atoi(argv[1]);
+
+    const auto place = serve::plan_placement(base);
+    std::cout << "Placement (model residency per SoC):\n";
+    for (std::size_t s = 0; s < place.resident.size(); ++s) {
+        std::cout << "  SoC " << s << " ("
+                  << base.socs[s].soc.cache.total_bytes / mib(1) << "MB cache, "
+                  << place.capacity_pages[s] << " pages):";
+        for (auto m : place.resident[s])
+            std::cout << ' ' << base.models[m]->abbr;
+        std::cout << '\n';
+    }
+    std::cout << '\n';
+
+    table_printer t({"policy", "served", "dropped", "p50 (ms)", "p95 (ms)",
+                     "p99 (ms)", "queue p95 (ms)", "tput (/s)"});
+    for (const auto pol : {serve::route_policy::round_robin,
+                           serve::route_policy::least_outstanding,
+                           serve::route_policy::cache_affinity}) {
+        auto cfg = base;
+        cfg.router = pol;
+        const auto res = serve::run_cluster(cfg);
+        t.add_row({serve::route_policy_name(pol), std::to_string(res.completed),
+                   std::to_string(res.dropped_queue + res.dropped_unroutable),
+                   fmt_fixed(res.fleet_latency_ms.p50(), 2),
+                   fmt_fixed(res.fleet_latency_ms.p95(), 2),
+                   fmt_fixed(res.fleet_latency_ms.p99(), 2),
+                   fmt_fixed(res.fleet_queue_delay_ms.p95(), 2),
+                   fmt_fixed(res.throughput_per_s(), 1)});
+        bench::json_report("cluster_serving",
+                           {bench::jstr("policy", serve::route_policy_name(pol)),
+                            bench::jint("served", res.completed),
+                            bench::jnum("p99_ms", res.fleet_latency_ms.p99())});
+    }
+    t.print(std::cout);
+
+    // Per-tenant breakdown under the affinity router.
+    auto cfg = base;
+    cfg.router = serve::route_policy::cache_affinity;
+    const auto res = serve::run_cluster(cfg);
+    std::cout << "\nPer-tenant (cache_affinity):\n\n";
+    table_printer tt({"tenant", "routed", "served", "dropped", "p50 (ms)",
+                      "p99 (ms)"});
+    for (const auto& [abbr, tenant] : res.tenants)
+        tt.add_row({abbr, std::to_string(tenant.routed),
+                    std::to_string(tenant.completed),
+                    std::to_string(tenant.dropped),
+                    fmt_fixed(tenant.latency_ms.p50(), 2),
+                    fmt_fixed(tenant.latency_ms.p99(), 2)});
+    tt.print(std::cout);
+
+    std::cout << "\nThe affinity router concentrates each tenant on a stable\n"
+                 "subset of SoCs (bounded by the load-imbalance guard), so\n"
+                 "co-located model diversity — and with it shared-cache\n"
+                 "contention — drops without sacrificing balance.\n";
+    return 0;
+}

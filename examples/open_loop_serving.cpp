@@ -12,18 +12,6 @@
 
 using namespace camdn;
 
-namespace {
-
-double mean_queue_delay_ms(const sim::experiment_result& res) {
-    double sum = 0.0;
-    for (const auto& rec : res.completions)
-        sum += cycles_to_ms(rec.queue_delay());
-    return res.completions.empty() ? 0.0
-                                   : sum / static_cast<double>(res.completions.size());
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     const std::vector<const model::model*> workload{
         &model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
@@ -56,7 +44,7 @@ int main(int argc, char** argv) {
     const auto results = sim::run_sweep(cfgs);
 
     table_printer t({"rate (/ms)", "policy", "served", "dropped",
-                     "mean lat (ms)", "queue delay (ms)"});
+                     "mean lat (ms)", "queue p50 (ms)", "queue p95 (ms)"});
     std::size_t idx = 0;
     for (const double rate : rates) {
         for (const auto pol : pols) {
@@ -65,7 +53,8 @@ int main(int argc, char** argv) {
                        std::to_string(res.completions.size()),
                        std::to_string(res.rejected_arrivals),
                        fmt_fixed(res.avg_latency_ms(), 2),
-                       fmt_fixed(mean_queue_delay_ms(res), 2)});
+                       fmt_fixed(res.queue_delay_ms.p50(), 2),
+                       fmt_fixed(res.queue_delay_ms.p95(), 2)});
         }
     }
     t.print(std::cout);

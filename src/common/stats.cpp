@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace camdn {
@@ -31,6 +32,42 @@ void bucket_histogram::add(double value, double weight) {
 double bucket_histogram::fraction(std::size_t i) const {
     if (total_ <= 0.0) return 0.0;
     return weights_.at(i) / total_;
+}
+
+void percentile_tracker::add(double value) {
+    samples_.push_back(value);
+    sorted_ = samples_.size() <= 1;
+}
+
+void percentile_tracker::ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+}
+
+double percentile_tracker::quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    // Nearest rank: the smallest sample with at least q of the mass at or
+    // below it. q = 0 maps to the minimum, q = 1 to the maximum.
+    const double n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), samples_.size());
+    return samples_[rank - 1];
+}
+
+double percentile_tracker::mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+void percentile_tracker::merge(const percentile_tracker& other) {
+    if (other.samples_.empty()) return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
 }
 
 std::string fmt_fixed(double value, int digits) {

@@ -53,6 +53,37 @@ private:
     double total_ = 0.0;
 };
 
+/// Exact quantiles over a sample stream: every sample is stored and the
+/// buffer is sorted lazily on the first query after an insert. Nearest-rank
+/// quantiles are deterministic — the same samples in any insertion order
+/// yield bit-identical results — which the cluster-serving tests rely on.
+class percentile_tracker {
+public:
+    void add(double value);
+
+    std::uint64_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /// Nearest-rank quantile for q in [0, 1]; 0 on an empty tracker.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    double min() const { return quantile(0.0); }
+    double max() const { return quantile(1.0); }
+    double mean() const;
+
+    /// Merges every sample of `other` into this tracker.
+    void merge(const percentile_tracker& other);
+
+private:
+    void ensure_sorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
 /// Formats `value` with `digits` places after the decimal point.
 std::string fmt_fixed(double value, int digits);
 

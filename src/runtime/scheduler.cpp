@@ -369,6 +369,8 @@ sim::experiment_result scheduler::run() {
     result_.dram_stats = machine_.dram().stats();
     result_.dram_total_bytes = machine_.dram().stats().bytes();
     result_.rejected_arrivals = gen_.rejected();
+    if (const percentile_tracker* delays = gen_.queue_delays_ms())
+        result_.queue_delay_ms = *delays;
     return result_;
 }
 

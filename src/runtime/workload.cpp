@@ -58,15 +58,61 @@ private:
     std::uint32_t live_slots_ = 0;
 };
 
+// Shared arrival-list machinery of the rate-driven generators: fires a
+// pre-built (time, model) list against a bounded admission queue and
+// tracks queue-delay percentiles of whatever completes.
+class arrival_list_generator : public workload_generator {
+public:
+    explicit arrival_list_generator(std::uint32_t queue_limit)
+        : queue_limit_(queue_limit) {}
+
+    void start(workload_control& ctl) override {
+        ctl_ = &ctl;
+        for (std::size_t i = 0; i < arrivals_.size(); ++i)
+            ctl.at(arrivals_[i].at, [this, i] { arrive(i); });
+    }
+
+    void on_complete(workload_control&, const completion_info& c) override {
+        queue_delays_.add(cycles_to_ms(c.start - c.arrival));
+    }
+
+    bool exhausted() const override { return fired_ == arrivals_.size(); }
+
+    std::uint64_t rejected() const override { return rejected_; }
+
+    const percentile_tracker* queue_delays_ms() const override {
+        return &queue_delays_;
+    }
+
+protected:
+    std::vector<trace_arrival> arrivals_;
+
+private:
+    void arrive(std::size_t i) {
+        fired_ += 1;
+        if (ctl_->pending() >= queue_limit_) {
+            rejected_ += 1;
+            return;
+        }
+        ctl_->submit(arrivals_[i].mdl);
+    }
+
+    std::uint32_t queue_limit_;
+    workload_control* ctl_ = nullptr;
+    std::size_t fired_ = 0;
+    std::uint64_t rejected_ = 0;
+    percentile_tracker queue_delays_;
+};
+
 // Open-loop serving: Poisson arrivals at a fixed mean rate, dropped when
 // the admission queue is full. Arrival times and model choices are drawn
 // up front, so the pattern is a pure function of the seed.
-class open_loop_generator final : public workload_generator {
+class open_loop_generator final : public arrival_list_generator {
 public:
     open_loop_generator(const std::vector<const model::model*>& models,
                         double rate_per_ms, std::uint32_t total,
                         std::uint32_t queue_limit, std::uint64_t seed)
-        : queue_limit_(queue_limit) {
+        : arrival_list_generator(queue_limit) {
         rng r(seed);
         const double rate = std::max(rate_per_ms, 1e-9);
         cycle_t t = 0;
@@ -77,69 +123,26 @@ public:
             arrivals_.push_back({t, models[r.next_below(models.size())]});
         }
     }
-
-    void start(workload_control& ctl) override {
-        ctl_ = &ctl;
-        for (std::size_t i = 0; i < arrivals_.size(); ++i)
-            ctl.at(arrivals_[i].at, [this, i] { arrive(i); });
-    }
-
-    void on_complete(workload_control&, const completion_info&) override {}
-
-    bool exhausted() const override { return fired_ == arrivals_.size(); }
-
-    std::uint64_t rejected() const override { return rejected_; }
-
-private:
-    void arrive(std::size_t i) {
-        fired_ += 1;
-        if (queue_limit_ != 0 && ctl_->pending() >= queue_limit_) {
-            rejected_ += 1;
-            return;
-        }
-        ctl_->submit(arrivals_[i].mdl);
-    }
-
-    std::uint32_t queue_limit_;
-    std::vector<trace_arrival> arrivals_;
-    workload_control* ctl_ = nullptr;
-    std::size_t fired_ = 0;
-    std::uint64_t rejected_ = 0;
 };
 
-// Replays an explicit arrival list (e.g. captured from a production log).
-class trace_generator final : public workload_generator {
+// Replays an explicit arrival list (e.g. captured from a production log,
+// or the per-SoC share a cluster router produced) against the same bounded
+// admission queue as the open-loop path.
+class trace_generator final : public arrival_list_generator {
 public:
-    explicit trace_generator(std::vector<trace_arrival> trace)
-        : trace_(std::move(trace)) {
-        trace_.erase(std::remove_if(trace_.begin(), trace_.end(),
-                                    [](const trace_arrival& a) {
-                                        return a.mdl == nullptr;
-                                    }),
-                     trace_.end());
-        std::stable_sort(trace_.begin(), trace_.end(),
+    trace_generator(std::vector<trace_arrival> trace, std::uint32_t queue_limit)
+        : arrival_list_generator(queue_limit) {
+        arrivals_ = std::move(trace);
+        arrivals_.erase(std::remove_if(arrivals_.begin(), arrivals_.end(),
+                                       [](const trace_arrival& a) {
+                                           return a.mdl == nullptr;
+                                       }),
+                        arrivals_.end());
+        std::stable_sort(arrivals_.begin(), arrivals_.end(),
                          [](const trace_arrival& a, const trace_arrival& b) {
                              return a.at < b.at;
                          });
     }
-
-    void start(workload_control& ctl) override {
-        ctl_ = &ctl;
-        for (std::size_t i = 0; i < trace_.size(); ++i)
-            ctl.at(trace_[i].at, [this, i] {
-                fired_ += 1;
-                ctl_->submit(trace_[i].mdl);
-            });
-    }
-
-    void on_complete(workload_control&, const completion_info&) override {}
-
-    bool exhausted() const override { return fired_ == trace_.size(); }
-
-private:
-    std::vector<trace_arrival> trace_;
-    workload_control* ctl_ = nullptr;
-    std::size_t fired_ = 0;
 };
 
 }  // namespace
@@ -156,7 +159,8 @@ std::unique_ptr<workload_generator> make_workload_generator(
                 cfg.workload, cfg.arrival_rate_per_ms, cfg.total_arrivals,
                 cfg.admission_queue_limit, cfg.seed);
         case workload_kind::trace_replay:
-            return std::make_unique<trace_generator>(cfg.trace);
+            return std::make_unique<trace_generator>(cfg.trace,
+                                                     cfg.admission_queue_limit);
     }
     return nullptr;  // unreachable
 }

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "model/model.h"
 
@@ -27,6 +29,11 @@ enum class workload_kind : std::uint8_t {
     open_loop_poisson,  ///< rate-driven arrivals, bounded admission queue
     trace_replay,       ///< explicit (time, model) arrival list
 };
+
+/// Admission-queue capacity meaning "never drop". A capacity of 0 is a
+/// real zero-length queue: every arrival is refused at admission.
+inline constexpr std::uint32_t unbounded_queue =
+    std::numeric_limits<std::uint32_t>::max();
 
 /// One arrival of a trace_replay workload.
 struct trace_arrival {
@@ -84,8 +91,16 @@ public:
     /// True once no further arrivals will ever be submitted.
     virtual bool exhausted() const = 0;
 
-    /// Arrivals refused at a full admission queue (open loop).
+    /// Arrivals refused at a full admission queue (open loop / trace).
     virtual std::uint64_t rejected() const { return 0; }
+
+    /// Queue delays (start - arrival, ms) of completed inferences, for
+    /// generators where queueing is meaningful (open loop / trace).
+    /// nullptr when the generator does not track them (closed loop
+    /// re-dispatches on completion and never queues).
+    virtual const percentile_tracker* queue_delays_ms() const {
+        return nullptr;
+    }
 };
 
 /// Builds the generator selected by cfg.kind from an experiment config.

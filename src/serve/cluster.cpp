@@ -1,0 +1,149 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "model/model_zoo.h"
+#include "serve/placement.h"
+#include "serve/router.h"
+#include "sim/sweep.h"
+
+namespace camdn::serve {
+
+const char* route_policy_name(route_policy p) {
+    switch (p) {
+        case route_policy::round_robin: return "round_robin";
+        case route_policy::least_outstanding: return "least_outstanding";
+        case route_policy::cache_affinity: return "cache_affinity";
+    }
+    return "?";
+}
+
+cluster_config uniform_cluster(std::uint32_t n,
+                               const soc_instance_config& inst) {
+    cluster_config cfg;
+    cfg.socs.assign(n, inst);
+    return cfg;
+}
+
+std::vector<double> traffic_weights(const cluster_config& cfg) {
+    std::vector<double> w(cfg.models.size(), 1.0);
+    double total = static_cast<double>(cfg.models.size());
+    for (std::size_t m = 0; m < w.size() && m < cfg.traffic_share.size();
+         ++m) {
+        total -= w[m];
+        w[m] = std::max(cfg.traffic_share[m], 0.0);
+        total += w[m];
+    }
+    if (!w.empty() && total <= 0.0)
+        throw std::invalid_argument("traffic_weights: all-zero traffic mix");
+    return w;
+}
+
+namespace {
+
+/// Per-SoC RNG stream: splitmix64 of the cluster seed and the SoC index,
+/// so no two SoC simulations share a seed (and adding a SoC never
+/// perturbs the streams of the others).
+std::uint64_t soc_seed(std::uint64_t cluster_seed, std::size_t s) {
+    std::uint64_t z = cluster_seed + 0x9e3779b97f4a7c15ULL * (s + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+cluster_result run_cluster(const cluster_config& cfg_in) {
+    if (cfg_in.socs.empty())
+        throw std::invalid_argument("run_cluster: empty fleet");
+
+    cluster_config cfg = cfg_in;
+    if (cfg.models.empty())
+        for (const auto& m : model::benchmark_models()) cfg.models.push_back(&m);
+
+    const std::size_t S = cfg.socs.size();
+    const std::size_t M = cfg.models.size();
+
+    // Normalized cumulative traffic mix (uniform when unspecified).
+    const std::vector<double> weights = traffic_weights(cfg);
+    std::vector<double> cum(M, 0.0);
+    {
+        double total = 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+            total += weights[m];
+            cum[m] = total;
+        }
+        for (auto& c : cum) c /= total;
+    }
+
+    // Phase 1: placement (also warms the mapping registry for the router).
+    const placement place = plan_placement(cfg);
+
+    // Phase 2: walk the global Poisson stream once, routing each arrival.
+    request_router router(cfg, place);
+    cluster_result out;
+    out.resident_models = place.resident;
+
+    std::vector<std::vector<runtime::trace_arrival>> traces(S);
+    std::vector<std::uint64_t> routed_per_model(M, 0);
+    rng r(cfg.seed);
+    const double rate = std::max(cfg.arrival_rate_per_ms, 1e-9);
+    cycle_t t = 0;
+    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
+        const double gap_ms = -std::log(1.0 - r.next_double()) / rate;
+        t += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
+        const double pick = r.next_double();
+        std::size_t m = 0;
+        while (m + 1 < M && pick >= cum[m]) ++m;
+
+        out.arrivals += 1;
+        const std::int32_t s = router.route(t, static_cast<std::uint32_t>(m));
+        if (s < 0) {
+            out.dropped_unroutable += 1;
+            continue;
+        }
+        traces[s].push_back({t, cfg.models[m]});
+        routed_per_model[m] += 1;
+    }
+
+    // Phase 3: one trace_replay simulation per SoC on the sweep pool.
+    std::vector<sim::experiment_config> ecs(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        auto& ec = ecs[s];
+        ec.soc = cfg.socs[s].soc;
+        ec.pol = cfg.socs[s].pol;
+        ec.kind = runtime::workload_kind::trace_replay;
+        ec.trace = std::move(traces[s]);
+        ec.co_located = std::max<std::uint32_t>(cfg.socs[s].slots, 1);
+        ec.admission_queue_limit = cfg.socs[s].admission_queue_limit;
+        ec.workload = cfg.models;
+        ec.seed = soc_seed(cfg.seed, s);
+    }
+    out.per_soc = sim::run_sweep(ecs, cfg.threads);
+
+    // Aggregate fleet metrics in fleet order (deterministic sample order).
+    for (std::size_t m = 0; m < M; ++m)
+        out.tenants[cfg.models[m]->abbr].routed += routed_per_model[m];
+    for (const auto& res : out.per_soc) {
+        out.makespan = std::max(out.makespan, res.makespan);
+        out.dropped_queue += res.rejected_arrivals;
+        out.completed += res.completions.size();
+        out.fleet_queue_delay_ms.merge(res.queue_delay_ms);
+        for (const auto& rec : res.completions) {
+            const double lat_ms = cycles_to_ms(rec.latency());
+            out.fleet_latency_ms.add(lat_ms);
+            auto& tenant = out.tenants[rec.abbr];
+            tenant.completed += 1;
+            tenant.latency_ms.add(lat_ms);
+            tenant.queue_delay_ms.add(cycles_to_ms(rec.queue_delay()));
+        }
+    }
+    for (auto& [abbr, tenant] : out.tenants)
+        tenant.dropped = tenant.routed - tenant.completed;
+    return out;
+}
+
+}  // namespace camdn::serve

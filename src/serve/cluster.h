@@ -1,0 +1,136 @@
+// Multi-SoC serving cluster: a fleet of heterogeneous CaMDN SoCs serving
+// one shared request stream.
+//
+// A cluster run has three deterministic phases:
+//   1. placement — decide which models are resident (and replicated) on
+//      which SoCs, constrained by each SoC's NPU cache subspace
+//      (serve/placement.h);
+//   2. routing — walk the global Poisson arrival stream once and assign
+//      every request to a hosting SoC under the selected policy
+//      (serve/router.h), producing one admission trace per SoC;
+//   3. simulation — run each SoC's trace through the existing
+//      runtime::scheduler via trace_replay (bounded admission queue) on
+//      the sim/sweep thread pool, then aggregate fleet metrics.
+// Every phase is a pure function of cluster_config (per-SoC RNG streams
+// are derived from the cluster seed), so results are bit-identical across
+// repeated runs and across sweep-pool widths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "model/model.h"
+#include "sim/experiment.h"
+
+namespace camdn::serve {
+
+/// How the router picks among the SoCs hosting a request's model.
+enum class route_policy : std::uint8_t {
+    round_robin,        ///< cycle through the replica set, load-blind
+    least_outstanding,  ///< smallest estimated backlog
+    /// Prefer SoCs where the model's shared-cache pages are already warm
+    /// (tracked via the offline mapping's page demand and reuse analysis),
+    /// falling back to least_outstanding when warm hosts are overloaded.
+    cache_affinity,
+};
+
+const char* route_policy_name(route_policy p);
+
+/// One SoC of the fleet. Fleets may be heterogeneous: every instance
+/// carries its own SoC geometry, per-SoC policy and admission bound.
+struct soc_instance_config {
+    sim::soc_config soc{};
+    sim::policy pol = sim::policy::camdn_full;
+    std::uint32_t slots = 4;  ///< concurrent task slots on this SoC
+    /// Per-SoC admission-queue capacity (open_loop bounded-queue
+    /// semantics: runtime::unbounded_queue never drops, 0 drops all).
+    std::uint32_t admission_queue_limit = 64;
+};
+
+struct cluster_config {
+    std::vector<soc_instance_config> socs;
+
+    /// Served model catalog (defaults to the whole Table I zoo).
+    std::vector<const model::model*> models;
+    /// Relative request mix per catalog entry; normalized internally, so
+    /// {3, 1} means 75% / 25%. Models beyond the end of the list default
+    /// to weight 1 (empty = uniform); negatives clamp to 0.
+    std::vector<double> traffic_share;
+
+    double arrival_rate_per_ms = 8.0;   ///< fleet-wide mean Poisson rate
+    std::uint32_t total_arrivals = 256;
+    std::uint64_t seed = 42;
+
+    route_policy router = route_policy::cache_affinity;
+
+    /// Max replicas per model (0 = bounded only by cache capacity).
+    std::uint32_t replication_limit = 0;
+    /// cache_affinity falls back to the least-loaded host once the best
+    /// warm host's backlog exceeds the fleet minimum by more than this
+    /// many mean service times (keeps stickiness from starving the fleet).
+    double affinity_imbalance = 2.0;
+
+    /// Sweep-pool width for the per-SoC simulations (0 = hardware
+    /// concurrency, 1 = inline). Never changes results.
+    unsigned threads = 0;
+};
+
+/// Convenience: a homogeneous fleet of `n` identical instances.
+cluster_config uniform_cluster(std::uint32_t n,
+                               const soc_instance_config& inst = {});
+
+/// Per-catalog-model traffic weight under cfg.traffic_share's defaulting
+/// rules — the one normalization both the placement planner and the
+/// stream generator use. Throws std::invalid_argument when every weight
+/// is zero.
+std::vector<double> traffic_weights(const cluster_config& cfg);
+
+/// Fleet-level view of one tenant (one catalog model).
+struct tenant_metrics {
+    std::uint64_t routed = 0;     ///< arrivals assigned to some SoC
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;    ///< refused at a full per-SoC queue
+    percentile_tracker latency_ms;
+    percentile_tracker queue_delay_ms;
+};
+
+struct cluster_result {
+    /// Per-SoC simulation results, in fleet order.
+    std::vector<sim::experiment_result> per_soc;
+    /// Placement echo: model indices resident on each SoC.
+    std::vector<std::vector<std::uint32_t>> resident_models;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped_queue = 0;        ///< per-SoC admission drops
+    std::uint64_t dropped_unroutable = 0;   ///< no SoC hosts the model
+    cycle_t makespan = 0;                   ///< max per-SoC makespan
+
+    percentile_tracker fleet_latency_ms;
+    percentile_tracker fleet_queue_delay_ms;
+    /// Per-tenant metrics keyed by model abbreviation.
+    std::map<std::string, tenant_metrics> tenants;
+
+    double drop_rate() const {
+        return arrivals ? static_cast<double>(dropped_queue +
+                                              dropped_unroutable) /
+                              static_cast<double>(arrivals)
+                        : 0.0;
+    }
+    /// Completed inferences per second of fleet makespan.
+    double throughput_per_s() const {
+        return makespan ? static_cast<double>(completed) /
+                              (cycles_to_ms(makespan) * 1e-3)
+                        : 0.0;
+    }
+};
+
+/// Runs one cluster simulation to completion (deterministic under
+/// cfg.seed). Throws std::invalid_argument on an empty fleet.
+cluster_result run_cluster(const cluster_config& cfg);
+
+}  // namespace camdn::serve

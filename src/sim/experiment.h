@@ -45,7 +45,9 @@ struct experiment_config {
     // ---- open_loop_poisson ----
     double arrival_rate_per_ms = 4.0;      ///< mean Poisson arrival rate
     std::uint32_t total_arrivals = 32;     ///< arrivals generated in total
-    /// Arrivals beyond this many queued requests are dropped (0 = no bound).
+    /// Admission-queue capacity for open_loop_poisson and trace_replay:
+    /// arrivals beyond this many queued requests are dropped.
+    /// runtime::unbounded_queue never drops; 0 drops every arrival.
     std::uint32_t admission_queue_limit = 64;
 
     // ---- trace_replay ----
@@ -86,8 +88,11 @@ struct experiment_result {
     std::uint64_t dram_total_bytes = 0;
     cache::cache_stats cache_stats{};
     dram::dram_stats dram_stats{};
-    /// Arrivals refused at a full admission queue (open loop).
+    /// Arrivals refused at a full admission queue (open loop / trace).
     std::uint64_t rejected_arrivals = 0;
+    /// Queue delays (ms) of completed inferences, tracked by the rate-driven
+    /// generators (empty under closed loop, which never queues).
+    percentile_tracker queue_delay_ms;
 
     double avg_latency_ms() const;
     /// Mean latency of completions of one model ("" = all), ms.

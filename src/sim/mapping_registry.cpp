@@ -48,6 +48,20 @@ const mapping::model_mapping& mapping_for(const model::model& m,
     return reg.emplace(key, std::move(mapped)).first->second;
 }
 
+const mapping::model_mapping* mapping_snapshot::find(
+    const model::model& m, const mapping::mapper_config& cfg) const {
+    auto it = entries_.find(config_key(m, cfg));
+    return it != entries_.end() ? it->second : nullptr;
+}
+
+mapping_snapshot snapshot_mappings() {
+    mapping_snapshot snap;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    for (const auto& [key, mapped] : registry())
+        snap.entries_.emplace(key, &mapped);
+    return snap;
+}
+
 void clear_mapping_registry() {
     std::lock_guard<std::mutex> lock(registry_mutex);
     registry().clear();

@@ -3,6 +3,7 @@
 // mirroring the paper's offline/online split.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "mapping/cost_model.h"
@@ -16,7 +17,31 @@ namespace camdn::sim {
 const mapping::model_mapping& mapping_for(const model::model& m,
                                           const mapping::mapper_config& cfg);
 
-/// Drops all cached mappings (test isolation).
+/// Immutable view of the registry, captured under the lock once. Lookups
+/// afterwards are lock-free, so hot paths that consult mappings at high
+/// frequency (the cluster router scoring every arrival) never contend with
+/// sweep threads populating the registry. Entries added after the snapshot
+/// are invisible — warm the keys you need via mapping_for() first.
+class mapping_snapshot {
+public:
+    /// The snapshotted mapping of `m` under `cfg`, or nullptr when the
+    /// pair was not in the registry at capture time.
+    const mapping::model_mapping* find(const model::model& m,
+                                       const mapping::mapper_config& cfg) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+private:
+    friend mapping_snapshot snapshot_mappings();
+
+    std::map<std::string, const mapping::model_mapping*> entries_;
+};
+
+/// Captures the current registry contents (one lock acquisition).
+mapping_snapshot snapshot_mappings();
+
+/// Drops all cached mappings (test isolation). Snapshots taken earlier
+/// must not be used afterwards.
 void clear_mapping_registry();
 
 }  // namespace camdn::sim

@@ -220,6 +220,66 @@ TEST(bucket_histogram, empty_fractions_are_zero) {
     EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
 }
 
+TEST(percentile_tracker, nearest_rank_quantiles) {
+    percentile_tracker t;
+    for (int v = 100; v >= 1; --v) t.add(v);  // 1..100, inserted descending
+    EXPECT_EQ(t.count(), 100u);
+    EXPECT_DOUBLE_EQ(t.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(t.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(t.min(), 1.0);
+    EXPECT_DOUBLE_EQ(t.max(), 100.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(percentile_tracker, empty_is_zero) {
+    percentile_tracker t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_DOUBLE_EQ(t.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(t.p99(), 0.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(percentile_tracker, single_sample_answers_every_quantile) {
+    percentile_tracker t;
+    t.add(7.5);
+    EXPECT_DOUBLE_EQ(t.quantile(0.0), 7.5);
+    EXPECT_DOUBLE_EQ(t.p50(), 7.5);
+    EXPECT_DOUBLE_EQ(t.p99(), 7.5);
+    EXPECT_DOUBLE_EQ(t.quantile(1.0), 7.5);
+}
+
+TEST(percentile_tracker, insertion_order_does_not_matter) {
+    percentile_tracker a, b;
+    const double xs[] = {3, 1, 4, 1, 5, 9, 2, 6};
+    for (double x : xs) a.add(x);
+    for (int i = 7; i >= 0; --i) b.add(xs[i]);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(percentile_tracker, add_after_query_resorts) {
+    percentile_tracker t;
+    t.add(10.0);
+    t.add(20.0);
+    EXPECT_DOUBLE_EQ(t.max(), 20.0);
+    t.add(5.0);  // arrives after a query sorted the buffer
+    EXPECT_DOUBLE_EQ(t.min(), 5.0);
+    EXPECT_DOUBLE_EQ(t.p50(), 10.0);
+}
+
+TEST(percentile_tracker, merge_combines_samples) {
+    percentile_tracker a, b;
+    for (int v = 1; v <= 50; ++v) a.add(v);
+    for (int v = 51; v <= 100; ++v) b.add(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(a.p99(), 99.0);
+    a.merge(percentile_tracker{});  // empty merge is a no-op
+    EXPECT_EQ(a.count(), 100u);
+}
+
 TEST(fmt_fixed, formats_digits) {
     EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
     EXPECT_EQ(fmt_fixed(1.0, 0), "1");

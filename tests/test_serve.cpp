@@ -1,0 +1,295 @@
+// Tests of the serving-cluster subsystem: placement planning against cache
+// capacity, routing policies, fleet metric aggregation, determinism of the
+// whole cluster simulation (across repeated runs and sweep-pool widths),
+// and the headline behavior — cache-affinity routing beating round robin
+// on fleet tail latency in a multi-model colocation scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "model/model_zoo.h"
+#include "serve/cluster.h"
+#include "serve/placement.h"
+#include "serve/router.h"
+#include "sim/mapping_registry.h"
+
+namespace camdn::serve {
+namespace {
+
+/// 4 homogeneous CaMDN(Full) SoCs serving RS. + MB. at a load where
+/// queueing matters (the acceptance scenario of this subsystem).
+cluster_config colocation_cfg() {
+    soc_instance_config inst;
+    inst.pol = sim::policy::camdn_full;
+    inst.slots = 2;
+    inst.admission_queue_limit = runtime::unbounded_queue;
+    auto cfg = uniform_cluster(4, inst);
+    cfg.models = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.arrival_rate_per_ms = 6.0;
+    cfg.total_arrivals = 96;
+    cfg.seed = 7;
+    return cfg;
+}
+
+void expect_identical(const cluster_result& a, const cluster_result& b) {
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+    EXPECT_EQ(a.dropped_unroutable, b.dropped_unroutable);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.resident_models, b.resident_models);
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p50(), b.fleet_latency_ms.p50());
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p99(), b.fleet_latency_ms.p99());
+    ASSERT_EQ(a.per_soc.size(), b.per_soc.size());
+    for (std::size_t s = 0; s < a.per_soc.size(); ++s) {
+        const auto& ra = a.per_soc[s];
+        const auto& rb = b.per_soc[s];
+        EXPECT_EQ(ra.makespan, rb.makespan);
+        EXPECT_EQ(ra.dram_total_bytes, rb.dram_total_bytes);
+        EXPECT_EQ(ra.rejected_arrivals, rb.rejected_arrivals);
+        ASSERT_EQ(ra.completions.size(), rb.completions.size());
+        for (std::size_t i = 0; i < ra.completions.size(); ++i) {
+            EXPECT_EQ(ra.completions[i].abbr, rb.completions[i].abbr);
+            EXPECT_EQ(ra.completions[i].arrival, rb.completions[i].arrival);
+            EXPECT_EQ(ra.completions[i].start, rb.completions[i].start);
+            EXPECT_EQ(ra.completions[i].end, rb.completions[i].end);
+            EXPECT_EQ(ra.completions[i].dram_bytes, rb.completions[i].dram_bytes);
+        }
+    }
+}
+
+// ---- placement ----
+
+TEST(placement, every_model_is_hosted_somewhere) {
+    auto cfg = colocation_cfg();
+    const auto place = plan_placement(cfg);
+    ASSERT_EQ(place.hosts.size(), cfg.models.size());
+    for (const auto& hosts : place.hosts) EXPECT_FALSE(hosts.empty());
+}
+
+TEST(placement, respects_cache_capacity_when_feasible) {
+    auto cfg = colocation_cfg();
+    const auto place = plan_placement(cfg);
+    EXPECT_FALSE(place.oversubscribed);
+    for (std::size_t s = 0; s < cfg.socs.size(); ++s) {
+        std::uint64_t used = 0;
+        for (auto m : place.resident[s]) used += place.footprint_pages[s][m];
+        EXPECT_LE(used, place.capacity_pages[s]) << "SoC " << s;
+    }
+}
+
+TEST(placement, honors_replication_limit) {
+    auto cfg = colocation_cfg();
+    cfg.replication_limit = 2;
+    const auto place = plan_placement(cfg);
+    for (const auto& hosts : place.hosts) {
+        EXPECT_GE(hosts.size(), 1u);
+        EXPECT_LE(hosts.size(), 2u);
+    }
+}
+
+TEST(placement, replicates_up_to_capacity_without_a_limit) {
+    auto cfg = colocation_cfg();
+    const auto place = plan_placement(cfg);
+    // Two small models on four 16MB SoCs: everything fits everywhere.
+    for (const auto& hosts : place.hosts) EXPECT_EQ(hosts.size(), 4u);
+}
+
+TEST(placement, smaller_cache_means_fewer_pages) {
+    auto cfg = colocation_cfg();
+    cfg.socs[2].soc.cache.total_bytes = mib(8);
+    const auto place = plan_placement(cfg);
+    EXPECT_LT(place.capacity_pages[2], place.capacity_pages[0]);
+}
+
+TEST(placement, footprints_and_reuse_are_populated) {
+    auto cfg = colocation_cfg();
+    const auto place = plan_placement(cfg);
+    for (std::size_t s = 0; s < cfg.socs.size(); ++s)
+        for (std::size_t m = 0; m < cfg.models.size(); ++m) {
+            EXPECT_GE(place.footprint_pages[s][m], 1u);
+            EXPECT_GE(place.reused_fraction[s][m], 0.0);
+            EXPECT_LE(place.reused_fraction[s][m], 1.0);
+        }
+}
+
+// ---- router ----
+
+TEST(router, round_robin_cycles_through_the_replica_set) {
+    auto cfg = colocation_cfg();
+    cfg.router = route_policy::round_robin;
+    const auto place = plan_placement(cfg);
+    request_router router(cfg, place);
+    std::vector<std::uint64_t> hits(cfg.socs.size(), 0);
+    for (int i = 0; i < 8; ++i) {
+        const auto s = router.route(static_cast<cycle_t>(i) * 1000, 0);
+        ASSERT_GE(s, 0);
+        hits[static_cast<std::size_t>(s)] += 1;
+    }
+    for (auto h : hits) EXPECT_EQ(h, 2u);  // 8 arrivals over 4 hosts
+}
+
+TEST(router, least_outstanding_avoids_the_busy_soc) {
+    auto cfg = colocation_cfg();
+    cfg.router = route_policy::least_outstanding;
+    const auto place = plan_placement(cfg);
+    request_router router(cfg, place);
+    // Saturate SoC picked first, then expect the next picks to spread.
+    const auto first = router.route(0, 0);
+    const auto second = router.route(0, 0);
+    const auto third = router.route(0, 0);
+    EXPECT_NE(first, second);
+    EXPECT_NE(second, third);
+    EXPECT_NE(first, third);
+}
+
+TEST(router, cache_affinity_sticks_to_the_warm_host_under_light_load) {
+    auto cfg = colocation_cfg();
+    cfg.router = route_policy::cache_affinity;
+    const auto place = plan_placement(cfg);
+    request_router router(cfg, place);
+    const auto first = router.route(0, 0);
+    ASSERT_GE(first, 0);
+    // Far apart in time (no backlog): the model stays on its warm host.
+    const auto second = router.route(ms_to_cycles(50.0), 0);
+    const auto third = router.route(ms_to_cycles(100.0), 0);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, third);
+    EXPECT_TRUE(router.warm(static_cast<std::uint32_t>(first), 0));
+}
+
+TEST(router, cache_affinity_separates_models_across_socs) {
+    auto cfg = colocation_cfg();
+    cfg.router = route_policy::cache_affinity;
+    const auto place = plan_placement(cfg);
+    request_router router(cfg, place);
+    const auto home0 = router.route(0, 0);
+    const auto home1 = router.route(1, 1);
+    EXPECT_NE(home0, home1);  // second model steers clear of the busy host
+}
+
+TEST(router, mapping_snapshot_covers_every_placed_pair) {
+    auto cfg = colocation_cfg();
+    plan_placement(cfg);  // warms the registry
+    const auto snap = sim::snapshot_mappings();
+    for (const auto& inst : cfg.socs)
+        for (const auto* m : cfg.models)
+            EXPECT_NE(snap.find(*m, inst.soc.mapper()), nullptr);
+}
+
+// ---- cluster simulation ----
+
+TEST(cluster, conserves_every_arrival) {
+    auto cfg = colocation_cfg();
+    cfg.socs[0].admission_queue_limit = 1;  // force some queue drops
+    cfg.socs[1].admission_queue_limit = 1;
+    const auto res = run_cluster(cfg);
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    EXPECT_EQ(res.arrivals, res.completed + res.dropped_queue +
+                                res.dropped_unroutable);
+    std::uint64_t tenant_routed = 0, tenant_completed = 0;
+    for (const auto& [abbr, tenant] : res.tenants) {
+        tenant_routed += tenant.routed;
+        tenant_completed += tenant.completed;
+        EXPECT_EQ(tenant.dropped, tenant.routed - tenant.completed);
+    }
+    EXPECT_EQ(tenant_routed, res.arrivals - res.dropped_unroutable);
+    EXPECT_EQ(tenant_completed, res.completed);
+}
+
+TEST(cluster, fleet_percentiles_cover_every_completion) {
+    const auto res = run_cluster(colocation_cfg());
+    EXPECT_EQ(res.fleet_latency_ms.count(), res.completed);
+    EXPECT_GT(res.fleet_latency_ms.p99(), 0.0);
+    EXPECT_GE(res.fleet_latency_ms.p99(), res.fleet_latency_ms.p50());
+    EXPECT_GT(res.throughput_per_s(), 0.0);
+}
+
+TEST(cluster, zero_capacity_admission_queues_drop_everything) {
+    auto cfg = colocation_cfg();
+    for (auto& inst : cfg.socs) inst.admission_queue_limit = 0;
+    const auto res = run_cluster(cfg);
+    EXPECT_EQ(res.completed, 0u);
+    EXPECT_EQ(res.dropped_queue, cfg.total_arrivals);
+    EXPECT_DOUBLE_EQ(res.drop_rate(), 1.0);
+}
+
+TEST(cluster, empty_fleet_throws) {
+    EXPECT_THROW(run_cluster(cluster_config{}), std::invalid_argument);
+}
+
+TEST(cluster, heterogeneous_fleet_serves_with_skewed_mix) {
+    auto cfg = colocation_cfg();
+    cfg.socs[2].soc.cache.total_bytes = mib(8);
+    cfg.socs[3].soc.cache.total_bytes = mib(8);
+    cfg.traffic_share = {3.0, 1.0};
+    cfg.total_arrivals = 48;
+    const auto res = run_cluster(cfg);
+    EXPECT_EQ(res.completed, 48u);
+    // The skew must show up in per-tenant routing (~75% / ~25%).
+    EXPECT_GT(res.tenants.at("RS.").routed, res.tenants.at("MB.").routed);
+}
+
+TEST(cluster, partial_traffic_share_defaults_missing_models_to_one) {
+    auto cfg = colocation_cfg();
+    cfg.traffic_share = {2.0};  // MB. unspecified -> weight 1 (2:1 mix)
+    const auto w = traffic_weights(cfg);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w[0], 2.0);
+    EXPECT_DOUBLE_EQ(w[1], 1.0);
+    cfg.total_arrivals = 48;
+    const auto res = run_cluster(cfg);
+    EXPECT_GT(res.tenants.at("MB.").routed, 0u);  // not starved
+    EXPECT_GT(res.tenants.at("RS.").routed, res.tenants.at("MB.").routed);
+}
+
+TEST(cluster, all_zero_traffic_mix_throws) {
+    auto cfg = colocation_cfg();
+    cfg.traffic_share = {0.0, 0.0};
+    EXPECT_THROW(run_cluster(cfg), std::invalid_argument);
+    EXPECT_THROW(plan_placement(cfg), std::invalid_argument);
+}
+
+TEST(cluster, bit_identical_across_repeated_runs) {
+    const auto cfg = colocation_cfg();
+    expect_identical(run_cluster(cfg), run_cluster(cfg));
+}
+
+TEST(cluster, bit_identical_across_sweep_pool_widths) {
+    auto cfg = colocation_cfg();
+    cfg.threads = 1;
+    const auto sequential = run_cluster(cfg);
+    cfg.threads = 4;
+    const auto parallel = run_cluster(cfg);
+    expect_identical(sequential, parallel);
+}
+
+TEST(cluster, seed_changes_the_stream) {
+    auto cfg = colocation_cfg();
+    const auto a = run_cluster(cfg);
+    cfg.seed = 1234;
+    const auto b = run_cluster(cfg);
+    EXPECT_NE(a.makespan, b.makespan);
+}
+
+// ---- the headline: affinity routing beats round robin on tail latency ----
+
+TEST(cluster, cache_affinity_beats_round_robin_on_fleet_p99) {
+    // >= 2 models colocated on >= 4 SoCs at a fixed seed, loaded enough
+    // that routing quality shows up as queueing. Round robin is load- and
+    // cache-blind; affinity keeps each model on a stable warm subset.
+    auto cfg = colocation_cfg();
+    cfg.router = route_policy::round_robin;
+    const auto rr = run_cluster(cfg);
+    cfg.router = route_policy::cache_affinity;
+    const auto aff = run_cluster(cfg);
+
+    ASSERT_EQ(rr.completed, cfg.total_arrivals);
+    ASSERT_EQ(aff.completed, cfg.total_arrivals);
+    EXPECT_LT(aff.fleet_latency_ms.p99(), rr.fleet_latency_ms.p99());
+    EXPECT_LT(aff.fleet_latency_ms.p95(), rr.fleet_latency_ms.p95());
+}
+
+}  // namespace
+}  // namespace camdn::serve

@@ -10,6 +10,7 @@
 
 #include "model/model_zoo.h"
 #include "sim/experiment.h"
+#include "sim/sweep.h"
 
 namespace camdn::sim {
 namespace {
@@ -22,7 +23,7 @@ experiment_config open_loop_cfg() {
     cfg.co_located = 2;
     cfg.arrival_rate_per_ms = 4.0;
     cfg.total_arrivals = 12;
-    cfg.admission_queue_limit = 0;  // unbounded
+    cfg.admission_queue_limit = runtime::unbounded_queue;
     cfg.seed = 5;
     return cfg;
 }
@@ -89,7 +90,7 @@ TEST(open_loop, unbounded_queue_drops_nothing_under_overload) {
     auto cfg = open_loop_cfg();
     cfg.arrival_rate_per_ms = 1000.0;
     cfg.total_arrivals = 20;
-    cfg.admission_queue_limit = 0;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
     const auto res = run_experiment(cfg);
     EXPECT_EQ(res.rejected_arrivals, 0u);
     EXPECT_EQ(res.completions.size(), 20u);
@@ -99,7 +100,7 @@ TEST(open_loop, queue_delay_is_accounted_under_overload) {
     auto cfg = open_loop_cfg();
     cfg.arrival_rate_per_ms = 1000.0;
     cfg.total_arrivals = 20;
-    cfg.admission_queue_limit = 0;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
     const auto res = run_experiment(cfg);
     int queued = 0;
     for (const auto& rec : res.completions) {
@@ -115,7 +116,7 @@ TEST(open_loop, rejected_arrivals_reduce_served_load) {
     cfg.total_arrivals = 40;
     cfg.admission_queue_limit = 3;
     const auto bounded = run_experiment(cfg);
-    cfg.admission_queue_limit = 0;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
     const auto unbounded = run_experiment(cfg);
     EXPECT_LT(bounded.completions.size(), unbounded.completions.size());
     EXPECT_LE(bounded.makespan, unbounded.makespan);
@@ -185,6 +186,98 @@ TEST(trace_replay, empty_trace_completes_immediately) {
     const auto res = run_experiment(cfg);
     EXPECT_TRUE(res.completions.empty());
     EXPECT_EQ(res.makespan, 0u);
+}
+
+TEST(open_loop, zero_rate_stream_still_serves_every_arrival) {
+    // A zero rate degenerates to astronomically sparse arrivals rather
+    // than dividing by zero: every arrival still fires, far apart, and the
+    // run stays deterministic.
+    auto cfg = open_loop_cfg();
+    cfg.arrival_rate_per_ms = 0.0;
+    cfg.total_arrivals = 3;
+    const auto a = run_experiment(cfg);
+    EXPECT_EQ(a.completions.size(), 3u);
+    EXPECT_EQ(a.rejected_arrivals, 0u);
+    std::set<cycle_t> arrivals;
+    for (const auto& rec : a.completions) arrivals.insert(rec.arrival);
+    EXPECT_EQ(arrivals.size(), 3u);
+    // Mean gap is ~1e9 ms at the clamped rate floor; even the luckiest
+    // draw dwarfs any real service time.
+    EXPECT_GT(*arrivals.begin(), ms_to_cycles(1e6));
+    const auto b = run_experiment(cfg);
+    EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(open_loop, zero_capacity_queue_drops_every_arrival) {
+    auto cfg = open_loop_cfg();
+    cfg.admission_queue_limit = 0;
+    const auto res = run_experiment(cfg);
+    EXPECT_TRUE(res.completions.empty());
+    EXPECT_EQ(res.rejected_arrivals, 12u);
+    EXPECT_TRUE(res.queue_delay_ms.empty());
+}
+
+TEST(open_loop, identical_seeds_identical_through_sweep_pool) {
+    // The same config submitted many times through the parallel sweep pool
+    // must reproduce the direct run bit for bit, at any pool width.
+    const auto reference = run_experiment(open_loop_cfg());
+    std::vector<experiment_config> cfgs(4, open_loop_cfg());
+    for (unsigned threads : {1u, 4u}) {
+        const auto swept = run_sweep(cfgs, threads);
+        for (const auto& res : swept) {
+            ASSERT_EQ(res.completions.size(), reference.completions.size());
+            EXPECT_EQ(res.makespan, reference.makespan);
+            EXPECT_EQ(res.dram_total_bytes, reference.dram_total_bytes);
+            EXPECT_EQ(res.queue_delay_ms.count(),
+                      reference.queue_delay_ms.count());
+            EXPECT_DOUBLE_EQ(res.queue_delay_ms.p99(),
+                             reference.queue_delay_ms.p99());
+            for (std::size_t i = 0; i < res.completions.size(); ++i) {
+                EXPECT_EQ(res.completions[i].arrival,
+                          reference.completions[i].arrival);
+                EXPECT_EQ(res.completions[i].end, reference.completions[i].end);
+            }
+        }
+    }
+}
+
+TEST(open_loop, queue_delay_percentiles_cover_every_completion) {
+    auto cfg = open_loop_cfg();
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.total_arrivals = 20;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    const auto res = run_experiment(cfg);
+    EXPECT_EQ(res.queue_delay_ms.count(), res.completions.size());
+    double max_delay = 0.0;
+    for (const auto& rec : res.completions)
+        max_delay = std::max(max_delay, cycles_to_ms(rec.queue_delay()));
+    EXPECT_DOUBLE_EQ(res.queue_delay_ms.max(), max_delay);
+    EXPECT_GT(res.queue_delay_ms.p99(), 0.0);
+}
+
+TEST(closed_loop, does_not_track_queue_delay) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.workload = {&model::model_by_abbr("MB.")};
+    cfg.co_located = 2;
+    const auto res = run_experiment(cfg);
+    EXPECT_EQ(res.completions.size(), 2u);
+    EXPECT_TRUE(res.queue_delay_ms.empty());
+}
+
+TEST(trace_replay, respects_admission_queue_bound) {
+    experiment_config cfg;
+    cfg.pol = policy::shared_baseline;
+    cfg.kind = runtime::workload_kind::trace_replay;
+    cfg.co_located = 1;
+    cfg.admission_queue_limit = 1;
+    for (int i = 0; i < 5; ++i)
+        cfg.trace.push_back({0, &model::model_by_abbr("MB.")});
+    const auto res = run_experiment(cfg);
+    // The first dispatches immediately, the second queues, the rest hit
+    // the full one-deep queue.
+    EXPECT_EQ(res.completions.size(), 2u);
+    EXPECT_EQ(res.rejected_arrivals, 3u);
 }
 
 TEST(open_loop, works_with_every_policy) {
