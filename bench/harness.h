@@ -79,6 +79,16 @@ inline std::vector<sim::experiment_result> run_policies(
 // json_report() is collected and written to <path> as a JSON array at
 // process exit (e.g. CAMDN_BENCH_JSON=BENCH_fleet.json ./fleet_scaling),
 // alongside the printed tables. Without the variable, reporting is a no-op.
+//
+// Every row carries "schema", the file-format version, so downstream
+// consumers of the accumulated BENCH_*.json artifacts can evolve with it:
+//   1 — bench + free-form fields (implicit; rows carried no version)
+//   2 — version stamped per row; rows MAY additionally carry the
+//       telemetry epoch counters (json_telemetry_fields) when the bench
+//       records telemetry — their absence just means "not recorded"
+
+/// Version stamped into every reported row.
+inline constexpr int bench_json_schema = 2;
 
 /// One key/value of a JSON row; the value is pre-rendered JSON.
 struct json_field {
@@ -131,7 +141,8 @@ public:
     void add_row(const std::string& bench,
                  const std::vector<json_field>& fields) {
         if (!enabled()) return;
-        std::string row = "{\"bench\": " + json_quote(bench);
+        std::string row = "{\"bench\": " + json_quote(bench) +
+                          ", \"schema\": " + std::to_string(bench_json_schema);
         for (const auto& f : fields)
             row += ", " + json_quote(f.key) + ": " + f.literal;
         rows_.push_back(row + "}");
@@ -157,6 +168,30 @@ private:
 inline void json_report(const std::string& bench,
                         const std::vector<json_field>& fields) {
     json_reporter::instance().add_row(bench, fields);
+}
+
+/// Schema-2 telemetry epoch counters of one result, for appending to a
+/// json_report row (all zero when the run recorded no telemetry).
+inline std::vector<json_field> json_telemetry_fields(
+    const sim::experiment_result& res) {
+    std::uint64_t wait = 0, timeouts = 0, downgrades = 0, lbm = 0;
+    double bw = 0.0;
+    for (const auto& e : res.telemetry) {
+        wait += e.total_page_wait();
+        timeouts += e.total_timeouts();
+        for (const auto& t : e.tasks) {
+            downgrades += t.lbm_downgrades;
+            lbm += t.lbm_layers;
+        }
+        bw += e.bw_utilization;
+    }
+    const auto n = res.telemetry.size();
+    return {jint("telemetry_epochs", n),
+            jint("page_wait_cycles", wait),
+            jint("page_timeouts", timeouts),
+            jint("lbm_downgrades", downgrades),
+            jint("lbm_layers", lbm),
+            jnum("bw_utilization_mean", n ? bw / static_cast<double>(n) : 0.0)};
 }
 
 /// Builds compute_qos() input from one result: deadline = scale * Table I

@@ -1,0 +1,140 @@
+// Domain example: the adaptive control loop (src/adapt) end to end.
+//
+// Part 1 runs a bursty MMPP stream through static CaMDN(Full) and
+// CaMDN(Adaptive) on one SoC and prints the telemetry the controller
+// steers by (per-epoch page-wait pressure, look-ahead trajectory, DRAM
+// utilization) next to the serving outcome. Part 2 rotates the tenant
+// population (tenant_churn) — the drifting-mix case the static equal
+// split handles worst. Part 3 closes the fleet loop: a 4-SoC cluster
+// served in feedback rounds, where per-SoC telemetry rollups re-weight
+// the router and sustained SLA violation re-plans placement.
+//
+//   ./build/adaptive_serving            (REPRO_FAST=1 shrinks everything)
+#include <iostream>
+
+#include "bench/harness.h"
+#include "serve/cluster.h"
+
+using namespace camdn;
+
+namespace {
+
+void print_epochs(const sim::experiment_result& res, std::size_t max_rows) {
+    table_printer t({"epoch", "span (ms)", "active", "page-wait frac",
+                     "timeouts", "bw util", "idle pages"});
+    const std::size_t n = std::min(res.telemetry.size(), max_rows);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& e = res.telemetry[i];
+        t.add_row({std::to_string(e.index), fmt_fixed(cycles_to_ms(e.span()), 2),
+                   std::to_string(e.active_slots),
+                   fmt_fixed(e.page_wait_frac(), 4),
+                   std::to_string(e.total_timeouts()),
+                   fmt_fixed(e.bw_utilization, 2),
+                   std::to_string(e.idle_pages)});
+    }
+    t.print(std::cout);
+    if (res.telemetry.size() > n)
+        std::cout << "(" << res.telemetry.size() - n << " more epochs)\n";
+}
+
+}  // namespace
+
+int main() {
+    bench::banner(
+        "Adaptive serving: telemetry-driven feedback control vs static\n"
+        "CaMDN under bursty (MMPP) and drifting (tenant churn) traffic");
+
+    const std::vector<const model::model*> workload{
+        &model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+        &model::model_by_abbr("RS."), &model::model_by_abbr("VT.")};
+
+    // ---- Part 1: MMPP burst on one SoC --------------------------------
+    std::cout << "== Bursty MMPP stream (lull x0.25 / burst x4, "
+                 "sojourn 4 ms) ==\n\n";
+
+    sim::experiment_config base;
+    base.kind = runtime::workload_kind::open_loop_mmpp;
+    base.workload = workload;
+    base.co_located = 6;
+    base.arrival_rate_per_ms = 2.0;
+    base.mmpp_rate_scale = {0.25, 4.0};
+    base.mmpp_sojourn_ms = 4.0;
+    base.total_arrivals = bench::fast_mode() ? 24 : 64;
+    base.admission_queue_limit = 16;
+    base.telemetry = true;
+
+    const auto results = bench::run_policies(
+        base, {sim::policy::camdn_full, sim::policy::camdn_adaptive});
+
+    table_printer t({"policy", "served", "dropped", "mean lat (ms)",
+                     "queue p95 (ms)", "epochs"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto pol = i == 0 ? sim::policy::camdn_full
+                                : sim::policy::camdn_adaptive;
+        const auto& res = results[i];
+        t.add_row({sim::policy_name(pol), std::to_string(res.completions.size()),
+                   std::to_string(res.rejected_arrivals),
+                   fmt_fixed(res.avg_latency_ms(), 2),
+                   fmt_fixed(res.queue_delay_ms.p95(), 2),
+                   std::to_string(res.telemetry.size())});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAdaptive run's telemetry (what the controller saw):\n\n";
+    print_epochs(results[1], bench::fast_mode() ? 6 : 10);
+
+    // ---- Part 2: tenant churn -----------------------------------------
+    std::cout << "\n== Tenant churn (active pair rotates every 8 ms) ==\n\n";
+
+    sim::experiment_config churn = base;
+    churn.kind = runtime::workload_kind::tenant_churn;
+    churn.churn_interval_ms = 8.0;
+    churn.churn_active_models = 2;
+
+    const auto churn_res = bench::run_policies(
+        churn, {sim::policy::camdn_full, sim::policy::camdn_adaptive});
+    table_printer ct({"policy", "served", "dropped", "mean lat (ms)",
+                      "queue p95 (ms)"});
+    for (std::size_t i = 0; i < churn_res.size(); ++i) {
+        const auto pol = i == 0 ? sim::policy::camdn_full
+                                : sim::policy::camdn_adaptive;
+        const auto& res = churn_res[i];
+        ct.add_row({sim::policy_name(pol),
+                    std::to_string(res.completions.size()),
+                    std::to_string(res.rejected_arrivals),
+                    fmt_fixed(res.avg_latency_ms(), 2),
+                    fmt_fixed(res.queue_delay_ms.p95(), 2)});
+    }
+    ct.print(std::cout);
+
+    // ---- Part 3: fleet feedback rounds --------------------------------
+    std::cout << "\n== Fleet feedback: 4 SoCs, bursty stream, 4 rounds ==\n\n";
+
+    serve::soc_instance_config inst;
+    inst.pol = sim::policy::camdn_adaptive;
+    inst.slots = 2;
+    inst.admission_queue_limit = 12;
+    auto fleet = serve::uniform_cluster(4, inst);
+    fleet.models = workload;
+    fleet.process = serve::arrival_process::mmpp;
+    fleet.arrival_rate_per_ms = 6.0;
+    fleet.total_arrivals = bench::fast_mode() ? 64 : 192;
+    fleet.feedback_rounds = 4;
+    const auto res = serve::run_cluster(fleet);
+
+    std::cout << "served " << res.completed << "/" << res.arrivals
+              << ", dropped " << res.dropped_queue + res.dropped_unroutable
+              << ", SLA " << fmt_fixed(res.sla_rate() * 100.0, 1)
+              << "%, p99 " << fmt_fixed(res.fleet_latency_ms.p99(), 2)
+              << " ms, re-placements " << res.replacements << "\n";
+    std::cout << "final router weights:";
+    for (const double w : res.route_weights)
+        std::cout << " " << fmt_fixed(w, 2);
+    std::cout << "\n";
+
+    std::cout << "\nThe controller widens per-slot cache shares in lulls\n"
+                 "(idle slots no longer strand pages), backs the Algorithm-1\n"
+                 "look-ahead off when page waits pile up, and the fleet loop\n"
+                 "drains traffic away from pressured SoCs between rounds.\n";
+    return 0;
+}

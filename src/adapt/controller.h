@@ -1,0 +1,104 @@
+// Epoch-driven feedback controller for `policy::camdn_adaptive`.
+//
+// CaMDN's Algorithm 1 acts on offline estimates: the fairness floor and the
+// predicted steady-state demand assume all `co_located` slots are busy, and
+// the 0.2 `ahead_ratio` look-ahead is a fixed profile-time constant. Under
+// bursty or drifting traffic both assumptions break — idle slots strand
+// cache pages, and a fixed look-ahead either forfeits LBM in lulls or
+// over-commits and times out under contention. Following MoCA's
+// memory-centric adaptive execution, this controller closes the loop: every
+// epoch it consumes the telemetry snapshot and re-derives
+//   * per-slot cache page shares (the Algorithm-1 fairness floor and
+//     steady-state prediction) from the observed active-slot count,
+//   * the `ahead_ratio` via multiplicative increase/decrease keyed to
+//     observed page-wait pressure and negotiation timeouts,
+//   * MoCA-style per-slot DRAM bandwidth caps from observed traffic skew
+//     and QoS slack.
+// The decision path is a pure function of the snapshot stream and the
+// seeded config, so adaptive sweeps stay bit-identical across runs and
+// thread-pool widths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/telemetry.h"
+#include "common/types.h"
+
+namespace camdn::adapt {
+
+struct controller_config {
+    /// Telemetry/decision epoch (cycles of the 1 GHz clock).
+    cycle_t epoch = 100'000;
+
+    // ---- page-share loop ----
+    bool manage_shares = true;
+    /// Smoothing of the observed active-slot count, in [0,1]; higher reacts
+    /// faster to bursts, lower rides through blips.
+    double active_smoothing = 0.5;
+
+    // ---- ahead_ratio loop (multiplicative increase / decrease) ----
+    // The look-ahead only ever grows above the profile-time baseline (the
+    // paper's 0.2, tuned for saturated co-location) and falls back to it
+    // under contention: in a fully loaded SoC the adaptive policy thereby
+    // converges to static CaMDN instead of under- or over-shooting it.
+    bool manage_ahead = true;
+    double ahead_max = 0.35;
+    double ahead_up = 1.2;    ///< applied when contention is low
+    double ahead_down = 0.5;  ///< applied on timeouts / heavy waiting
+    /// Page-wait fraction (per active slot) above which the look-ahead
+    /// backs off, and below which it may grow. Between the two: hold.
+    double wait_hi = 0.01;
+    double wait_lo = 0.001;
+
+    // ---- bandwidth loop ----
+    bool manage_bandwidth = true;
+    /// A slot is a bandwidth hog when its share of epoch DMA bytes exceeds
+    /// hog_factor / active_slots while some other slot is behind.
+    double hog_factor = 1.5;
+    /// Caps never drop below this DRAM share.
+    double bw_floor = 0.125;
+
+    /// Reserved for stochastic controller extensions (e.g. dithered
+    /// exploration). Every current loop is a pure function of the snapshot
+    /// stream, so two controllers with equal config and input agree
+    /// bit-for-bit regardless of seed.
+    std::uint64_t seed = 0;
+};
+
+/// What the scheduler applies after each epoch decision.
+struct control_action {
+    double ahead_ratio = 0.2;
+    /// Per-slot fairness floor / steady-state prediction, pages.
+    std::vector<std::uint32_t> page_share;
+    /// Per-slot DRAM share in [0,1]; 0 = unregulated.
+    std::vector<double> bw_share;
+};
+
+class feedback_controller {
+public:
+    feedback_controller(const controller_config& cfg, std::uint32_t slots,
+                        std::uint32_t total_pages, double initial_ahead);
+
+    /// Consumes one epoch snapshot and returns the action to apply for the
+    /// next epoch. Deterministic.
+    const control_action& on_epoch(const epoch_snapshot& snap);
+
+    const control_action& action() const { return action_; }
+    double smoothed_active() const { return active_ema_; }
+    const controller_config& config() const { return cfg_; }
+
+private:
+    void update_shares(const epoch_snapshot& snap);
+    void update_ahead(const epoch_snapshot& snap);
+    void update_bandwidth(const epoch_snapshot& snap);
+
+    controller_config cfg_;
+    std::uint32_t slots_;
+    std::uint32_t total_pages_;
+    double active_ema_;
+    double ahead_baseline_;
+    control_action action_;
+};
+
+}  // namespace camdn::adapt

@@ -1,0 +1,32 @@
+#include "adapt/telemetry.h"
+
+namespace camdn::adapt {
+
+const epoch_snapshot& telemetry_bus::cut(cycle_t now, const cut_sample& s) {
+    epoch_snapshot snap;
+    snap.index = history_.size();
+    snap.start = epoch_start_;
+    snap.end = now;
+    snap.tasks = cur_;
+    snap.dram_bytes = s.dram_bytes;
+    snap.dram_throttled = s.dram_throttled;
+    snap.idle_pages = s.idle_pages;
+    for (const auto& c : snap.tasks)
+        if (c.active()) snap.active_slots += 1;
+    if (snap.span() && s.peak_bytes_per_cycle > 0.0)
+        snap.bw_utilization =
+            static_cast<double>(s.dram_bytes) /
+            (s.peak_bytes_per_cycle * static_cast<double>(snap.span()));
+    history_.push_back(std::move(snap));
+    cur_.assign(cur_.size(), task_counters{});
+    epoch_start_ = now;
+    return history_.back();
+}
+
+bool telemetry_bus::open_epoch_active() const {
+    for (const auto& c : cur_)
+        if (c.active() || c.cache_hits || c.cache_misses) return true;
+    return false;
+}
+
+}  // namespace camdn::adapt

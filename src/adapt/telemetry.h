@@ -1,0 +1,189 @@
+// Telemetry bus: low-overhead per-epoch runtime counters.
+//
+// The simulated components (shared cache, DMA engine, layer executor,
+// scheduler) carry a nullable `telemetry_bus*`; every hook is a null check
+// plus an integer increment, so instrumentation costs nothing when
+// telemetry is off and stays cheap when it is on. The scheduler cuts the
+// accumulated counters into an `epoch_snapshot` every adaptive epoch; the
+// snapshot stream is what the feedback controller (adapt/controller.h) and
+// the fleet rollups (adapt/fleet_feedback.h) consume, and it is exported on
+// `sim::experiment_result::telemetry` for offline analysis.
+//
+// This header depends only on common/ so that the hardware layers below
+// sim/ can include it without an upward dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace camdn::adapt {
+
+/// Counters of one task slot accumulated since the last epoch cut.
+/// All counts are event-ordered simulation facts, so snapshot streams are
+/// bit-identical across repeated runs and sweep-pool widths.
+struct task_counters {
+    // Cache behaviour (transparent + NEC region paths).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t region_lines = 0;  ///< NEC region reads+writes (lines)
+    std::uint64_t fill_lines = 0;    ///< NEC fills from DRAM (lines)
+
+    // DMA traffic issued on behalf of the slot.
+    std::uint64_t dma_bytes = 0;
+
+    // Layer execution.
+    std::uint64_t layers_retired = 0;
+    std::uint64_t compute_cycles = 0;  ///< pure-compute portion of layers
+    std::uint64_t layer_cycles = 0;    ///< issue-to-retire span of layers
+    std::uint64_t lbm_layers = 0;      ///< layers run on an LBM candidate
+
+    // Algorithm-1 page negotiation.
+    std::uint64_t page_wait_cycles = 0;  ///< stalled waiting on page grants
+    std::uint64_t page_timeouts = 0;     ///< negotiations that hit timeout
+    std::uint64_t lbm_downgrades = 0;    ///< LBM decisions lost to timeout
+
+    // Completions and QoS slack.
+    std::uint64_t completions = 0;
+    std::uint64_t deadline_completions = 0;  ///< completions carrying a deadline
+    std::uint64_t deadline_misses = 0;
+    /// Sum of signed slack (deadline - end) over completions with a
+    /// deadline, cycles. Negative when the slot is running late.
+    std::int64_t slack_cycles = 0;
+
+    /// True when the slot did anything at all this epoch.
+    bool active() const {
+        return layers_retired || dma_bytes || page_wait_cycles || completions;
+    }
+};
+
+/// One cut of the telemetry bus: per-slot counters plus SoC-level facts
+/// sampled by the scheduler at the cut.
+struct epoch_snapshot {
+    std::uint64_t index = 0;
+    cycle_t start = 0;
+    cycle_t end = 0;
+
+    std::vector<task_counters> tasks;  ///< indexed by task slot
+
+    // SoC-level, sampled at the cut.
+    std::uint64_t dram_bytes = 0;      ///< DRAM bytes moved this epoch
+    std::uint64_t dram_throttled = 0;  ///< regulated requests this epoch
+    double bw_utilization = 0.0;       ///< dram_bytes / (peak * epoch span)
+    std::uint32_t idle_pages = 0;      ///< free NPU-subspace pages at cut
+    std::uint32_t active_slots = 0;    ///< slots with activity this epoch
+
+    cycle_t span() const { return end > start ? end - start : 0; }
+
+    std::uint64_t total_page_wait() const {
+        std::uint64_t sum = 0;
+        for (const auto& t : tasks) sum += t.page_wait_cycles;
+        return sum;
+    }
+    std::uint64_t total_timeouts() const {
+        std::uint64_t sum = 0;
+        for (const auto& t : tasks) sum += t.page_timeouts;
+        return sum;
+    }
+    /// Page-wait cycles per active slot per epoch cycle — the contention
+    /// pressure signal the controller and the fleet router act on.
+    double page_wait_frac() const {
+        const cycle_t s = span();
+        if (!s || !active_slots) return 0.0;
+        return static_cast<double>(total_page_wait()) /
+               (static_cast<double>(s) * active_slots);
+    }
+};
+
+/// The accumulator the instrumented components write into. Hooks are
+/// no-ops for out-of-range slots (no_task, isolated warm-up probes).
+class telemetry_bus {
+public:
+    explicit telemetry_bus(std::uint32_t slots = 0) { reset(slots); }
+
+    void reset(std::uint32_t slots) {
+        cur_.assign(slots, task_counters{});
+        history_.clear();
+        epoch_start_ = 0;
+    }
+
+    std::uint32_t slots() const { return static_cast<std::uint32_t>(cur_.size()); }
+
+    // ---- hooks (hot paths: null-checked by the caller) ----
+
+    void on_cache_access(task_id t, bool hit) {
+        if (auto* c = slot(t)) (hit ? c->cache_hits : c->cache_misses) += 1;
+    }
+    void on_region_lines(task_id t, std::uint64_t lines) {
+        if (auto* c = slot(t)) c->region_lines += lines;
+    }
+    void on_fill_lines(task_id t, std::uint64_t lines) {
+        if (auto* c = slot(t)) c->fill_lines += lines;
+    }
+    void on_dma_bytes(task_id t, std::uint64_t bytes) {
+        if (auto* c = slot(t)) c->dma_bytes += bytes;
+    }
+    void on_layer_retired(task_id t, std::uint64_t compute, std::uint64_t span,
+                          bool lbm) {
+        if (auto* c = slot(t)) {
+            c->layers_retired += 1;
+            c->compute_cycles += compute;
+            c->layer_cycles += span;
+            if (lbm) c->lbm_layers += 1;
+        }
+    }
+    void on_page_wait(task_id t, cycle_t cycles) {
+        if (auto* c = slot(t)) c->page_wait_cycles += cycles;
+    }
+    void on_page_timeout(task_id t, bool was_lbm) {
+        if (auto* c = slot(t)) {
+            c->page_timeouts += 1;
+            if (was_lbm) c->lbm_downgrades += 1;
+        }
+    }
+    void on_completion(task_id t, cycle_t end, cycle_t deadline) {
+        auto* c = slot(t);
+        if (!c) return;
+        c->completions += 1;
+        if (deadline != never) {
+            c->deadline_completions += 1;
+            c->slack_cycles += static_cast<std::int64_t>(deadline) -
+                               static_cast<std::int64_t>(end);
+            if (end > deadline) c->deadline_misses += 1;
+        }
+    }
+
+    // ---- epoch cutting (scheduler only) ----
+
+    /// SoC-level facts the scheduler samples at the cut.
+    struct cut_sample {
+        std::uint64_t dram_bytes = 0;      ///< epoch delta
+        std::uint64_t dram_throttled = 0;  ///< epoch delta
+        double peak_bytes_per_cycle = 0.0;
+        std::uint32_t idle_pages = 0;
+    };
+
+    /// Closes the current epoch at `now`, appends it to history and starts
+    /// a fresh one. Returns the closed snapshot.
+    const epoch_snapshot& cut(cycle_t now, const cut_sample& s);
+
+    /// True when the open epoch has recorded anything (a final partial cut
+    /// is worth keeping).
+    bool open_epoch_active() const;
+
+    const std::vector<epoch_snapshot>& history() const { return history_; }
+
+private:
+    task_counters* slot(task_id t) {
+        return t >= 0 && static_cast<std::size_t>(t) < cur_.size()
+                   ? &cur_[static_cast<std::size_t>(t)]
+                   : nullptr;
+    }
+
+    std::vector<task_counters> cur_;
+    std::vector<epoch_snapshot> history_;
+    cycle_t epoch_start_ = 0;
+};
+
+}  // namespace camdn::adapt

@@ -82,6 +82,7 @@ access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
     if (chosen != nullptr) {  // hit
         ++stats_.hits;
         bump_task(task_hits_, task);
+        if (telemetry_) telemetry_->on_cache_access(task, true);
         chosen->lru = ++lru_tick_;
         if (is_write) chosen->dirty = true;
         return access_result{true, service + config_.hit_latency};
@@ -90,6 +91,7 @@ access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
     // Miss.
     ++stats_.misses;
     bump_task(task_misses_, task);
+    if (telemetry_) telemetry_->on_cache_access(task, false);
     line_entry& victim = invalid_way != nullptr ? *invalid_way : *lru_way;
     if (victim.valid) {
         ++stats_.evictions;
@@ -217,6 +219,7 @@ cycle_t shared_cache::region_read_burst(task_id task, addr_t vcaddr,
     if (nlines == 0) return arrival;
     stats_.region_reads += nlines;
     if (group_size > 1) stats_.multicast_combined += (group_size - 1) * nlines;
+    if (telemetry_) telemetry_->on_region_lines(task, nlines);
     const pcaddr first = cpt(task).translate(vcaddr);
     return occupy_striped(first.slice, nlines, arrival) + config_.hit_latency;
 }
@@ -225,6 +228,7 @@ cycle_t shared_cache::region_write_burst(task_id task, addr_t vcaddr,
                                          std::uint64_t nlines, cycle_t arrival) {
     if (nlines == 0) return arrival;
     stats_.region_writes += nlines;
+    if (telemetry_) telemetry_->on_region_lines(task, nlines);
     const pcaddr first = cpt(task).translate(vcaddr);
     return occupy_striped(first.slice, nlines, arrival) + config_.noc_latency;
 }
@@ -234,6 +238,7 @@ cycle_t shared_cache::region_fill_burst(task_id task, addr_t vcaddr,
                                         cycle_t arrival) {
     if (nlines == 0) return arrival;
     stats_.region_fills += nlines;
+    if (telemetry_) telemetry_->on_fill_lines(task, nlines);
     const pcaddr first = cpt(task).translate(vcaddr);
     const cycle_t dram_done =
         dram_.access_burst(dram_addr, nlines, false, arrival, task);

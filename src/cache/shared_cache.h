@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/telemetry.h"
 #include "cache/cache_config.h"
 #include "cache/cpt.h"
 #include "cache/page_allocator.h"
@@ -135,6 +136,10 @@ public:
     const cache_stats& stats() const { return stats_; }
     void reset_stats();
 
+    /// Attaches the per-epoch telemetry bus (nullptr detaches; hooks are a
+    /// null check when telemetry is off).
+    void set_telemetry(adapt::telemetry_bus* bus) { telemetry_ = bus; }
+
     /// Drops every transparent line (used between experiment repetitions).
     void invalidate_all();
 
@@ -174,6 +179,7 @@ private:
     std::unordered_map<task_id, std::unique_ptr<cache_page_table>> cpts_;
 
     cache_stats stats_;
+    adapt::telemetry_bus* telemetry_ = nullptr;
     std::vector<std::uint64_t> task_hits_;
     std::vector<std::uint64_t> task_misses_;
 };

@@ -102,6 +102,7 @@ void dma_engine::submit(const transfer_request& req,
         on_done(eq_.now());
         return;
     }
+    if (telemetry_) telemetry_->on_dma_bytes(req.task, req.nlines * line_bytes);
     auto f = std::make_shared<flight>(*this, req, std::move(on_done));
     f->pump();
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "adapt/telemetry.h"
 #include "cache/shared_cache.h"
 #include "common/event_queue.h"
 #include "common/types.h"
@@ -59,6 +60,10 @@ public:
     std::uint64_t chunk_lines() const { return chunk_lines_; }
     std::uint32_t window() const { return window_; }
 
+    /// Attaches the per-epoch telemetry bus (nullptr detaches). Submitted
+    /// transfers are attributed to their task at issue time.
+    void set_telemetry(adapt::telemetry_bus* bus) { telemetry_ = bus; }
+
 private:
     struct flight;
 
@@ -66,6 +71,7 @@ private:
     cache::shared_cache& cache_;
     std::uint64_t chunk_lines_;
     std::uint32_t window_;
+    adapt::telemetry_bus* telemetry_ = nullptr;
 };
 
 }  // namespace camdn::npu

@@ -18,10 +18,19 @@ std::int64_t cache_allocation_algorithm::predict_available_pages(
     // Fairness floor: over any longer horizon a task can always obtain the
     // equal split (co-runners' requests beyond their split time out), so
     // never predict less than that — it keeps transient contention from
-    // collapsing the selection to the zero-page candidate.
-    const std::int64_t fair_share = static_cast<std::int64_t>(
-        pool.total_pages() /
-        std::max<std::size_t>(std::size_t{1}, running.size()));
+    // collapsing the selection to the zero-page candidate. Under adaptive
+    // control the floor is the controller's observed per-slot share (the
+    // pool divided by slots that are actually competing).
+    std::int64_t fair_share;
+    if (fair_pages_ != nullptr && current.id >= 0 &&
+        static_cast<std::size_t>(current.id) < fair_pages_->size()) {
+        fair_share =
+            static_cast<std::int64_t>((*fair_pages_)[current.id]);
+    } else {
+        fair_share = static_cast<std::int64_t>(
+            pool.total_pages() /
+            std::max<std::size_t>(std::size_t{1}, running.size()));
+    }
     return std::max(ahead, fair_share);
 }
 

@@ -53,8 +53,18 @@ public:
 
     double ahead_ratio() const { return ahead_ratio_; }
 
+    /// Adaptive-control inputs (policy::camdn_adaptive): the feedback
+    /// controller retunes the look-ahead each epoch and replaces the
+    /// equal-split fairness floor with observed per-slot shares. `shares`
+    /// must outlive the algorithm; nullptr restores the static floor.
+    void set_ahead_ratio(double r) { ahead_ratio_ = r; }
+    void set_fair_pages(const std::vector<std::uint32_t>* shares) {
+        fair_pages_ = shares;
+    }
+
 private:
     double ahead_ratio_;
+    const std::vector<std::uint32_t>* fair_pages_ = nullptr;
 };
 
 }  // namespace camdn::runtime

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "model/model_zoo.h"
+
 namespace camdn::runtime {
+
+bool meets_qos_target(const std::string& abbr, cycle_t latency, double scale) {
+    const cycle_t target = static_cast<cycle_t>(
+        scale * ms_to_cycles(model::model_by_abbr(abbr).qos_ms));
+    return latency <= target;
+}
 
 qos_metrics compute_qos(const std::vector<qos_record>& records,
                         std::uint32_t co_located) {
+    // Degenerate inputs return zeroed metrics rather than NaN/Inf: an
+    // empty record set, zero isolated latencies (an unprofiled reference),
+    // zero measured latencies, and an all-zero max NP (the fairness
+    // denominator) are all products of legitimately empty or partial
+    // experiments, and callers fold these metrics straight into tables.
     qos_metrics m;
     if (records.empty()) return m;
 
@@ -14,15 +27,17 @@ qos_metrics compute_qos(const std::vector<qos_record>& records,
     std::map<std::string, std::pair<double, std::uint64_t>> np_by_model;
     for (const auto& r : records) {
         if (r.deadline_rel == never || r.latency <= r.deadline_rel) ++met;
+        // Zero latency or zero isolated reference contribute zero progress
+        // (0/x and x/0 alike — both mean "no usable measurement").
         const double np =
-            r.latency > 0
+            r.latency > 0 && r.isolated > 0
                 ? static_cast<double>(r.isolated) / static_cast<double>(r.latency)
                 : 0.0;
         auto& acc = np_by_model[r.model_abbr];
         acc.first += np;
         acc.second += 1;
     }
-    m.sla_rate = static_cast<double>(met) / records.size();
+    m.sla_rate = static_cast<double>(met) / static_cast<double>(records.size());
 
     double np_sum = 0.0;
     double np_min = 1e300;

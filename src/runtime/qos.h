@@ -33,4 +33,9 @@ struct qos_metrics {
 qos_metrics compute_qos(const std::vector<qos_record>& records,
                         std::uint32_t co_located);
 
+/// True when a completion of model `abbr` with `latency` meets
+/// scale * its Table-I latency target — the one SLA definition shared by
+/// the serve-layer aggregation, the fleet rollups and the benches.
+bool meets_qos_target(const std::string& abbr, cycle_t latency, double scale);
+
 }  // namespace camdn::runtime

@@ -12,7 +12,22 @@ scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
     : cfg_(cfg),
       gen_(gen),
       machine_(cfg.soc, cfg.pol),
-      bw_(machine_.dram()) {}
+      bw_(machine_.dram()) {
+    telemetry_on_ = cfg_.telemetry || adaptive();
+    if (telemetry_on_) {
+        bus_.reset(cfg_.co_located);
+        machine_.set_telemetry(&bus_);
+    }
+    if (adaptive()) {
+        page_share_.assign(cfg_.co_located,
+                           machine_.cache().pages().total_pages() /
+                               std::max<std::uint32_t>(cfg_.co_located, 1));
+        alg_.set_fair_pages(&page_share_);
+        ctl_ = std::make_unique<adapt::feedback_controller>(
+            cfg_.adapt_ctl, cfg_.co_located,
+            machine_.cache().pages().total_pages(), alg_.ahead_ratio());
+    }
+}
 
 std::vector<const task*> scheduler::running_tasks_const() const {
     std::vector<const task*> out;
@@ -60,6 +75,38 @@ void scheduler::schedule_bw_epoch() {
     auto running = running_tasks();
     bw_.reallocate(running, machine_.eq().now());
     machine_.eq().schedule_after(cfg_.bw_epoch, [this]() { schedule_bw_epoch(); });
+}
+
+void scheduler::cut_epoch() {
+    adapt::telemetry_bus::cut_sample s;
+    const auto& d = machine_.dram().stats();
+    s.dram_bytes = d.bytes() - dram_bytes_mark_;
+    s.dram_throttled = d.throttled - dram_throttled_mark_;
+    dram_bytes_mark_ = d.bytes();
+    dram_throttled_mark_ = d.throttled;
+    s.peak_bytes_per_cycle = machine_.dram().config().peak_bytes_per_cycle();
+    s.idle_pages = machine_.cache().pages().idle_pages();
+    const auto& snap = bus_.cut(machine_.eq().now(), s);
+    if (ctl_) apply_action(ctl_->on_epoch(snap));
+}
+
+void scheduler::maybe_cut_epoch() {
+    if (machine_.eq().now() < epoch_deadline_) return;
+    cut_epoch();
+    epoch_deadline_ = machine_.eq().now() + cfg_.adapt_ctl.epoch;
+}
+
+void scheduler::apply_action(const adapt::control_action& a) {
+    alg_.set_ahead_ratio(a.ahead_ratio);
+    for (std::size_t s = 0; s < page_share_.size() && s < a.page_share.size();
+         ++s)
+        page_share_[s] = a.page_share[s];
+    // Bandwidth caps apply to currently running slots only; idle slots are
+    // left unregulated so a fresh dispatch never inherits a stale cap.
+    for (std::size_t s = 0; s < a.bw_share.size() && s < tasks_.size(); ++s)
+        machine_.dram().set_task_share(static_cast<task_id>(s),
+                                       tasks_[s].running() ? a.bw_share[s]
+                                                           : 0.0);
 }
 
 task_id scheduler::pick_free_slot() const {
@@ -168,6 +215,8 @@ void scheduler::begin_inference(task& t) {
 }
 
 void scheduler::begin_layer(task& t) {
+    maybe_cut_epoch();
+
     // Bandwidth-partitioning policies track layer changes: demands shift at
     // layer granularity, so shares are refreshed here as well as at epochs.
     if (use_bw_alloc()) {
@@ -197,7 +246,8 @@ void scheduler::begin_layer(task& t) {
             return;
         }
 
-        case sim::policy::camdn_full: {
+        case sim::policy::camdn_full:
+        case sim::policy::camdn_adaptive: {
             auto running = running_tasks_const();
             auto decision = alg_.select(t, running, machine_.cache().pages(),
                                         machine_.eq().now(), cfg_.features.lbm);
@@ -223,12 +273,15 @@ void scheduler::negotiate_pages(task& t, allocation_decision d) {
             const cycle_t now = machine_.eq().now();
             if (d.timeout != never && now >= d.timeout) {
                 // Timeout: fall back to the next-smaller candidate.
+                if (telemetry_on_)
+                    bus_.on_page_timeout(t.id, d.candidate->is_lbm);
                 negotiate_pages(
                     t, alg_.downgrade(t, d.candidate->pages_needed, now));
                 return;
             }
             const cycle_t retry =
                 std::min(d.timeout, now + cfg_.page_retry_interval);
+            if (telemetry_on_) bus_.on_page_wait(t.id, retry - now);
             machine_.eq().schedule(retry,
                                    [this, &t, d]() { negotiate_pages(t, d); });
             return;
@@ -259,9 +312,14 @@ std::uint32_t scheduler::predict_next_pages(const task& t) {
         return table.lbm->pages_needed;
     // Predicted steady-state demand: the largest candidate within the
     // equal split — co-runners converge to their fair share, so pages held
-    // beyond it are expected to come back to the pool.
+    // beyond it are expected to come back to the pool. Under adaptive
+    // control the split tracks the observed competitor count instead of
+    // the configured slot count.
     const std::uint32_t fair =
-        machine_.cache().pages().total_pages() / cfg_.co_located;
+        adaptive() && t.id >= 0 &&
+                static_cast<std::size_t>(t.id) < page_share_.size()
+            ? page_share_[t.id]
+            : machine_.cache().pages().total_pages() / cfg_.co_located;
     const mapping::mapping_candidate* pick = &table.lwm.front();
     for (const auto& cand : table.lwm)
         if (cand.pages_needed <= fair && cand.pages_needed >= pick->pages_needed)
@@ -282,9 +340,10 @@ void scheduler::run_layer(task& t, const mapping::mapping_candidate& cand) {
 }
 
 void scheduler::end_layer(task& t, cycle_t end) {
+    maybe_cut_epoch();
     t.t_next = end;  // reallocating right now
 
-    if (cfg_.pol == sim::policy::camdn_full && t.lbm_enabled &&
+    if (sim::is_camdn_dynamic(cfg_.pol) && t.lbm_enabled &&
         t.mapping->is_block_tail(t.current_layer)) {
         // The block's intermediates are dead; return the arena promptly.
         machine_.cache().pages().release_all(t.id);
@@ -302,8 +361,8 @@ void scheduler::end_layer(task& t, cycle_t end) {
 }
 
 void scheduler::end_inference(task& t, cycle_t end) {
-    if (cfg_.pol == sim::policy::camdn_full ||
-        cfg_.pol == sim::policy::camdn_hw_only) {
+    if (telemetry_on_) bus_.on_completion(t.id, end, t.deadline);
+    if (sim::is_camdn(cfg_.pol)) {
         machine_.cache().pages().release_all(t.id);
         t.p_alloc = 0;
         t.lbm_enabled = false;
@@ -355,6 +414,9 @@ sim::experiment_result scheduler::run() {
     for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
         free_cores_.push_back(static_cast<npu_id>(c - 1));
 
+    if (telemetry_on_ && cfg_.adapt_ctl.epoch != 0)
+        epoch_deadline_ = cfg_.adapt_ctl.epoch;
+
     gen_.start(*this);
     update_done();
     schedule_bw_epoch();
@@ -371,6 +433,12 @@ sim::experiment_result scheduler::run() {
     result_.rejected_arrivals = gen_.rejected();
     if (const percentile_tracker* delays = gen_.queue_delays_ms())
         result_.queue_delay_ms = *delays;
+    if (telemetry_on_) {
+        // Close the trailing partial epoch so every counted event lands in
+        // exactly one exported snapshot.
+        if (bus_.open_epoch_active()) cut_epoch();
+        result_.telemetry = bus_.history();
+    }
     return result_;
 }
 

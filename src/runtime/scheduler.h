@@ -13,8 +13,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "adapt/controller.h"
+#include "adapt/telemetry.h"
 #include "runtime/bandwidth_allocator.h"
 #include "runtime/cache_allocation.h"
 #include "runtime/task.h"
@@ -50,14 +53,18 @@ private:
     };
 
     bool use_bw_alloc() const {
+        // camdn_adaptive regulates bandwidth through its feedback
+        // controller, not the per-layer MoCA allocator.
         return cfg_.pol == sim::policy::moca ||
                cfg_.pol == sim::policy::aurora ||
-               (cfg_.qos_mode && sim::is_camdn(cfg_.pol));
+               (cfg_.qos_mode && sim::is_camdn(cfg_.pol) &&
+                cfg_.pol != sim::policy::camdn_adaptive);
     }
     bool use_npu_alloc() const {
         return cfg_.pol == sim::policy::aurora ||
                (cfg_.qos_mode && sim::is_camdn(cfg_.pol));
     }
+    bool adaptive() const { return cfg_.pol == sim::policy::camdn_adaptive; }
 
     std::vector<const task*> running_tasks_const() const;
     std::vector<task*> running_tasks();
@@ -75,6 +82,14 @@ private:
     void remap_cpt(task& t);
     std::uint32_t predict_next_pages(const task& t);
     void schedule_bw_epoch();
+    /// Lazy epoch boundary: cuts a telemetry epoch once simulation time
+    /// passes the next boundary. Called from layer activity rather than a
+    /// scheduled event so telemetry never adds events to the queue (an
+    /// observing run stays bit-identical to a bare one, makespan
+    /// included).
+    void maybe_cut_epoch();
+    void cut_epoch();
+    void apply_action(const adapt::control_action& a);
     void update_done();
 
     const sim::experiment_config& cfg_;
@@ -89,6 +104,17 @@ private:
 
     std::vector<npu_id> free_cores_;
     std::deque<work_item> dispatch_queue_;
+
+    // ---- telemetry + adaptive control (src/adapt) ----
+    bool telemetry_on_ = false;
+    adapt::telemetry_bus bus_;
+    std::unique_ptr<adapt::feedback_controller> ctl_;
+    /// Controller-published per-slot page shares (camdn_adaptive); alg_
+    /// reads them through set_fair_pages, so updates apply in place.
+    std::vector<std::uint32_t> page_share_;
+    std::uint64_t dram_bytes_mark_ = 0;
+    std::uint64_t dram_throttled_mark_ = 0;
+    cycle_t epoch_deadline_ = never;
 
     sim::experiment_result result_;
     std::uint32_t in_flight_ = 0;

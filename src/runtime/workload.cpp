@@ -9,6 +9,29 @@
 
 namespace camdn::runtime {
 
+mmpp_clock::mmpp_clock(double base_rate_per_ms, std::vector<double> rate_scale,
+                       double sojourn_ms, rng& r)
+    : scale_(rate_scale.empty() ? std::vector<double>{1.0}
+                                : std::move(rate_scale)),
+      base_(std::max(base_rate_per_ms, 1e-9)),
+      sojourn_(std::max(sojourn_ms, 1e-6)),
+      r_(r),
+      state_end_ms_(-std::log(1.0 - r.next_double()) * sojourn_) {}
+
+double mmpp_clock::next_arrival_ms() {
+    double rate = base_ * std::max(scale_[state_], 1e-9);
+    double gap_ms = -std::log(1.0 - r_.next_double()) / rate;
+    while (t_ms_ + gap_ms > state_end_ms_) {
+        t_ms_ = state_end_ms_;
+        state_ = (state_ + 1) % scale_.size();
+        state_end_ms_ += -std::log(1.0 - r_.next_double()) * sojourn_;
+        rate = base_ * std::max(scale_[state_], 1e-9);
+        gap_ms = -std::log(1.0 - r_.next_double()) / rate;
+    }
+    t_ms_ += gap_ms;
+    return t_ms_;
+}
+
 namespace {
 
 // The paper's scenario: co_located slots, each with a pre-generated random
@@ -125,6 +148,60 @@ public:
     }
 };
 
+// Bursty / diurnal serving: a Markov-modulated Poisson process (see
+// mmpp_clock). The whole pattern (state path and arrivals) is drawn up
+// front from the seed.
+class mmpp_generator final : public arrival_list_generator {
+public:
+    mmpp_generator(const std::vector<const model::model*>& models,
+                   double base_rate_per_ms, std::vector<double> rate_scale,
+                   double sojourn_ms, std::uint32_t total,
+                   std::uint32_t queue_limit, std::uint64_t seed)
+        : arrival_list_generator(queue_limit) {
+        rng r(seed);
+        mmpp_clock clock(base_rate_per_ms, std::move(rate_scale), sojourn_ms,
+                         r);
+        cycle_t t = 0;
+        arrivals_.reserve(total);
+        for (std::uint32_t i = 0; i < total; ++i) {
+            t = std::max<cycle_t>(t + 1, ms_to_cycles(clock.next_arrival_ms()));
+            arrivals_.push_back({t, models[r.next_below(models.size())]});
+        }
+    }
+};
+
+// Tenant churn: Poisson arrivals whose model population rotates. Phase p
+// serves the catalog window starting at p * active (wrapping), so tenants
+// continually join and leave — the drifting-mix scenario the adaptive
+// controller has to follow.
+class churn_generator final : public arrival_list_generator {
+public:
+    churn_generator(const std::vector<const model::model*>& models,
+                    double rate_per_ms, double interval_ms,
+                    std::uint32_t active, std::uint32_t total,
+                    std::uint32_t queue_limit, std::uint64_t seed)
+        : arrival_list_generator(queue_limit) {
+        rng r(seed);
+        const double rate = std::max(rate_per_ms, 1e-9);
+        const double interval = std::max(interval_ms, 1e-6);
+        const std::size_t window = std::min<std::size_t>(
+            models.size(), std::max<std::uint32_t>(active, 1));
+        double t_ms = 0.0;
+        cycle_t t = 0;
+        arrivals_.reserve(total);
+        for (std::uint32_t i = 0; i < total; ++i) {
+            t_ms += -std::log(1.0 - r.next_double()) / rate;
+            t = std::max<cycle_t>(t + 1, ms_to_cycles(t_ms));
+            const std::size_t phase =
+                static_cast<std::size_t>(t_ms / interval);
+            const std::size_t base = (phase * window) % models.size();
+            const std::size_t pick =
+                (base + r.next_below(window)) % models.size();
+            arrivals_.push_back({t, models[pick]});
+        }
+    }
+};
+
 // Replays an explicit arrival list (e.g. captured from a production log,
 // or the per-SoC share a cluster router produced) against the same bounded
 // admission queue as the open-loop path.
@@ -161,6 +238,16 @@ std::unique_ptr<workload_generator> make_workload_generator(
         case workload_kind::trace_replay:
             return std::make_unique<trace_generator>(cfg.trace,
                                                      cfg.admission_queue_limit);
+        case workload_kind::open_loop_mmpp:
+            return std::make_unique<mmpp_generator>(
+                cfg.workload, cfg.arrival_rate_per_ms, cfg.mmpp_rate_scale,
+                cfg.mmpp_sojourn_ms, cfg.total_arrivals,
+                cfg.admission_queue_limit, cfg.seed);
+        case workload_kind::tenant_churn:
+            return std::make_unique<churn_generator>(
+                cfg.workload, cfg.arrival_rate_per_ms, cfg.churn_interval_ms,
+                cfg.churn_active_models, cfg.total_arrivals,
+                cfg.admission_queue_limit, cfg.seed);
     }
     return nullptr;  // unreachable
 }

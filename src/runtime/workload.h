@@ -12,7 +12,9 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "model/model.h"
@@ -28,6 +30,12 @@ enum class workload_kind : std::uint8_t {
     closed_loop,        ///< N slots x fixed inference count, re-dispatch on completion
     open_loop_poisson,  ///< rate-driven arrivals, bounded admission queue
     trace_replay,       ///< explicit (time, model) arrival list
+    /// Markov-modulated Poisson arrivals: the rate jumps between the
+    /// cfg.mmpp_rate_scale states (bursty / diurnal traffic).
+    open_loop_mmpp,
+    /// Poisson arrivals whose active tenant set rotates every
+    /// cfg.churn_interval_ms (models joining and leaving the SoC).
+    tenant_churn,
 };
 
 /// Admission-queue capacity meaning "never drop". A capacity of 0 is a
@@ -39,6 +47,34 @@ inline constexpr std::uint32_t unbounded_queue =
 struct trace_arrival {
     cycle_t at = 0;
     const model::model* mdl = nullptr;
+};
+
+/// Markov-modulated Poisson arrival clock: the rate walks the
+/// `rate_scale` states in order (wrapping) with exponential sojourns of
+/// mean `sojourn_ms`; within a state, gaps are exponential at
+/// base_rate * state_scale. A gap that crosses the sojourn boundary
+/// restarts its exponential clock in the next state (memorylessness makes
+/// this exact, no thinning). All draws come from the caller's rng, so the
+/// per-SoC mmpp generator and the fleet stream builder share one
+/// implementation and stay deterministic under their seeds.
+class mmpp_clock {
+public:
+    /// Draws the first sojourn from `r`; `r` must outlive the clock.
+    mmpp_clock(double base_rate_per_ms, std::vector<double> rate_scale,
+               double sojourn_ms, rng& r);
+
+    /// Advances to the next arrival and returns its absolute time in
+    /// exact (unrounded) ms.
+    double next_arrival_ms();
+
+private:
+    std::vector<double> scale_;
+    double base_;
+    double sojourn_;
+    rng& r_;
+    std::size_t state_ = 0;
+    double state_end_ms_;
+    double t_ms_ = 0.0;
 };
 
 /// The scheduler surface a generator drives. Implemented by

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/rng.h"
 #include "model/model_zoo.h"
+#include "runtime/qos.h"
 #include "serve/placement.h"
 #include "serve/router.h"
 #include "sim/sweep.h"
@@ -54,6 +56,53 @@ std::uint64_t soc_seed(std::uint64_t cluster_seed, std::size_t s) {
     return z ^ (z >> 31);
 }
 
+struct stream_arrival {
+    cycle_t at = 0;
+    std::size_t model = 0;
+};
+
+/// Draws the whole fleet arrival stream up front — a pure function of the
+/// cluster seed, so routing rounds can slice it without re-drawing. The
+/// Poisson path preserves the legacy RNG call sequence exactly (one gap
+/// draw + one model draw per arrival): single-shot runs stay bit-identical
+/// to pre-feedback builds.
+std::vector<stream_arrival> build_stream(const cluster_config& cfg,
+                                         const std::vector<double>& cum) {
+    std::vector<stream_arrival> out;
+    out.reserve(cfg.total_arrivals);
+    rng r(cfg.seed);
+    const std::size_t M = cum.size();
+    const double base = std::max(cfg.arrival_rate_per_ms, 1e-9);
+
+    auto pick_model = [&]() {
+        const double pick = r.next_double();
+        std::size_t m = 0;
+        while (m + 1 < M && pick >= cum[m]) ++m;
+        return m;
+    };
+
+    if (cfg.process == arrival_process::poisson) {
+        cycle_t t = 0;
+        for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
+            const double gap_ms = -std::log(1.0 - r.next_double()) / base;
+            t += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
+            out.push_back({t, pick_model()});
+        }
+        return out;
+    }
+
+    // MMPP: same modulated clock as runtime's open_loop_mmpp generator,
+    // with the model drawn from the weighted catalog mix after each gap.
+    runtime::mmpp_clock clock(base, cfg.mmpp_rate_scale, cfg.mmpp_sojourn_ms,
+                              r);
+    cycle_t t = 0;
+    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
+        t = std::max<cycle_t>(t + 1, ms_to_cycles(clock.next_arrival_ms()));
+        out.push_back({t, pick_model()});
+    }
+    return out;
+}
+
 }  // namespace
 
 cluster_result run_cluster(const cluster_config& cfg_in) {
@@ -80,51 +129,93 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     }
 
     // Phase 1: placement (also warms the mapping registry for the router).
-    const placement place = plan_placement(cfg);
+    // Placements and the re-planning config are heap/long-lived: the
+    // router holds references into both across feedback rounds.
+    cluster_config replan_cfg = cfg;
+    std::vector<std::unique_ptr<placement>> placements;
+    placements.push_back(std::make_unique<placement>(plan_placement(cfg)));
+    auto router = std::make_unique<request_router>(cfg, *placements.back());
 
-    // Phase 2: walk the global Poisson stream once, routing each arrival.
-    request_router router(cfg, place);
+    const std::uint32_t rounds = std::max<std::uint32_t>(cfg.feedback_rounds, 1);
+    const bool fb_on = rounds > 1;
+    adapt::fleet_feedback fb(cfg.feedback, S);
+    if (fb_on) router->set_load_weights(&fb.weights());
+
     cluster_result out;
-    out.resident_models = place.resident;
+    out.resident_models = placements.back()->resident;
 
-    std::vector<std::vector<runtime::trace_arrival>> traces(S);
+    // Phase 2+3, per round: route the round's slice of the shared stream,
+    // simulate each SoC's trace on the sweep pool, then (feedback only)
+    // fold the round's telemetry rollups into router weights and possibly
+    // re-plan placement against the observed traffic mix.
+    const auto stream = build_stream(cfg, cum);
     std::vector<std::uint64_t> routed_per_model(M, 0);
-    rng r(cfg.seed);
-    const double rate = std::max(cfg.arrival_rate_per_ms, 1e-9);
-    cycle_t t = 0;
-    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
-        const double gap_ms = -std::log(1.0 - r.next_double()) / rate;
-        t += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
-        const double pick = r.next_double();
-        std::size_t m = 0;
-        while (m + 1 < M && pick >= cum[m]) ++m;
 
-        out.arrivals += 1;
-        const std::int32_t s = router.route(t, static_cast<std::uint32_t>(m));
-        if (s < 0) {
-            out.dropped_unroutable += 1;
-            continue;
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+        const std::size_t lo = stream.size() * round / rounds;
+        const std::size_t hi = stream.size() * (round + 1) / rounds;
+
+        std::vector<std::vector<runtime::trace_arrival>> traces(S);
+        for (std::size_t i = lo; i < hi; ++i) {
+            out.arrivals += 1;
+            const std::int32_t s = router->route(
+                stream[i].at, static_cast<std::uint32_t>(stream[i].model));
+            if (s < 0) {
+                out.dropped_unroutable += 1;
+                continue;
+            }
+            traces[s].push_back({stream[i].at, cfg.models[stream[i].model]});
+            routed_per_model[stream[i].model] += 1;
         }
-        traces[s].push_back({t, cfg.models[m]});
-        routed_per_model[m] += 1;
+
+        std::vector<sim::experiment_config> ecs(S);
+        for (std::size_t s = 0; s < S; ++s) {
+            auto& ec = ecs[s];
+            ec.soc = cfg.socs[s].soc;
+            ec.pol = cfg.socs[s].pol;
+            ec.kind = runtime::workload_kind::trace_replay;
+            ec.trace = std::move(traces[s]);
+            ec.co_located = std::max<std::uint32_t>(cfg.socs[s].slots, 1);
+            ec.admission_queue_limit = cfg.socs[s].admission_queue_limit;
+            ec.workload = cfg.models;
+            ec.seed = soc_seed(cfg.seed, s);
+            ec.telemetry = cfg.telemetry || fb_on;
+        }
+        auto round_res = sim::run_sweep(ecs, cfg.threads);
+
+        if (fb_on && round + 1 < rounds) {
+            std::vector<adapt::soc_rollup> rollups;
+            rollups.reserve(S);
+            for (const auto& res : round_res)
+                rollups.push_back(adapt::rollup_from(res, cfg.qos_scale));
+            fb.observe(rollups);
+
+            if (fb.replacement_due()) {
+                std::uint64_t total_routed = 0;
+                for (const auto n : routed_per_model) total_routed += n;
+                if (total_routed > 0) {
+                    // Re-plan against the observed mix (+1 smoothing keeps
+                    // every model placeable and the weights positive).
+                    replan_cfg.traffic_share.assign(M, 1.0);
+                    for (std::size_t m = 0; m < M; ++m)
+                        replan_cfg.traffic_share[m] +=
+                            static_cast<double>(routed_per_model[m]);
+                    placements.push_back(std::make_unique<placement>(
+                        plan_placement(replan_cfg)));
+                    router = std::make_unique<request_router>(
+                        replan_cfg, *placements.back());
+                    router->set_load_weights(&fb.weights());
+                    out.replacements += 1;
+                    out.resident_models = placements.back()->resident;
+                }
+            }
+        }
+
+        for (auto& res : round_res) out.per_soc.push_back(std::move(res));
     }
 
-    // Phase 3: one trace_replay simulation per SoC on the sweep pool.
-    std::vector<sim::experiment_config> ecs(S);
-    for (std::size_t s = 0; s < S; ++s) {
-        auto& ec = ecs[s];
-        ec.soc = cfg.socs[s].soc;
-        ec.pol = cfg.socs[s].pol;
-        ec.kind = runtime::workload_kind::trace_replay;
-        ec.trace = std::move(traces[s]);
-        ec.co_located = std::max<std::uint32_t>(cfg.socs[s].slots, 1);
-        ec.admission_queue_limit = cfg.socs[s].admission_queue_limit;
-        ec.workload = cfg.models;
-        ec.seed = soc_seed(cfg.seed, s);
-    }
-    out.per_soc = sim::run_sweep(ecs, cfg.threads);
-
-    // Aggregate fleet metrics in fleet order (deterministic sample order).
+    // Aggregate fleet metrics in round-major fleet order (deterministic
+    // sample order).
     for (std::size_t m = 0; m < M; ++m)
         out.tenants[cfg.models[m]->abbr].routed += routed_per_model[m];
     for (const auto& res : out.per_soc) {
@@ -135,6 +226,9 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         for (const auto& rec : res.completions) {
             const double lat_ms = cycles_to_ms(rec.latency());
             out.fleet_latency_ms.add(lat_ms);
+            if (runtime::meets_qos_target(rec.abbr, rec.latency(),
+                                          cfg.qos_scale))
+                out.deadline_met += 1;
             auto& tenant = out.tenants[rec.abbr];
             tenant.completed += 1;
             tenant.latency_ms.add(lat_ms);
@@ -143,6 +237,7 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     }
     for (auto& [abbr, tenant] : out.tenants)
         tenant.dropped = tenant.routed - tenant.completed;
+    if (fb_on) out.route_weights = fb.weights();
     return out;
 }
 

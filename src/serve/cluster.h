@@ -21,12 +21,22 @@
 #include <string>
 #include <vector>
 
+#include "adapt/fleet_feedback.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "model/model.h"
 #include "sim/experiment.h"
 
 namespace camdn::serve {
+
+/// Shape of the fleet-wide arrival stream.
+enum class arrival_process : std::uint8_t {
+    poisson,  ///< constant-rate Poisson (legacy)
+    /// Markov-modulated Poisson: the rate walks cluster_config's
+    /// mmpp_rate_scale states with exponential sojourns — bursty/diurnal
+    /// fleet traffic.
+    mmpp,
+};
 
 /// How the router picks among the SoCs hosting a request's model.
 enum class route_policy : std::uint8_t {
@@ -65,7 +75,27 @@ struct cluster_config {
     std::uint32_t total_arrivals = 256;
     std::uint64_t seed = 42;
 
+    /// Arrival stream shape; mmpp modulates arrival_rate_per_ms by the
+    /// mmpp_rate_scale states with mmpp_sojourn_ms mean dwell.
+    arrival_process process = arrival_process::poisson;
+    std::vector<double> mmpp_rate_scale{0.25, 4.0};
+    double mmpp_sojourn_ms = 4.0;
+
     route_policy router = route_policy::cache_affinity;
+
+    // ---- fleet feedback (src/adapt/fleet_feedback.h) ----
+    /// 1 = single-shot legacy run. R > 1 splits the stream into R rounds:
+    /// after each round, per-SoC telemetry rollups update the router's
+    /// load weights (traffic drains away from SoCs under page-wait
+    /// pressure) and sustained SLA violation triggers re-placement against
+    /// the observed traffic mix. Each round simulates on fresh SoC state.
+    std::uint32_t feedback_rounds = 1;
+    adapt::fleet_feedback_config feedback{};
+    /// SLA definition for rollups and cluster_result::sla_rate: a
+    /// completion meets SLA within qos_scale * its model's Table-I target.
+    double qos_scale = 1.0;
+    /// Record per-SoC telemetry epochs (implied by feedback_rounds > 1).
+    bool telemetry = false;
 
     /// Max replicas per model (0 = bounded only by cache capacity).
     std::uint32_t replication_limit = 0;
@@ -99,7 +129,9 @@ struct tenant_metrics {
 };
 
 struct cluster_result {
-    /// Per-SoC simulation results, in fleet order.
+    /// Per-SoC simulation results, in fleet order. With feedback_rounds
+    /// R > 1 this holds R x fleet entries in round-major order
+    /// (per_soc[r * socs + s]).
     std::vector<sim::experiment_result> per_soc;
     /// Placement echo: model indices resident on each SoC.
     std::vector<std::vector<std::uint32_t>> resident_models;
@@ -114,6 +146,21 @@ struct cluster_result {
     percentile_tracker fleet_queue_delay_ms;
     /// Per-tenant metrics keyed by model abbreviation.
     std::map<std::string, tenant_metrics> tenants;
+
+    /// Completions within qos_scale * Table-I target.
+    std::uint64_t deadline_met = 0;
+    /// Final router load weights (empty without feedback).
+    std::vector<double> route_weights;
+    /// Re-placements triggered by sustained SLA violation.
+    std::uint32_t replacements = 0;
+
+    /// Fleet SLA: deadline_met over all arrivals — drops and unroutable
+    /// requests count as violations.
+    double sla_rate() const {
+        return arrivals ? static_cast<double>(deadline_met) /
+                              static_cast<double>(arrivals)
+                        : 0.0;
+    }
 
     double drop_rate() const {
         return arrivals ? static_cast<double>(dropped_queue +

@@ -42,6 +42,10 @@ cycle_t request_router::backlog(std::uint32_t s, cycle_t at) const {
     cycle_t work = 0;
     for (cycle_t free : socs_[s].server_free)
         if (free > at) work += free - at;
+    // Fleet feedback inflates the apparent backlog of pressured SoCs.
+    if (load_weights_ != nullptr && s < load_weights_->size())
+        work = static_cast<cycle_t>(static_cast<double>(work) *
+                                    (*load_weights_)[s]);
     return work;
 }
 

@@ -35,6 +35,11 @@ public:
     /// True when `model_idx`'s pages are currently warm on SoC `s`.
     bool warm(std::uint32_t s, std::uint32_t model_idx) const;
 
+    /// Per-SoC backlog multipliers from the fleet feedback loop (>1 makes
+    /// a SoC look more loaded, steering traffic away). `w` must outlive
+    /// the router; nullptr (default) weighs every SoC equally.
+    void set_load_weights(const std::vector<double>* w) { load_weights_ = w; }
+
 private:
     struct soc_state {
         /// Estimated busy-until time per task slot (analytical queue).
@@ -55,6 +60,7 @@ private:
 
     const cluster_config& cfg_;
     const placement& place_;
+    const std::vector<double>* load_weights_ = nullptr;
     std::vector<soc_state> socs_;
     /// iso_[s][m]: isolated latency of catalog model m on SoC s.
     std::vector<std::vector<cycle_t>> iso_;

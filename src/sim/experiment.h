@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.h"
+#include "adapt/telemetry.h"
 #include "cache/shared_cache.h"
 #include "common/types.h"
 #include "dram/dram_system.h"
@@ -52,6 +54,28 @@ struct experiment_config {
 
     // ---- trace_replay ----
     std::vector<runtime::trace_arrival> trace;
+
+    // ---- open_loop_mmpp (bursty / diurnal traffic) ----
+    /// Per-state multipliers on arrival_rate_per_ms of the Markov-modulated
+    /// Poisson process; the chain walks the states in order (wrapping), so
+    /// {0.25, 4.0} alternates a lull and a 16x burst.
+    std::vector<double> mmpp_rate_scale{0.25, 4.0};
+    /// Mean sojourn time per MMPP state (exponential), ms.
+    double mmpp_sojourn_ms = 4.0;
+
+    // ---- tenant_churn ----
+    /// Every interval the active tenant set rotates to the next
+    /// `churn_active_models` window of the workload catalog.
+    double churn_interval_ms = 8.0;
+    std::uint32_t churn_active_models = 2;
+
+    // ---- telemetry + adaptive control (src/adapt) ----
+    /// Record per-epoch telemetry snapshots (any policy). Implied by
+    /// policy::camdn_adaptive, which needs them to steer.
+    bool telemetry = false;
+    /// Epoch length, controller gains and seed for camdn_adaptive; the
+    /// epoch also paces telemetry-only recording.
+    adapt::controller_config adapt_ctl{};
 
     bool qos_mode = false;
     double qos_scale = 1.0;  ///< QoS-H/M/L = 0.8 / 1.0 / 1.2
@@ -93,6 +117,10 @@ struct experiment_result {
     /// Queue delays (ms) of completed inferences, tracked by the rate-driven
     /// generators (empty under closed loop, which never queues).
     percentile_tracker queue_delay_ms;
+    /// Per-epoch telemetry snapshots (empty unless cfg.telemetry or the
+    /// adaptive policy enabled the bus). Bit-identical across repeated runs
+    /// and sweep-pool widths, like every other field.
+    std::vector<adapt::epoch_snapshot> telemetry;
 
     double avg_latency_ms() const;
     /// Mean latency of completions of one model ("" = all), ms.

@@ -42,6 +42,7 @@ struct layer_run : std::enable_shared_from_this<layer_run> {
 
     std::uint64_t tiles_m = 1, tiles_n = 1, total = 1, idx = 0;
     std::uint64_t compute_total = 0;
+    cycle_t issue_cycle = 0;
 
     cycle_t compute_end_prev = 0;
     cycle_t compute_end_prev2 = 0;
@@ -104,6 +105,7 @@ struct layer_run : std::enable_shared_from_this<layer_run> {
             in_vc = round_up(cand.weights_pinned_bytes, line_bytes);
         }
 
+        issue_cycle = machine.eq().now();
         compute_end_prev = machine.eq().now();
         compute_end_prev2 = machine.eq().now();
         next_tile();
@@ -309,7 +311,12 @@ struct layer_run : std::enable_shared_from_this<layer_run> {
     void maybe_finish() {
         if (done_fired || !all_issued || pending_stores > 0) return;
         done_fired = true;
-        on_done(std::max(final_end, machine.eq().now()));
+        const cycle_t end = std::max(final_end, machine.eq().now());
+        if (auto* bus = machine.telemetry())
+            bus->on_layer_retired(t.id, compute_total,
+                                  end > issue_cycle ? end - issue_cycle : 0,
+                                  cand.is_lbm);
+        on_done(end);
     }
 };
 

@@ -9,6 +9,7 @@ const char* policy_name(policy p) {
         case policy::aurora: return "AuRORA";
         case policy::camdn_hw_only: return "CaMDN(HW-only)";
         case policy::camdn_full: return "CaMDN(Full)";
+        case policy::camdn_adaptive: return "CaMDN(Adaptive)";
     }
     return "?";
 }

@@ -28,6 +28,15 @@ public:
     const soc_config& config() const { return config_; }
     policy active_policy() const { return policy_; }
 
+    /// Attaches the telemetry bus to every instrumented component (cache,
+    /// DMA engine, layer executor). nullptr detaches.
+    void set_telemetry(adapt::telemetry_bus* bus) {
+        telemetry_ = bus;
+        cache_->set_telemetry(bus);
+        dma_->set_telemetry(bus);
+    }
+    adapt::telemetry_bus* telemetry() const { return telemetry_; }
+
 private:
     soc_config config_;
     policy policy_;
@@ -36,6 +45,7 @@ private:
     std::unique_ptr<cache::shared_cache> cache_;
     std::unique_ptr<npu::dma_engine> dma_;
     std::vector<npu::npu_core> cores_;
+    adapt::telemetry_bus* telemetry_ = nullptr;
 };
 
 }  // namespace camdn::sim

@@ -12,20 +12,28 @@
 
 namespace camdn::sim {
 
-/// The five systems compared in the evaluation.
+/// The five systems compared in the evaluation, plus the telemetry-driven
+/// adaptive variant built on top of CaMDN(Full) (src/adapt).
 enum class policy : std::uint8_t {
     shared_baseline,  ///< transparent shared cache, no resource scheduling
     moca,             ///< + dynamic memory-bandwidth partitioning
     aurora,           ///< + dynamic NPU & bandwidth co-allocation
     camdn_hw_only,    ///< NEC/CPT regions, equal static page split
     camdn_full,       ///< + cache-aware candidates + Algorithm 1 + LBM
+    camdn_adaptive,   ///< + epoch feedback control from observed contention
 };
 
 const char* policy_name(policy p);
 
-/// True for the two CaMDN variants (NEC path, way partitioning active).
+/// True for the CaMDN variants (NEC path, way partitioning active).
 constexpr bool is_camdn(policy p) {
-    return p == policy::camdn_hw_only || p == policy::camdn_full;
+    return p == policy::camdn_hw_only || p == policy::camdn_full ||
+           p == policy::camdn_adaptive;
+}
+
+/// True for the variants that renegotiate pages per layer (Algorithm 1).
+constexpr bool is_camdn_dynamic(policy p) {
+    return p == policy::camdn_full || p == policy::camdn_adaptive;
 }
 
 /// Feature toggles for the ablation study.

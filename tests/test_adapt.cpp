@@ -1,0 +1,394 @@
+// Tests of the adaptive-control subsystem (src/adapt): the telemetry bus
+// accounting, the epoch feedback controller's three loops (page shares,
+// ahead_ratio, bandwidth caps), the fleet feedback weights/re-placement
+// signal, the new bursty/churn workload generators, and the cluster-level
+// feedback rounds.
+#include <gtest/gtest.h>
+
+#include "adapt/controller.h"
+#include "adapt/fleet_feedback.h"
+#include "adapt/telemetry.h"
+#include "model/model_zoo.h"
+#include "runtime/workload.h"
+#include "serve/cluster.h"
+#include "sim/experiment.h"
+
+namespace camdn {
+namespace {
+
+// ---- telemetry bus ---------------------------------------------------
+
+TEST(telemetry, counters_accumulate_and_cut_resets) {
+    adapt::telemetry_bus bus(2);
+    bus.on_cache_access(0, true);
+    bus.on_cache_access(0, false);
+    bus.on_dma_bytes(1, 4096);
+    bus.on_page_wait(1, 500);
+    bus.on_layer_retired(0, 100, 150, true);
+
+    adapt::telemetry_bus::cut_sample s;
+    s.dram_bytes = 1 << 20;
+    s.peak_bytes_per_cycle = 16.0;
+    s.idle_pages = 7;
+    const auto& snap = bus.cut(1000, s);
+
+    EXPECT_EQ(snap.index, 0u);
+    EXPECT_EQ(snap.start, 0u);
+    EXPECT_EQ(snap.end, 1000u);
+    EXPECT_EQ(snap.tasks[0].cache_hits, 1u);
+    EXPECT_EQ(snap.tasks[0].cache_misses, 1u);
+    EXPECT_EQ(snap.tasks[0].layers_retired, 1u);
+    EXPECT_EQ(snap.tasks[0].lbm_layers, 1u);
+    EXPECT_EQ(snap.tasks[1].dma_bytes, 4096u);
+    EXPECT_EQ(snap.tasks[1].page_wait_cycles, 500u);
+    EXPECT_EQ(snap.idle_pages, 7u);
+    EXPECT_EQ(snap.active_slots, 2u);
+    EXPECT_DOUBLE_EQ(snap.bw_utilization,
+                     static_cast<double>(1 << 20) / (16.0 * 1000.0));
+
+    // The cut opened a fresh epoch.
+    EXPECT_FALSE(bus.open_epoch_active());
+    const auto& snap2 = bus.cut(2000, {});
+    EXPECT_EQ(snap2.index, 1u);
+    EXPECT_EQ(snap2.start, 1000u);
+    EXPECT_EQ(snap2.tasks[0].cache_hits, 0u);
+    EXPECT_EQ(snap2.active_slots, 0u);
+}
+
+TEST(telemetry, out_of_range_slots_are_ignored) {
+    adapt::telemetry_bus bus(1);
+    bus.on_cache_access(no_task, true);
+    bus.on_dma_bytes(5, 100);
+    bus.on_page_timeout(-3, true);
+    const auto& snap = bus.cut(10, {});
+    EXPECT_EQ(snap.tasks[0].cache_hits, 0u);
+    EXPECT_EQ(snap.tasks[0].dma_bytes, 0u);
+    EXPECT_EQ(snap.total_timeouts(), 0u);
+}
+
+TEST(telemetry, completion_slack_is_signed) {
+    adapt::telemetry_bus bus(1);
+    bus.on_completion(0, 150, 100);  // 50 late
+    bus.on_completion(0, 80, 100);   // 20 early
+    bus.on_completion(0, 99, never); // no deadline: slack untouched
+    const auto& snap = bus.cut(200, {});
+    EXPECT_EQ(snap.tasks[0].completions, 3u);
+    EXPECT_EQ(snap.tasks[0].deadline_completions, 2u);
+    EXPECT_EQ(snap.tasks[0].deadline_misses, 1u);
+    EXPECT_EQ(snap.tasks[0].slack_cycles, -30);
+}
+
+// ---- feedback controller ---------------------------------------------
+
+adapt::epoch_snapshot snapshot(std::uint32_t slots, cycle_t span = 100'000) {
+    adapt::epoch_snapshot s;
+    s.start = 0;
+    s.end = span;
+    s.tasks.resize(slots);
+    return s;
+}
+
+TEST(controller, idle_slots_widen_the_page_share) {
+    adapt::controller_config cfg;
+    cfg.active_smoothing = 1.0;  // react instantly for the test
+    adapt::feedback_controller ctl(cfg, 4, 400, 0.2);
+    EXPECT_EQ(ctl.action().page_share[0], 100u);  // equal split initially
+
+    auto snap = snapshot(4);
+    snap.tasks[0].layers_retired = 3;  // only slot 0 active
+    snap.active_slots = 1;
+    const auto& a = ctl.on_epoch(snap);
+    EXPECT_EQ(a.page_share[0], 400u);  // whole pool for the lone tenant
+
+    auto busy = snapshot(4);
+    for (auto& t : busy.tasks) t.layers_retired = 1;
+    busy.active_slots = 4;
+    const auto& b = ctl.on_epoch(busy);
+    EXPECT_EQ(b.page_share[0], 100u);  // burst returns to the equal split
+}
+
+TEST(controller, ahead_grows_only_with_spare_capacity_and_quiet_waits) {
+    adapt::controller_config cfg;
+    adapt::feedback_controller ctl(cfg, 4, 400, 0.2);
+
+    // Quiet epoch, all slots active: baseline regime, hold.
+    auto full = snapshot(4);
+    for (auto& t : full.tasks) t.layers_retired = 1;
+    full.active_slots = 4;
+    EXPECT_DOUBLE_EQ(ctl.on_epoch(full).ahead_ratio, 0.2);
+
+    // Quiet epoch with idle slots: grow.
+    auto lull = snapshot(4);
+    lull.tasks[0].layers_retired = 1;
+    lull.active_slots = 1;
+    const double grown = ctl.on_epoch(lull).ahead_ratio;
+    EXPECT_GT(grown, 0.2);
+    EXPECT_LE(grown, cfg.ahead_max);
+}
+
+TEST(controller, ahead_backs_off_to_baseline_on_timeouts_never_below) {
+    adapt::controller_config cfg;
+    adapt::feedback_controller ctl(cfg, 4, 400, 0.2);
+
+    auto lull = snapshot(4);
+    lull.tasks[0].layers_retired = 1;
+    lull.active_slots = 1;
+    for (int i = 0; i < 10; ++i) ctl.on_epoch(lull);
+    EXPECT_DOUBLE_EQ(ctl.action().ahead_ratio, cfg.ahead_max);
+
+    auto contended = snapshot(4);
+    for (auto& t : contended.tasks) {
+        t.layers_retired = 1;
+        t.page_timeouts = 2;
+    }
+    contended.active_slots = 4;
+    for (int i = 0; i < 10; ++i) ctl.on_epoch(contended);
+    EXPECT_DOUBLE_EQ(ctl.action().ahead_ratio, 0.2);  // floored at baseline
+}
+
+TEST(controller, bandwidth_caps_need_observed_slack) {
+    adapt::controller_config cfg;
+    adapt::feedback_controller ctl(cfg, 2, 400, 0.2);
+
+    // Skewed traffic but no deadline observations: stays inert.
+    auto snap = snapshot(2);
+    snap.tasks[0].layers_retired = 1;
+    snap.tasks[0].dma_bytes = 10'000'000;
+    snap.tasks[1].layers_retired = 1;
+    snap.tasks[1].dma_bytes = 100'000;
+    snap.active_slots = 2;
+    const auto& a = ctl.on_epoch(snap);
+    EXPECT_DOUBLE_EQ(a.bw_share[0], 0.0);
+    EXPECT_DOUBLE_EQ(a.bw_share[1], 0.0);
+
+    // The light slot is now late on its deadline: the hog gets capped.
+    snap.tasks[1].completions = 1;
+    snap.tasks[1].deadline_completions = 1;
+    snap.tasks[1].deadline_misses = 1;
+    snap.tasks[1].slack_cycles = -1000;
+    const auto& b = ctl.on_epoch(snap);
+    EXPECT_GT(b.bw_share[0], 0.0);
+    EXPECT_DOUBLE_EQ(b.bw_share[1], 0.0);  // the victim stays unregulated
+}
+
+TEST(controller, decision_path_is_deterministic) {
+    adapt::controller_config cfg;
+    adapt::feedback_controller a(cfg, 4, 400, 0.2);
+    adapt::feedback_controller b(cfg, 4, 400, 0.2);
+    for (int i = 0; i < 5; ++i) {
+        auto snap = snapshot(4);
+        snap.tasks[i % 4].layers_retired = 1;
+        snap.tasks[i % 4].page_wait_cycles = 100 * i;
+        snap.active_slots = 1;
+        const auto& x = a.on_epoch(snap);
+        const auto& y = b.on_epoch(snap);
+        EXPECT_DOUBLE_EQ(x.ahead_ratio, y.ahead_ratio);
+        EXPECT_EQ(x.page_share, y.page_share);
+        EXPECT_EQ(x.bw_share, y.bw_share);
+    }
+}
+
+// ---- fleet feedback --------------------------------------------------
+
+adapt::soc_rollup rollup(double wait, double sla, std::uint64_t dropped = 0) {
+    adapt::soc_rollup r;
+    r.completed = 10;
+    r.dropped = dropped;
+    r.page_wait_frac = wait;
+    r.sla_rate = sla;
+    return r;
+}
+
+TEST(fleet_feedback, pressure_shifts_weights_away_from_hot_socs) {
+    adapt::fleet_feedback fb({}, 2);
+    fb.observe({rollup(0.05, 1.0), rollup(0.0, 1.0)});
+    EXPECT_GT(fb.weights()[0], fb.weights()[1]);
+    EXPECT_GT(fb.weights()[0], 1.0);
+    EXPECT_LT(fb.weights()[1], 1.0);
+}
+
+TEST(fleet_feedback, weights_stay_clamped) {
+    adapt::fleet_feedback_config cfg;
+    cfg.pressure_gain = 100.0;
+    adapt::fleet_feedback fb(cfg, 2);
+    for (int i = 0; i < 20; ++i)
+        fb.observe({rollup(0.5, 0.0, 50), rollup(0.0, 1.0)});
+    EXPECT_LE(fb.weights()[0], cfg.weight_max);
+    EXPECT_GE(fb.weights()[1], cfg.weight_min);
+}
+
+TEST(fleet_feedback, replacement_fires_after_patience_and_resets) {
+    adapt::fleet_feedback_config cfg;
+    cfg.sla_target = 0.9;
+    cfg.replace_patience = 2;
+    adapt::fleet_feedback fb(cfg, 2);
+
+    fb.observe({rollup(0.0, 0.5), rollup(0.0, 1.0)});
+    EXPECT_FALSE(fb.replacement_due());
+    fb.observe({rollup(0.0, 0.5), rollup(0.0, 1.0)});
+    EXPECT_TRUE(fb.replacement_due());
+    // Consuming the signal reset the streaks.
+    EXPECT_FALSE(fb.replacement_due());
+
+    // A healthy round in between breaks the streak.
+    fb.observe({rollup(0.0, 0.5), rollup(0.0, 1.0)});
+    fb.observe({rollup(0.0, 1.0), rollup(0.0, 1.0)});
+    fb.observe({rollup(0.0, 0.5), rollup(0.0, 1.0)});
+    EXPECT_FALSE(fb.replacement_due());
+}
+
+TEST(fleet_feedback, rollup_from_counts_sla_against_table1_targets) {
+    sim::experiment_result res;
+    sim::inference_record fast;
+    fast.abbr = "MB.";
+    fast.arrival = 0;
+    fast.start = 0;
+    fast.end = ms_to_cycles(0.1);  // well within any target
+    res.completions.push_back(fast);
+    sim::inference_record slow = fast;
+    slow.end = ms_to_cycles(10'000.0);  // misses every target
+    res.completions.push_back(slow);
+    res.rejected_arrivals = 2;  // drops count as misses
+
+    const auto r = adapt::rollup_from(res, 1.0);
+    EXPECT_EQ(r.completed, 2u);
+    EXPECT_EQ(r.dropped, 2u);
+    EXPECT_EQ(r.deadline_met, 1u);
+    EXPECT_DOUBLE_EQ(r.sla_rate, 0.25);
+}
+
+// ---- bursty / churn workload generators ------------------------------
+
+sim::experiment_config mmpp_cfg() {
+    sim::experiment_config cfg;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.kind = runtime::workload_kind::open_loop_mmpp;
+    cfg.workload = {&model::model_by_abbr("MB.")};
+    cfg.co_located = 2;
+    cfg.arrival_rate_per_ms = 4.0;
+    cfg.mmpp_rate_scale = {0.25, 4.0};
+    cfg.mmpp_sojourn_ms = 2.0;
+    cfg.total_arrivals = 12;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(workload_adapt, mmpp_is_deterministic_and_serves_all_when_unbounded) {
+    auto cfg = mmpp_cfg();
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    const auto a = sim::run_experiment(cfg);
+    const auto b = sim::run_experiment(cfg);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.completions.size(), 12u);
+    EXPECT_EQ(a.rejected_arrivals, 0u);
+}
+
+TEST(workload_adapt, mmpp_burstiness_exceeds_plain_poisson) {
+    // Same mean rate, same arrival count: the modulated stream must show a
+    // higher maximum short-window arrival density than the flat one.
+    auto bursty = mmpp_cfg();
+    bursty.total_arrivals = 64;
+    bursty.admission_queue_limit = runtime::unbounded_queue;
+    auto flat = bursty;
+    flat.kind = runtime::workload_kind::open_loop_poisson;
+
+    auto density = [](const sim::experiment_result& res) {
+        // Max arrivals within any 1 ms window of the completion records.
+        std::vector<cycle_t> at;
+        for (const auto& rec : res.completions) at.push_back(rec.arrival);
+        std::sort(at.begin(), at.end());
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < at.size(); ++i) {
+            std::size_t j = i;
+            while (j < at.size() && at[j] - at[i] <= ms_to_cycles(1.0)) ++j;
+            best = std::max(best, j - i);
+        }
+        return best;
+    };
+    const auto bres = sim::run_experiment(bursty);
+    const auto fres = sim::run_experiment(flat);
+    EXPECT_GT(density(bres), density(fres));
+}
+
+TEST(workload_adapt, tenant_churn_rotates_the_active_set) {
+    sim::experiment_config cfg;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.kind = runtime::workload_kind::tenant_churn;
+    cfg.workload = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+                    &model::model_by_abbr("RS."), &model::model_by_abbr("VT.")};
+    cfg.co_located = 2;
+    cfg.arrival_rate_per_ms = 2.0;
+    cfg.churn_interval_ms = 4.0;
+    cfg.churn_active_models = 2;
+    cfg.total_arrivals = 24;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    cfg.seed = 11;
+
+    const auto res = sim::run_experiment(cfg);
+    EXPECT_EQ(res.completions.size(), 24u);
+    // Early phase serves only the first window; over the whole run more
+    // than churn_active_models distinct tenants appear.
+    std::set<std::string> all;
+    for (const auto& rec : res.completions) all.insert(rec.abbr);
+    EXPECT_GT(all.size(), 2u);
+
+    const auto again = sim::run_experiment(cfg);
+    EXPECT_EQ(res.makespan, again.makespan);
+}
+
+// ---- cluster feedback rounds -----------------------------------------
+
+serve::cluster_config feedback_cluster() {
+    serve::soc_instance_config inst;
+    inst.pol = sim::policy::camdn_adaptive;
+    inst.slots = 2;
+    inst.admission_queue_limit = 8;
+    auto cfg = serve::uniform_cluster(3, inst);
+    cfg.models = {&model::model_by_abbr("MB."), &model::model_by_abbr("RS.")};
+    cfg.process = serve::arrival_process::mmpp;
+    cfg.arrival_rate_per_ms = 4.0;
+    cfg.total_arrivals = 36;
+    cfg.feedback_rounds = 3;
+    cfg.threads = 2;
+    return cfg;
+}
+
+TEST(cluster_feedback, rounds_are_deterministic_across_pool_widths) {
+    auto cfg = feedback_cluster();
+    const auto a = serve::run_cluster(cfg);
+    cfg.threads = 1;
+    const auto b = serve::run_cluster(cfg);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+    EXPECT_EQ(a.replacements, b.replacements);
+    ASSERT_EQ(a.route_weights.size(), b.route_weights.size());
+    for (std::size_t s = 0; s < a.route_weights.size(); ++s)
+        EXPECT_DOUBLE_EQ(a.route_weights[s], b.route_weights[s]);
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p99(), b.fleet_latency_ms.p99());
+}
+
+TEST(cluster_feedback, round_major_per_soc_results_and_weights_exported) {
+    const auto cfg = feedback_cluster();
+    const auto res = serve::run_cluster(cfg);
+    EXPECT_EQ(res.per_soc.size(), cfg.socs.size() * cfg.feedback_rounds);
+    EXPECT_EQ(res.route_weights.size(), cfg.socs.size());
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    // Telemetry recording is implied by feedback rounds.
+    bool any_epochs = false;
+    for (const auto& r : res.per_soc) any_epochs |= !r.telemetry.empty();
+    EXPECT_TRUE(any_epochs);
+}
+
+TEST(cluster_feedback, single_round_stays_single_shot) {
+    auto cfg = feedback_cluster();
+    cfg.feedback_rounds = 1;
+    const auto res = serve::run_cluster(cfg);
+    EXPECT_EQ(res.per_soc.size(), cfg.socs.size());
+    EXPECT_TRUE(res.route_weights.empty());
+    EXPECT_EQ(res.replacements, 0u);
+}
+
+}  // namespace
+}  // namespace camdn

@@ -129,7 +129,8 @@ TEST(model_builder, conv_shape_arithmetic) {
 TEST(model_builder, gemm_bytes_follow_dims) {
     model_builder b("t", "T.", model_domain::nlp, "Trans", 1.0, 1, 1, 1);
     b.gemm("g", 128, 768, 3072);
-    const layer& l = std::move(b).build().layers.back();
+    const model m = std::move(b).build();  // keep alive past the expectations
+    const layer& l = m.layers.back();
     EXPECT_EQ(l.input_bytes, 128u * 3072);
     EXPECT_EQ(l.weight_bytes, 768u * 3072);
     EXPECT_EQ(l.output_bytes, 128u * 768);

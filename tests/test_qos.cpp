@@ -2,6 +2,8 @@
 // fairness — following the AuRORA paper, §IV-A4).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "runtime/qos.h"
 
 namespace camdn::runtime {
@@ -88,6 +90,60 @@ TEST(qos, perfect_equality_gives_fairness_one) {
 TEST(qos, zero_latency_records_are_tolerated) {
     const auto m = compute_qos({rec("RS.", 0, never, 100)}, 1);
     EXPECT_GE(m.stp, 0.0);
+}
+
+// ---- degenerate-input guards: zeroed metrics, never NaN/Inf ----
+
+TEST(qos, empty_records_metrics_are_finite_zero) {
+    const auto m = compute_qos({}, 0);
+    EXPECT_TRUE(std::isfinite(m.sla_rate));
+    EXPECT_TRUE(std::isfinite(m.stp));
+    EXPECT_TRUE(std::isfinite(m.fairness));
+    EXPECT_DOUBLE_EQ(m.sla_rate, 0.0);
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);
+}
+
+TEST(qos, zero_isolated_latency_contributes_zero_progress) {
+    // An unprofiled isolated reference must not poison STP with 0/x noise
+    // or the fairness ratio with spurious zeros — and never emit NaN.
+    std::vector<qos_record> records{
+        rec("RS.", 100, never, 0),    // degenerate reference
+        rec("MB.", 100, never, 100),  // NP 1.0
+    };
+    const auto m = compute_qos(records, 2);
+    EXPECT_TRUE(std::isfinite(m.stp));
+    EXPECT_TRUE(std::isfinite(m.fairness));
+    EXPECT_DOUBLE_EQ(m.stp, (0.0 + 1.0) / 2.0 * 2.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);  // min NP 0 / max NP 1
+}
+
+TEST(qos, all_zero_progress_zeroes_fairness_not_nan) {
+    // Every record degenerate -> max NP (the fairness denominator) is 0.
+    std::vector<qos_record> records{
+        rec("RS.", 0, never, 0),
+        rec("MB.", 100, never, 0),
+    };
+    const auto m = compute_qos(records, 2);
+    EXPECT_TRUE(std::isfinite(m.sla_rate));
+    EXPECT_TRUE(std::isfinite(m.stp));
+    EXPECT_TRUE(std::isfinite(m.fairness));
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);
+}
+
+TEST(qos, zero_latency_and_zero_isolated_together) {
+    const auto m = compute_qos({rec("RS.", 0, 100, 0)}, 4);
+    EXPECT_TRUE(std::isfinite(m.stp));
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);
+    EXPECT_DOUBLE_EQ(m.sla_rate, 1.0);  // latency 0 meets any deadline
+}
+
+TEST(qos, zero_co_located_scales_stp_to_zero_without_nan) {
+    const auto m = compute_qos({rec("RS.", 100, never, 100)}, 0);
+    EXPECT_TRUE(std::isfinite(m.stp));
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
 }
 
 TEST(qos, better_system_dominates_on_all_metrics) {

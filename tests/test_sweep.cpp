@@ -98,6 +98,116 @@ TEST(sweep, more_threads_than_configs_is_fine) {
     EXPECT_EQ(results[0].completions.size(), 2u);
 }
 
+// ---- adaptive-controller determinism --------------------------------
+// Same seed + config must yield bit-identical experiment_result AND
+// telemetry snapshots regardless of sweep thread-pool width: the feedback
+// controller's decision path is event-ordered simulation state only.
+
+void expect_telemetry_identical(const experiment_result& a,
+                                const experiment_result& b) {
+    ASSERT_EQ(a.telemetry.size(), b.telemetry.size());
+    for (std::size_t e = 0; e < a.telemetry.size(); ++e) {
+        const auto& x = a.telemetry[e];
+        const auto& y = b.telemetry[e];
+        EXPECT_EQ(x.index, y.index);
+        EXPECT_EQ(x.start, y.start);
+        EXPECT_EQ(x.end, y.end);
+        EXPECT_EQ(x.dram_bytes, y.dram_bytes);
+        EXPECT_EQ(x.dram_throttled, y.dram_throttled);
+        EXPECT_EQ(x.idle_pages, y.idle_pages);
+        EXPECT_EQ(x.active_slots, y.active_slots);
+        EXPECT_DOUBLE_EQ(x.bw_utilization, y.bw_utilization);
+        ASSERT_EQ(x.tasks.size(), y.tasks.size());
+        for (std::size_t s = 0; s < x.tasks.size(); ++s) {
+            const auto& p = x.tasks[s];
+            const auto& q = y.tasks[s];
+            EXPECT_EQ(p.cache_hits, q.cache_hits);
+            EXPECT_EQ(p.cache_misses, q.cache_misses);
+            EXPECT_EQ(p.region_lines, q.region_lines);
+            EXPECT_EQ(p.fill_lines, q.fill_lines);
+            EXPECT_EQ(p.dma_bytes, q.dma_bytes);
+            EXPECT_EQ(p.layers_retired, q.layers_retired);
+            EXPECT_EQ(p.lbm_layers, q.lbm_layers);
+            EXPECT_EQ(p.page_wait_cycles, q.page_wait_cycles);
+            EXPECT_EQ(p.page_timeouts, q.page_timeouts);
+            EXPECT_EQ(p.lbm_downgrades, q.lbm_downgrades);
+            EXPECT_EQ(p.completions, q.completions);
+            EXPECT_EQ(p.deadline_misses, q.deadline_misses);
+            EXPECT_EQ(p.slack_cycles, q.slack_cycles);
+        }
+    }
+}
+
+std::vector<experiment_config> adaptive_configs() {
+    std::vector<experiment_config> cfgs;
+
+    experiment_config bursty;
+    bursty.pol = policy::camdn_adaptive;
+    bursty.kind = runtime::workload_kind::open_loop_mmpp;
+    bursty.workload = {&model::model_by_abbr("MB."),
+                       &model::model_by_abbr("RS.")};
+    bursty.co_located = 4;
+    bursty.arrival_rate_per_ms = 3.0;
+    bursty.mmpp_rate_scale = {0.25, 4.0};
+    bursty.mmpp_sojourn_ms = 2.0;
+    bursty.total_arrivals = 10;
+    bursty.seed = 7;
+    cfgs.push_back(bursty);
+
+    experiment_config qos = bursty;
+    qos.kind = runtime::workload_kind::tenant_churn;
+    qos.qos_mode = true;  // exercises the slack-driven bandwidth caps
+    qos.seed = 9;
+    cfgs.push_back(std::move(qos));
+
+    experiment_config closed;
+    closed.pol = policy::camdn_adaptive;
+    closed.workload = {&model::model_by_abbr("MB."),
+                       &model::model_by_abbr("EF.")};
+    closed.co_located = 4;
+    closed.inferences_per_slot = 2;
+    closed.seed = 21;
+    cfgs.push_back(std::move(closed));
+    return cfgs;
+}
+
+TEST(sweep, adaptive_policy_is_bit_identical_across_pool_widths) {
+    const auto cfgs = adaptive_configs();
+    const auto sequential = run_sweep(cfgs, 1);
+    const auto parallel = run_sweep(cfgs, 4);
+    ASSERT_EQ(sequential.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        expect_identical(sequential[i], parallel[i]);
+        expect_telemetry_identical(sequential[i], parallel[i]);
+        EXPECT_FALSE(sequential[i].telemetry.empty());
+    }
+}
+
+TEST(sweep, adaptive_policy_repeated_run_is_bit_identical) {
+    const auto cfgs = adaptive_configs();
+    const auto first = run_sweep(cfgs, 2);
+    const auto second = run_sweep(cfgs, 3);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        expect_identical(first[i], second[i]);
+        expect_telemetry_identical(first[i], second[i]);
+    }
+}
+
+TEST(sweep, telemetry_only_recording_never_changes_results) {
+    // cfg.telemetry on a static policy must observe without perturbing:
+    // the instrumented run stays bit-identical to the bare one.
+    auto cfgs = mixed_configs();
+    auto observed = cfgs;
+    for (auto& c : observed) c.telemetry = true;
+    const auto bare = run_sweep(cfgs, 2);
+    const auto instrumented = run_sweep(observed, 2);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        expect_identical(bare[i], instrumented[i]);
+        EXPECT_TRUE(bare[i].telemetry.empty());
+        EXPECT_FALSE(instrumented[i].telemetry.empty());
+    }
+}
+
 TEST(sweep, cached_isolated_latencies_match_uncached_reference) {
     clear_isolated_latency_cache();
     soc_config soc;
