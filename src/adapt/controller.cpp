@@ -71,6 +71,28 @@ void feedback_controller::update_ahead(const epoch_snapshot& snap) {
         std::clamp(a, ahead_baseline_, std::max(ahead_baseline_, cfg_.ahead_max));
 }
 
+void feedback_controller::save_state(snapshot_writer& w) const {
+    w.d(active_ema_);
+    w.d(action_.ahead_ratio);
+    w.u64(action_.page_share.size());
+    for (const std::uint32_t p : action_.page_share) w.u32(p);
+    w.u64(action_.bw_share.size());
+    for (const double s : action_.bw_share) w.d(s);
+}
+
+void feedback_controller::restore_state(snapshot_reader& r) {
+    active_ema_ = r.d();
+    action_.ahead_ratio = r.d();
+    const std::uint64_t npages = r.count(4);
+    if (npages != action_.page_share.size())
+        throw snapshot_error("snapshot controller slot-count mismatch");
+    for (auto& p : action_.page_share) p = r.u32();
+    const std::uint64_t nbw = r.count(8);
+    if (nbw != action_.bw_share.size())
+        throw snapshot_error("snapshot controller slot-count mismatch");
+    for (auto& s : action_.bw_share) s = r.d();
+}
+
 void feedback_controller::update_bandwidth(const epoch_snapshot& snap) {
     // MoCA-style epoch caps, driven by observed slack instead of layer
     // profiles: when one slot moved an outsized share of the epoch's DMA

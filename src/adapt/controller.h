@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "adapt/telemetry.h"
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn::adapt {
@@ -87,6 +88,12 @@ public:
     const control_action& action() const { return action_; }
     double smoothed_active() const { return active_ema_; }
     const controller_config& config() const { return cfg_; }
+
+    /// Checkpoint support: serializes / restores the loop state (smoothed
+    /// active count and the last published action) so a resumed run
+    /// continues the control trajectory bit for bit.
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r);
 
 private:
     void update_shares(const epoch_snapshot& snap);

@@ -29,4 +29,92 @@ bool telemetry_bus::open_epoch_active() const {
     return false;
 }
 
+namespace {
+
+void save_counters(snapshot_writer& w, const task_counters& c) {
+    w.u64(c.cache_hits);
+    w.u64(c.cache_misses);
+    w.u64(c.region_lines);
+    w.u64(c.fill_lines);
+    w.u64(c.dma_bytes);
+    w.u64(c.layers_retired);
+    w.u64(c.compute_cycles);
+    w.u64(c.layer_cycles);
+    w.u64(c.lbm_layers);
+    w.u64(c.page_wait_cycles);
+    w.u64(c.page_timeouts);
+    w.u64(c.lbm_downgrades);
+    w.u64(c.completions);
+    w.u64(c.deadline_completions);
+    w.u64(c.deadline_misses);
+    w.i64(c.slack_cycles);
+}
+
+void restore_counters(snapshot_reader& r, task_counters& c) {
+    c.cache_hits = r.u64();
+    c.cache_misses = r.u64();
+    c.region_lines = r.u64();
+    c.fill_lines = r.u64();
+    c.dma_bytes = r.u64();
+    c.layers_retired = r.u64();
+    c.compute_cycles = r.u64();
+    c.layer_cycles = r.u64();
+    c.lbm_layers = r.u64();
+    c.page_wait_cycles = r.u64();
+    c.page_timeouts = r.u64();
+    c.lbm_downgrades = r.u64();
+    c.completions = r.u64();
+    c.deadline_completions = r.u64();
+    c.deadline_misses = r.u64();
+    c.slack_cycles = r.i64();
+}
+
+}  // namespace
+
+void telemetry_bus::save_state(snapshot_writer& w) const {
+    w.u64(epoch_start_);
+    w.u64(cur_.size());
+    for (const auto& c : cur_) save_counters(w, c);
+    w.u64(history_.size());
+    for (const auto& e : history_) {
+        w.u64(e.index);
+        w.u64(e.start);
+        w.u64(e.end);
+        w.u64(e.tasks.size());
+        for (const auto& c : e.tasks) save_counters(w, c);
+        w.u64(e.dram_bytes);
+        w.u64(e.dram_throttled);
+        w.d(e.bw_utilization);
+        w.u32(e.idle_pages);
+        w.u32(e.active_slots);
+    }
+}
+
+void telemetry_bus::restore_state(snapshot_reader& r, bool keep_history) {
+    epoch_start_ = r.u64();
+    const std::uint64_t slots = r.count(16 * 8);
+    if (slots != cur_.size())
+        throw snapshot_error("snapshot telemetry slot-count mismatch: saved " +
+                             std::to_string(slots) + ", configured " +
+                             std::to_string(cur_.size()));
+    for (auto& c : cur_) restore_counters(r, c);
+    history_.clear();
+    const std::uint64_t epochs = r.count(8);
+    for (std::uint64_t i = 0; i < epochs; ++i) {
+        epoch_snapshot e;
+        e.index = r.u64();
+        e.start = r.u64();
+        e.end = r.u64();
+        const std::uint64_t n = r.count(16 * 8);
+        e.tasks.resize(n);
+        for (auto& c : e.tasks) restore_counters(r, c);
+        e.dram_bytes = r.u64();
+        e.dram_throttled = r.u64();
+        e.bw_utilization = r.d();
+        e.idle_pages = r.u32();
+        e.active_slots = r.u32();
+        if (keep_history) history_.push_back(std::move(e));
+    }
+}
+
 }  // namespace camdn::adapt

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn::adapt {
@@ -173,6 +174,16 @@ public:
     bool open_epoch_active() const;
 
     const std::vector<epoch_snapshot>& history() const { return history_; }
+
+    // ---- checkpoint support ----
+
+    /// Serializes the open-epoch counters, the epoch start time and the cut
+    /// history. `keep_history` on restore selects between an exact
+    /// continuation (history carries, epoch indices keep counting) and a
+    /// warm segment restart (fresh history, only the open epoch carries so
+    /// boundaries stay aligned to the global epoch grid).
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r, bool keep_history);
 
 private:
     task_counters* slot(task_id t) {

@@ -53,4 +53,34 @@ pcaddr cache_page_table::translate(addr_t vcaddr) const {
     return out;
 }
 
+void cache_page_table::save_state(snapshot_writer& w) const {
+    w.u64(entries_.size());
+    for (const auto& e : entries_) {
+        w.u32(e.pcpn);
+        w.b(e.valid);
+    }
+}
+
+void cache_page_table::restore_state(snapshot_reader& r) {
+    const std::uint64_t n = r.count(5);
+    if (n != entries_.size())
+        throw snapshot_error("snapshot CPT capacity mismatch: saved " +
+                             std::to_string(n) + ", configured " +
+                             std::to_string(entries_.size()));
+    mapped_ = 0;
+    for (auto& e : entries_) {
+        e.pcpn = r.u32();
+        e.valid = r.b();
+        if (e.valid) {
+            if (e.pcpn >= config_.pages_total())
+                throw snapshot_error("snapshot CPT entry maps pcpn " +
+                                     std::to_string(e.pcpn) +
+                                     " beyond the cache's " +
+                                     std::to_string(config_.pages_total()) +
+                                     " pages");
+            ++mapped_;
+        }
+    }
+}
+
 }  // namespace camdn::cache

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/cache_config.h"
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn::cache {
@@ -46,6 +47,12 @@ public:
     /// SRAM footprint of this table in bytes (3 bytes per entry: pcpn +
     /// valid bit, paper §III-B3) — used by the area model.
     std::uint64_t sram_bytes() const { return entries_.size() * 3; }
+
+    /// Checkpoint support: serializes / restores every entry. restore_state
+    /// throws snapshot_error when the saved capacity does not match this
+    /// table's geometry.
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r);
 
 private:
     struct entry {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/cache_config.h"
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn::cache {
@@ -51,6 +52,13 @@ public:
 
     /// Sum of every task's holdings + idle == total (invariant checker).
     bool accounting_consistent() const;
+
+    /// Checkpoint support. The exact free-list order is captured (LIFO
+    /// handout order determines which pcpns future allocations receive, so
+    /// a resumed run must replay it bit for bit); holdings serialize in
+    /// ascending task order so snapshot bytes are deterministic.
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r);
 
 private:
     std::uint32_t total_ = 0;

@@ -287,4 +287,120 @@ void shared_cache::invalidate_all() {
     lru_tick_ = 0;
 }
 
+namespace {
+
+void save_stats(snapshot_writer& w, const cache_stats& s) {
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.read_miss_fills);
+    w.u64(s.writebacks);
+    w.u64(s.evictions);
+    w.u64(s.inter_task_evictions);
+    w.u64(s.region_reads);
+    w.u64(s.region_writes);
+    w.u64(s.region_fills);
+    w.u64(s.region_writebacks);
+    w.u64(s.bypass_reads);
+    w.u64(s.bypass_writes);
+    w.u64(s.multicast_reads);
+    w.u64(s.multicast_combined);
+    w.u64(s.slice_busy_cycles);
+}
+
+void restore_stats(snapshot_reader& r, cache_stats& s) {
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.read_miss_fills = r.u64();
+    s.writebacks = r.u64();
+    s.evictions = r.u64();
+    s.inter_task_evictions = r.u64();
+    s.region_reads = r.u64();
+    s.region_writes = r.u64();
+    s.region_fills = r.u64();
+    s.region_writebacks = r.u64();
+    s.bypass_reads = r.u64();
+    s.bypass_writes = r.u64();
+    s.multicast_reads = r.u64();
+    s.multicast_combined = r.u64();
+    s.slice_busy_cycles = r.u64();
+}
+
+void save_counter_vec(snapshot_writer& w, const std::vector<std::uint64_t>& v) {
+    w.u64(v.size());
+    for (const std::uint64_t x : v) w.u64(x);
+}
+
+void restore_counter_vec(snapshot_reader& r, std::vector<std::uint64_t>& v) {
+    const std::uint64_t n = r.count(8);
+    v.assign(n, 0);
+    for (auto& x : v) x = r.u64();
+}
+
+}  // namespace
+
+void shared_cache::save_state(snapshot_writer& w) const {
+    w.u32(static_cast<std::uint32_t>(lines_.size()));
+    w.u32(transparent_ways_);
+    w.u64(lru_tick_);
+    for (const auto& e : lines_) {
+        w.u64(e.tag);
+        w.u64(e.lru);
+        w.i32(e.owner);
+        w.b(e.valid);
+        w.b(e.dirty);
+    }
+    w.u64(slice_free_.size());
+    for (const cycle_t c : slice_free_) w.u64(c);
+    save_stats(w, stats_);
+    save_counter_vec(w, task_hits_);
+    save_counter_vec(w, task_misses_);
+    pages_.save_state(w);
+
+    std::vector<task_id> owners;
+    owners.reserve(cpts_.size());
+    for (const auto& [task, table] : cpts_) owners.push_back(task);
+    std::sort(owners.begin(), owners.end());
+    w.u64(owners.size());
+    for (const task_id t : owners) {
+        w.i32(t);
+        cpts_.at(t)->save_state(w);
+    }
+}
+
+void shared_cache::restore_state(snapshot_reader& r) {
+    const std::uint32_t nlines = r.u32();
+    if (nlines != lines_.size())
+        throw snapshot_error("snapshot cache geometry mismatch: saved " +
+                             std::to_string(nlines) + " lines, configured " +
+                             std::to_string(lines_.size()));
+    transparent_ways_ = r.u32();
+    if (transparent_ways_ < 1 || transparent_ways_ > config_.ways)
+        throw snapshot_error("snapshot transparent-way count out of range");
+    lru_tick_ = r.u64();
+    for (auto& e : lines_) {
+        e.tag = r.u64();
+        e.lru = r.u64();
+        e.owner = r.i32();
+        e.valid = r.b();
+        e.dirty = r.b();
+    }
+    const std::uint64_t nslices = r.count(8);
+    if (nslices != slice_free_.size())
+        throw snapshot_error("snapshot cache slice-count mismatch");
+    for (auto& c : slice_free_) c = r.u64();
+    restore_stats(r, stats_);
+    restore_counter_vec(r, task_hits_);
+    restore_counter_vec(r, task_misses_);
+    pages_.restore_state(r);
+
+    cpts_.clear();
+    const std::uint64_t ncpts = r.count(12);
+    for (std::uint64_t i = 0; i < ncpts; ++i) {
+        const task_id t = r.i32();
+        auto table = std::make_unique<cache_page_table>(config_);
+        table->restore_state(r);
+        cpts_[t] = std::move(table);
+    }
+}
+
 }  // namespace camdn::cache

@@ -143,6 +143,15 @@ public:
     /// Drops every transparent line (used between experiment repetitions).
     void invalidate_all();
 
+    /// Checkpoint support: serializes / restores the full warm state —
+    /// transparent lines with their LRU order, slice busy horizons
+    /// (absolute cycles; the resumed run continues the same clock),
+    /// cumulative stats, per-task hit/miss counters, the page pool and
+    /// every live CPT. restore_state throws snapshot_error on a geometry
+    /// mismatch.
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r);
+
 private:
     struct line_entry {
         std::uint64_t tag = 0;  // full line id, so the victim address is known

@@ -1,21 +1,73 @@
 #include "common/event_queue.h"
 
+#include <cassert>
 #include <utility>
 
 namespace camdn {
 
-void event_queue::schedule(cycle_t when, callback fn) {
+std::uint64_t event_queue::schedule(cycle_t when, callback fn) {
     if (when < now_) when = now_;
-    heap_.push(entry{when, next_seq_++, std::move(fn)});
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(entry{when, seq, std::move(fn), nullptr});
+    return seq;
+}
+
+event_queue::timer event_queue::schedule_cancellable(cycle_t when,
+                                                     callback fn) {
+    if (when < now_) when = now_;
+    auto tok = std::make_shared<timer::state>();
+    tok->when = when;
+    tok->seq = next_seq_++;
+    heap_.push(entry{when, tok->seq, std::move(fn), tok});
+    return timer(std::move(tok));
+}
+
+void event_queue::schedule_restored(cycle_t when, std::uint64_t seq,
+                                    callback fn) {
+    if (when < now_) when = now_;
+    heap_.push(entry{when, seq, std::move(fn), nullptr});
+}
+
+event_queue::timer event_queue::restore_cancellable(cycle_t when,
+                                                    std::uint64_t seq,
+                                                    callback fn) {
+    if (when < now_) when = now_;
+    auto tok = std::make_shared<timer::state>();
+    tok->when = when;
+    tok->seq = seq;
+    heap_.push(entry{when, seq, std::move(fn), tok});
+    return timer(std::move(tok));
+}
+
+void event_queue::restore_next_seq(std::uint64_t seq) {
+    assert(seq >= next_seq_ && "tie-break counter must not rewind");
+    next_seq_ = seq;
+}
+
+void event_queue::restore_now(cycle_t now) {
+    assert(heap_.empty() && "clock restore requires an empty queue");
+    now_ = now;
+}
+
+void event_queue::discard_cancelled_head() {
+    while (!heap_.empty() && heap_.top().tok && heap_.top().tok->cancelled)
+        heap_.pop();
+}
+
+cycle_t event_queue::next_time() {
+    discard_cancelled_head();
+    return heap_.empty() ? never : heap_.top().when;
 }
 
 bool event_queue::step() {
+    discard_cancelled_head();
     if (heap_.empty()) return false;
     // priority_queue::top() is const; the callback must be moved out before
     // pop, so copy the handle via const_cast-free extraction.
     entry e = heap_.top();
     heap_.pop();
     now_ = e.when;
+    if (e.tok) e.tok->fired = true;
     e.fn();
     return true;
 }
@@ -27,7 +79,7 @@ std::size_t event_queue::run(std::size_t max_events) {
 }
 
 void event_queue::run_until(cycle_t until) {
-    while (!heap_.empty() && heap_.top().when <= until) step();
+    while (next_time() <= until && !heap_.empty()) step();
     if (now_ < until) now_ = until;
 }
 

@@ -4,10 +4,22 @@
 // completions, Algorithm 1 timeouts, task arrivals) schedules closures on
 // one global queue. Events at equal timestamps run in scheduling order so a
 // fixed seed yields a bit-identical simulation.
+//
+// Two facilities support the resumable scheduler (runtime/scheduler.h):
+//   * cancellable timers — periodic chains like the MoCA bandwidth epoch
+//     arm through schedule_cancellable(); a cancelled entry is skipped
+//     without running and, crucially, without advancing now(), so a drained
+//     run's makespan is no longer inflated by a pending no-op epoch tick;
+//   * explicit-sequence restore — schedule_restored() re-arms an event
+//     under the sequence number it held when a checkpoint was taken, and
+//     restore_now()/restore_next_seq() re-establish the clock and the
+//     tie-break counter, so a resumed run replays same-cycle event order
+//     bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -19,23 +31,82 @@ class event_queue {
 public:
     using callback = std::function<void()>;
 
+    /// Handle to a cancellable event. Default-constructed handles are
+    /// detached (armed() == false, cancel() is a no-op), so holders need no
+    /// null checks. Copies share the underlying state.
+    class timer {
+    public:
+        timer() = default;
+
+        /// True while the event is pending (not yet fired, not cancelled).
+        bool armed() const { return s_ && !s_->cancelled && !s_->fired; }
+        cycle_t when() const { return s_ ? s_->when : 0; }
+        std::uint64_t seq() const { return s_ ? s_->seq : 0; }
+
+        /// Prevents the pending event from running. The queue entry is
+        /// discarded when reached without advancing now().
+        void cancel() {
+            if (s_) s_->cancelled = true;
+        }
+
+    private:
+        friend class event_queue;
+        struct state {
+            cycle_t when = 0;
+            std::uint64_t seq = 0;
+            bool cancelled = false;
+            bool fired = false;
+        };
+        explicit timer(std::shared_ptr<state> s) : s_(std::move(s)) {}
+        std::shared_ptr<state> s_;
+    };
+
     /// Current simulation time. Advances only inside step()/run*.
     cycle_t now() const { return now_; }
 
     /// Schedules `fn` to run at absolute time `when` (>= now()).
     /// Scheduling in the past is clamped to now() rather than rejected, so
-    /// zero-latency completions stay legal.
-    void schedule(cycle_t when, callback fn);
+    /// zero-latency completions stay legal. Returns the event's sequence
+    /// number (the same-cycle tie-breaker; checkpoint bookkeeping).
+    std::uint64_t schedule(cycle_t when, callback fn);
 
     /// Schedules `fn` to run `delay` cycles from now.
-    void schedule_after(cycle_t delay, callback fn) {
-        schedule(now_ + delay, std::move(fn));
+    std::uint64_t schedule_after(cycle_t delay, callback fn) {
+        return schedule(now_ + delay, std::move(fn));
     }
+
+    /// Schedules a cancellable event and returns its handle.
+    timer schedule_cancellable(cycle_t when, callback fn);
+
+    // ---- checkpoint/restore support ----
+
+    /// Re-arms an event under an explicit sequence number saved at
+    /// checkpoint time (does not consume next_seq()). The caller must keep
+    /// restored sequences unique and below the restored next_seq().
+    void schedule_restored(cycle_t when, std::uint64_t seq, callback fn);
+
+    /// Cancellable variant of schedule_restored (re-armed periodic chains).
+    timer restore_cancellable(cycle_t when, std::uint64_t seq, callback fn);
+
+    /// Tie-break counter the next schedule() call will use.
+    std::uint64_t next_seq() const { return next_seq_; }
+
+    /// Restores the tie-break counter after a resume; must not go
+    /// backwards past sequences already scheduled.
+    void restore_next_seq(std::uint64_t seq);
+
+    /// Sets the clock of an empty queue (resume from a snapshot).
+    void restore_now(cycle_t now);
+
+    /// Earliest pending live event time; `never` when nothing is pending.
+    /// Discards cancelled entries encountered at the head.
+    cycle_t next_time();
 
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
 
-    /// Runs the earliest event. Returns false when the queue is empty.
+    /// Runs the earliest live event. Returns false when no live event
+    /// remains. Cancelled entries are discarded without advancing now().
     bool step();
 
     /// Runs events until the queue drains or `max_events` have run.
@@ -51,6 +122,7 @@ private:
         cycle_t when;
         std::uint64_t seq;  // tie-breaker: FIFO among same-cycle events
         callback fn;
+        std::shared_ptr<timer::state> tok;  // null for plain events
     };
     struct later {
         bool operator()(const entry& a, const entry& b) const {
@@ -58,6 +130,10 @@ private:
             return a.seq > b.seq;
         }
     };
+
+    /// Pops cancelled entries off the head (they neither run nor advance
+    /// the clock).
+    void discard_cancelled_head();
 
     std::priority_queue<entry, std::vector<entry>, later> heap_;
     cycle_t now_ = 0;

@@ -1,0 +1,157 @@
+// Byte-stream primitives for checkpoint/restore.
+//
+// Every resumable subsystem (cache, DRAM, telemetry bus, workload cursors,
+// the scheduler itself) serializes its state through these two classes so
+// snapshot encoding rules live in exactly one place: little-endian
+// fixed-width integers, bit-exact doubles (raw IEEE-754 payload), and
+// length-prefixed strings/blobs. The reader throws `snapshot_error` on any
+// structural problem (truncation, impossible lengths) so malformed or
+// version-skewed snapshots are rejected with a clear message instead of
+// resuming a corrupt simulation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace camdn {
+
+/// Raised on malformed snapshot input: truncation, bad magic, version
+/// mismatch, geometry mismatch against the resuming configuration.
+class snapshot_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Appends snapshot fields to a growing byte buffer.
+class snapshot_writer {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+    }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+    }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /// Raw IEEE-754 payload: round-trips bit-exactly, NaNs included.
+    void d(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string& s) {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /// Length-prefixed opaque blob (nested subsystem sections).
+    void blob(const std::vector<std::uint8_t>& bytes) {
+        u64(bytes.size());
+        buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    }
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes snapshot fields from a byte buffer; throws snapshot_error on
+/// truncation. `done()` lets callers reject trailing garbage.
+class snapshot_reader {
+public:
+    snapshot_reader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size) {}
+    explicit snapshot_reader(const std::vector<std::uint8_t>& bytes)
+        : snapshot_reader(bytes.data(), bytes.size()) {}
+
+    std::uint8_t u8() {
+        need(1);
+        return data_[pos_++];
+    }
+    bool b() { return u8() != 0; }
+
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double d() {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string str() {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::vector<std::uint8_t> blob() {
+        const std::uint64_t n = u64();
+        need(n);
+        std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+        pos_ += static_cast<std::size_t>(n);
+        return out;
+    }
+
+    /// Element count for a following sequence, sanity-bounded so a corrupt
+    /// length fails fast instead of driving a multi-gigabyte loop.
+    std::uint64_t count(std::uint64_t min_elem_bytes = 1) {
+        const std::uint64_t n = u64();
+        if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes)
+            throw snapshot_error(
+                "snapshot truncated: sequence of " + std::to_string(n) +
+                " elements does not fit in the remaining " +
+                std::to_string(remaining()) + " bytes");
+        return n;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+private:
+    void need(std::uint64_t n) const {
+        if (n > remaining())
+            throw snapshot_error("snapshot truncated at byte " +
+                                 std::to_string(pos_) + ": need " +
+                                 std::to_string(n) + " more, have " +
+                                 std::to_string(remaining()));
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace camdn

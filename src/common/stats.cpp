@@ -63,6 +63,11 @@ double percentile_tracker::mean() const {
     return sum / static_cast<double>(samples_.size());
 }
 
+void percentile_tracker::assign(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+}
+
 void percentile_tracker::merge(const percentile_tracker& other) {
     if (other.samples_.empty()) return;
     samples_.insert(samples_.end(), other.samples_.begin(),

@@ -77,6 +77,17 @@ public:
     /// Merges every sample of `other` into this tracker.
     void merge(const percentile_tracker& other);
 
+    /// Samples in ascending order (sorts lazily, like the quantile
+    /// queries). Checkpoint serialization walks this, so snapshot bytes are
+    /// independent of insertion order.
+    const std::vector<double>& sorted_samples() const {
+        ensure_sorted();
+        return samples_;
+    }
+
+    /// Replaces the contents (checkpoint restore).
+    void assign(std::vector<double> samples);
+
 private:
     void ensure_sorted() const;
 

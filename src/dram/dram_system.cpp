@@ -137,4 +137,62 @@ void dram_system::reset_timing() {
     std::fill(bus_free_.begin(), bus_free_.end(), 0);
 }
 
+void dram_system::save_state(snapshot_writer& w) const {
+    w.u64(banks_.size());
+    for (const auto& b : banks_) {
+        w.i64(b.open_row);
+        w.u64(b.ready_deci);
+    }
+    w.u64(bus_free_.size());
+    for (const std::uint64_t f : bus_free_) w.u64(f);
+    w.u64(regulators_.size());
+    for (const auto& reg : regulators_) {
+        w.d(reg.share);
+        w.u64(reg.epoch_start);
+        w.u64(reg.bytes_used);
+    }
+    w.u64(per_task_bytes_.size());
+    for (const std::uint64_t bytes : per_task_bytes_) w.u64(bytes);
+    w.u64(stats_.reads);
+    w.u64(stats_.writes);
+    w.u64(stats_.row_hits);
+    w.u64(stats_.row_misses);
+    w.u64(stats_.row_empties);
+    w.u64(stats_.throttled);
+    w.u64(stats_.bus_busy_deci);
+}
+
+void dram_system::restore_state(snapshot_reader& r) {
+    const std::uint64_t nbanks = r.count(16);
+    if (nbanks != banks_.size())
+        throw snapshot_error("snapshot DRAM bank-count mismatch: saved " +
+                             std::to_string(nbanks) + ", configured " +
+                             std::to_string(banks_.size()));
+    for (auto& b : banks_) {
+        b.open_row = r.i64();
+        b.ready_deci = r.u64();
+    }
+    const std::uint64_t nchan = r.count(8);
+    if (nchan != bus_free_.size())
+        throw snapshot_error("snapshot DRAM channel-count mismatch");
+    for (auto& f : bus_free_) f = r.u64();
+    const std::uint64_t nreg = r.count(24);
+    regulators_.assign(nreg, regulator_state{});
+    for (auto& reg : regulators_) {
+        reg.share = r.d();
+        reg.epoch_start = r.u64();
+        reg.bytes_used = r.u64();
+    }
+    const std::uint64_t ntask = r.count(8);
+    per_task_bytes_.assign(ntask, 0);
+    for (auto& bytes : per_task_bytes_) bytes = r.u64();
+    stats_.reads = r.u64();
+    stats_.writes = r.u64();
+    stats_.row_hits = r.u64();
+    stats_.row_misses = r.u64();
+    stats_.row_empties = r.u64();
+    stats_.throttled = r.u64();
+    stats_.bus_busy_deci = r.u64();
+}
+
 }  // namespace camdn::dram

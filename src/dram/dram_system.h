@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot_io.h"
 #include "common/types.h"
 #include "dram/dram_config.h"
 
@@ -70,6 +71,14 @@ public:
     std::uint64_t task_bytes(task_id task) const;
 
     const dram_config& config() const { return config_; }
+
+    /// Checkpoint support: serializes / restores bank timing (open rows,
+    /// ready horizons), channel bus horizons, regulator windows, per-task
+    /// byte counters and cumulative stats. Horizons are absolute
+    /// deci-cycles — the resumed run continues the same clock.
+    /// restore_state throws snapshot_error on a geometry mismatch.
+    void save_state(snapshot_writer& w) const;
+    void restore_state(snapshot_reader& r);
 
     /// Average achieved bandwidth (bytes/cycle) over [0, horizon].
     double achieved_bandwidth(cycle_t horizon) const {

@@ -34,6 +34,10 @@ public:
     scratchpad& spad() { return spad_; }
     std::uint64_t busy_cycles() const { return busy_cycles_; }
 
+    /// Checkpoint restore: re-seeds the cumulative busy counter (cores are
+    /// idle at every checkpoint boundary, so no other state survives).
+    void restore_busy_cycles(std::uint64_t cycles) { busy_cycles_ = cycles; }
+
 private:
     npu_id id_;
     task_id task_ = no_task;

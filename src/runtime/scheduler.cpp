@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <type_traits>
 
 #include "sim/layer_executor.h"
 #include "sim/mapping_registry.h"
 
 namespace camdn::runtime {
+
+namespace {
+
+/// FNV-1a accumulator for the snapshot compatibility fingerprints.
+struct fingerprint {
+    std::uint64_t h = 1469598103934665603ull;
+
+    template <typename T,
+              typename std::enable_if<std::is_integral<T>::value, int>::type = 0>
+    void add(T v) {
+        const std::uint64_t u = static_cast<std::uint64_t>(v);
+        for (int i = 0; i < 8; ++i) {
+            h ^= (u >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    void add(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        add(bits);
+    }
+    void add(const std::string& s) {
+        add(static_cast<std::uint64_t>(s.size()));
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+}  // namespace
 
 scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
     : cfg_(cfg),
@@ -27,6 +60,291 @@ scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
             cfg_.adapt_ctl, cfg_.co_located,
             machine_.cache().pages().total_pages(), alg_.ahead_ratio());
     }
+
+    const std::uint32_t slots = cfg_.co_located;
+    tasks_.resize(slots);
+    slot_busy_.assign(slots, false);
+    addrs_.reserve(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) {
+        tasks_[s].id = static_cast<task_id>(s);
+        addrs_.emplace_back(static_cast<task_id>(s));
+    }
+    for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
+        free_cores_.push_back(static_cast<npu_id>(c - 1));
+}
+
+scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen,
+                     const scheduler_snapshot& snap, resume_mode mode)
+    : scheduler(cfg, gen) {
+    restore(snap, mode);
+}
+
+std::uint64_t scheduler::machine_fingerprint() const {
+    fingerprint f;
+    f.add(static_cast<std::uint64_t>(cfg_.pol));
+    f.add(cfg_.co_located);
+    f.add((cfg_.features.bypass ? 1u : 0u) | (cfg_.features.multicast ? 2u : 0u) |
+          (cfg_.features.lbm ? 4u : 0u));
+    const auto& c = cfg_.soc.cache;
+    f.add(c.total_bytes);
+    f.add(c.ways);
+    f.add(c.npu_ways);
+    f.add(c.slices);
+    f.add(c.page_bytes);
+    f.add(c.hit_latency);
+    f.add(c.fill_latency);
+    f.add(c.noc_latency);
+    const auto& d = cfg_.soc.dram;
+    f.add(d.channels);
+    f.add(d.banks_per_channel);
+    f.add(d.row_bytes);
+    f.add(d.bytes_per_cycle_x10);
+    f.add(d.t_cl);
+    f.add(d.t_rcd);
+    f.add(d.t_rp);
+    f.add(d.t_ccd);
+    f.add(d.t_burst_gap);
+    f.add(d.t_controller);
+    f.add(d.regulation_epoch);
+    const auto& n = cfg_.soc.npu;
+    f.add(n.pe_rows);
+    f.add(n.pe_cols);
+    f.add(n.scratchpad_bytes);
+    f.add(n.cores);
+    f.add(n.pipeline_fill);
+    f.add(n.simd_lanes);
+    f.add(cfg_.qos_mode ? 1u : 0u);
+    f.add(cfg_.qos_scale);
+    f.add(cfg_.spread_idle_cores ? 1u : 0u);
+    f.add(cfg_.page_retry_interval);
+    f.add(cfg_.bw_epoch);
+    f.add(cfg_.adapt_ctl.epoch);
+    return f.h;
+}
+
+std::uint64_t scheduler::run_fingerprint() const {
+    fingerprint f;
+    f.add(static_cast<std::uint64_t>(cfg_.kind));
+    f.add(cfg_.seed);
+    f.add(cfg_.inferences_per_slot);
+    f.add(cfg_.think_time_ms);
+    f.add(cfg_.arrival_rate_per_ms);
+    f.add(cfg_.total_arrivals);
+    f.add(cfg_.admission_queue_limit);
+    f.add(static_cast<std::uint64_t>(cfg_.mmpp_rate_scale.size()));
+    for (const double s : cfg_.mmpp_rate_scale) f.add(s);
+    f.add(cfg_.mmpp_sojourn_ms);
+    f.add(cfg_.churn_interval_ms);
+    f.add(cfg_.churn_active_models);
+    f.add(cfg_.telemetry ? 1u : 0u);
+    f.add(static_cast<std::uint64_t>(cfg_.workload.size()));
+    for (const auto* m : cfg_.workload) f.add(m->name);
+    f.add(static_cast<std::uint64_t>(cfg_.trace.size()));
+    for (const auto& a : cfg_.trace) {
+        f.add(a.at);
+        if (a.mdl) f.add(a.mdl->name);
+    }
+    return f.h;
+}
+
+void scheduler::restore(const scheduler_snapshot& snap, resume_mode mode) {
+    if (snap.machine_fingerprint != machine_fingerprint())
+        throw snapshot_error(
+            "snapshot machine fingerprint does not match the resuming "
+            "configuration (SoC geometry, policy or slot count differ)");
+    if (mode == resume_mode::exact) {
+        if (snap.run_fingerprint != run_fingerprint())
+            throw snapshot_error(
+                "exact resume requires the identical workload configuration "
+                "(run fingerprint mismatch)");
+        if (!gen_.checkpointable() || snap.workload.empty())
+            throw snapshot_error(
+                "exact resume requires a generator with a saved cursor");
+    }
+    if (snap.slots != cfg_.co_located ||
+        snap.slot_completed.size() != tasks_.size())
+        throw snapshot_error("snapshot slot count mismatch");
+
+    machine_.eq().restore_now(snap.now);
+
+    {
+        snapshot_reader r(snap.machine);
+        machine_.cache().restore_state(r);
+        machine_.dram().restore_state(r);
+        if (!r.done())
+            throw snapshot_error("snapshot machine section has trailing bytes");
+    }
+
+    if (snap.core_busy_cycles.size() != machine_.cores().size() ||
+        snap.free_cores.size() != machine_.cores().size())
+        throw snapshot_error("snapshot core count mismatch");
+    for (std::size_t c = 0; c < machine_.cores().size(); ++c)
+        machine_.cores()[c].restore_busy_cycles(snap.core_busy_cycles[c]);
+    std::vector<bool> seen(machine_.cores().size(), false);
+    for (const npu_id c : snap.free_cores) {
+        if (c < 0 || static_cast<std::size_t>(c) >= machine_.cores().size())
+            throw snapshot_error("snapshot free-core id out of range");
+        if (seen[static_cast<std::size_t>(c)])
+            throw snapshot_error("snapshot free-core stack lists core " +
+                                 std::to_string(c) + " twice");
+        seen[static_cast<std::size_t>(c)] = true;
+    }
+    free_cores_ = snap.free_cores;
+
+    for (std::size_t s = 0; s < tasks_.size(); ++s)
+        tasks_[s].completed_inferences = snap.slot_completed[s];
+
+    dram_bytes_mark_ = snap.dram_bytes_mark;
+    dram_throttled_mark_ = snap.dram_throttled_mark;
+    alg_.set_ahead_ratio(snap.ahead_ratio);
+    // A telemetry-off scheduler must keep the deadline at `never` even if
+    // the snapshot came from an observing run (maybe_cut_epoch would
+    // otherwise cut into a slot-less bus).
+    epoch_deadline_ = telemetry_on_ ? snap.epoch_deadline : never;
+    if (telemetry_on_ && cfg_.adapt_ctl.epoch != 0 && epoch_deadline_ == never)
+        epoch_deadline_ = snap.now + cfg_.adapt_ctl.epoch;
+
+    if (telemetry_on_ && !snap.telemetry.empty()) {
+        snapshot_reader r(snap.telemetry);
+        bus_.restore_state(r, /*keep_history=*/mode == resume_mode::exact);
+        if (!r.done())
+            throw snapshot_error(
+                "snapshot telemetry section has trailing bytes");
+    }
+    if (ctl_) {
+        if (snap.controller.empty())
+            throw snapshot_error(
+                "adaptive resume requires controller state in the snapshot");
+        snapshot_reader r(snap.controller);
+        ctl_->restore_state(r);
+        if (!r.done())
+            throw snapshot_error(
+                "snapshot controller section has trailing bytes");
+        if (snap.page_share.size() != page_share_.size())
+            throw snapshot_error("snapshot page-share size mismatch");
+        std::copy(snap.page_share.begin(), snap.page_share.end(),
+                  page_share_.begin());
+    }
+
+    for (const auto& q : snap.admission_queue) {
+        const model::model* mdl = nullptr;
+        for (const auto* m : cfg_.workload)
+            if (m->name == q.model) mdl = m;
+        if (mdl == nullptr)
+            throw snapshot_error("snapshot queued model '" + q.model +
+                                 "' is not in the workload catalog");
+        if (q.slot != no_task &&
+            (q.slot < 0 || static_cast<std::size_t>(q.slot) >= tasks_.size()))
+            throw snapshot_error("snapshot queued slot out of range");
+        dispatch_queue_.push_back({mdl, q.arrival, q.slot});
+        in_flight_ += 1;
+    }
+
+    if (mode == resume_mode::exact) {
+        {
+            snapshot_reader r(snap.workload);
+            gen_.restore_state(r);
+            if (!r.done())
+                throw snapshot_error(
+                    "snapshot workload section has trailing bytes");
+        }
+        if (!snap.results.empty()) {
+            snapshot_reader r(snap.results);
+            const std::uint64_t n = r.count(4 + 8 * 4 + 4 + 8);
+            result_.completions.reserve(n);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                sim::inference_record rec;
+                rec.slot = r.i32();
+                rec.abbr = r.str();
+                rec.arrival = r.u64();
+                rec.start = r.u64();
+                rec.end = r.u64();
+                rec.dram_bytes = r.u64();
+                rec.cores = r.u32();
+                result_.completions.push_back(std::move(rec));
+            }
+            if (!r.done())
+                throw snapshot_error(
+                    "snapshot results section has trailing bytes");
+        }
+        resume_exact_ = true;
+        resume_bw_armed_ = snap.bw_timer_armed;
+        resume_bw_when_ = snap.bw_timer_when;
+        resume_bw_seq_ = snap.bw_timer_seq;
+        resume_event_seq_ = snap.event_seq;
+    }
+}
+
+scheduler_snapshot scheduler::save() const {
+    if (!paused_ && !finalized_)
+        throw std::logic_error(
+            "scheduler::save: only valid while paused at a checkpoint "
+            "boundary or after completion");
+    assert(in_flight_ == dispatch_queue_.size() &&
+           "checkpoint boundary must have no running inferences");
+
+    scheduler_snapshot s;
+    s.machine_fingerprint = machine_fingerprint();
+    s.run_fingerprint = run_fingerprint();
+    s.slots = cfg_.co_located;
+    s.now = machine_.eq().now();
+    s.event_seq = machine_.eq().next_seq();
+    s.epoch_deadline = epoch_deadline_;
+    s.bw_timer_armed = bw_timer_.armed();
+    s.bw_timer_when = bw_timer_.when();
+    s.bw_timer_seq = bw_timer_.seq();
+    s.dram_bytes_mark = dram_bytes_mark_;
+    s.dram_throttled_mark = dram_throttled_mark_;
+    s.ahead_ratio = alg_.ahead_ratio();
+
+    s.slot_completed.reserve(tasks_.size());
+    for (const auto& t : tasks_) s.slot_completed.push_back(t.completed_inferences);
+    s.page_share = page_share_;
+    s.free_cores = free_cores_;
+    s.core_busy_cycles.reserve(machine_.cores().size());
+    for (const auto& c : machine_.cores())
+        s.core_busy_cycles.push_back(c.busy_cycles());
+
+    s.admission_queue.reserve(dispatch_queue_.size());
+    for (const auto& q : dispatch_queue_)
+        s.admission_queue.push_back({q.mdl->name, q.arrival, q.slot});
+
+    {
+        snapshot_writer w;
+        machine_.cache().save_state(w);
+        machine_.dram().save_state(w);
+        s.machine = w.take();
+    }
+    if (telemetry_on_) {
+        snapshot_writer w;
+        bus_.save_state(w);
+        s.telemetry = w.take();
+    }
+    if (ctl_) {
+        snapshot_writer w;
+        ctl_->save_state(w);
+        s.controller = w.take();
+    }
+    if (gen_.checkpointable()) {
+        snapshot_writer w;
+        gen_.save_state(w);
+        s.workload = w.take();
+    }
+    {
+        snapshot_writer w;
+        w.u64(result_.completions.size());
+        for (const auto& rec : result_.completions) {
+            w.i32(rec.slot);
+            w.str(rec.abbr);
+            w.u64(rec.arrival);
+            w.u64(rec.start);
+            w.u64(rec.end);
+            w.u64(rec.dram_bytes);
+            w.u32(rec.cores);
+        }
+        s.results = w.take();
+    }
+    return s;
 }
 
 std::vector<const task*> scheduler::running_tasks_const() const {
@@ -49,14 +367,23 @@ std::uint64_t scheduler::est_total_cycles(const task& t) const {
     return sum;
 }
 
-void scheduler::at(cycle_t when, std::function<void()> fn) {
+std::uint64_t scheduler::at(cycle_t when, std::function<void()> fn) {
     // Generator-scheduled events (arrivals) can change exhausted(); the
     // wrapper re-evaluates completion so a drained open-loop run
     // terminates its bandwidth-epoch chain.
-    machine_.eq().schedule(when, [this, fn = std::move(fn)]() {
+    return machine_.eq().schedule(when, [this, fn = std::move(fn)]() {
         fn();
         update_done();
     });
+}
+
+void scheduler::at_restored(cycle_t when, std::uint64_t id,
+                            std::function<void()> fn) {
+    machine_.eq().schedule_restored(when, id,
+                                    [this, fn = std::move(fn)]() {
+                                        fn();
+                                        update_done();
+                                    });
 }
 
 void scheduler::submit(const model::model* mdl, task_id slot) {
@@ -66,15 +393,22 @@ void scheduler::submit(const model::model* mdl, task_id slot) {
 }
 
 void scheduler::update_done() {
-    if (in_flight_ == 0 && dispatch_queue_.empty() && gen_.exhausted())
+    if (in_flight_ == 0 && dispatch_queue_.empty() && gen_.exhausted()) {
         done_ = true;
+        // A drained run must not let the already-armed bandwidth epoch tick
+        // on: cancelling it stops the chain and keeps the pending no-op
+        // event from inflating the makespan (the cancelled entry is skipped
+        // without advancing the clock).
+        bw_timer_.cancel();
+    }
 }
 
 void scheduler::schedule_bw_epoch() {
     if (done_ || !use_bw_alloc()) return;
     auto running = running_tasks();
     bw_.reallocate(running, machine_.eq().now());
-    machine_.eq().schedule_after(cfg_.bw_epoch, [this]() { schedule_bw_epoch(); });
+    bw_timer_ = machine_.eq().schedule_cancellable(
+        machine_.eq().now() + cfg_.bw_epoch, [this]() { schedule_bw_epoch(); });
 }
 
 void scheduler::cut_epoch() {
@@ -116,6 +450,7 @@ task_id scheduler::pick_free_slot() const {
 }
 
 void scheduler::try_dispatch() {
+    if (machine_.eq().now() >= dispatch_hold_after_) return;
     while (!dispatch_queue_.empty() && !free_cores_.empty()) {
         // First dispatchable item in FIFO order: a request pinned to a
         // still-busy slot must not head-of-line block later requests whose
@@ -401,30 +736,99 @@ void scheduler::end_inference(task& t, cycle_t end) {
     try_dispatch();
 }
 
-sim::experiment_result scheduler::run() {
-    const std::uint32_t slots = cfg_.co_located;
-    tasks_.resize(slots);
-    slot_busy_.assign(slots, false);
-    addrs_.reserve(slots);
-    for (std::uint32_t s = 0; s < slots; ++s) {
-        tasks_[s].id = static_cast<task_id>(s);
-        addrs_.emplace_back(static_cast<task_id>(s));
+void scheduler::start_if_needed() {
+    if (started_) return;
+    started_ = true;
+
+    if (resume_exact_) {
+        // Re-arm the pending work under its saved event ids so same-cycle
+        // ordering replays bit for bit, then restore the tie-break counter
+        // for everything scheduled after the boundary.
+        gen_.resume(*this);
+        if (resume_bw_armed_)
+            bw_timer_ = machine_.eq().restore_cancellable(
+                resume_bw_when_, resume_bw_seq_,
+                [this]() { schedule_bw_epoch(); });
+        machine_.eq().restore_next_seq(resume_event_seq_);
+        update_done();
+        // A held snapshot (run_segment_hold_dispatch) cancelled the
+        // bandwidth-epoch chain before saving; there is no continuous
+        // reference to phase-match, so re-arm it fresh like a warm resume.
+        if (!done_ && !bw_timer_.armed()) schedule_bw_epoch();
+        try_dispatch();
+        return;
     }
 
-    for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
-        free_cores_.push_back(static_cast<npu_id>(c - 1));
-
-    if (telemetry_on_ && cfg_.adapt_ctl.epoch != 0)
+    if (telemetry_on_ && cfg_.adapt_ctl.epoch != 0 && epoch_deadline_ == never)
         epoch_deadline_ = cfg_.adapt_ctl.epoch;
 
     gen_.start(*this);
     update_done();
     schedule_bw_epoch();
+    try_dispatch();
+}
 
-    machine_.eq().run();
-    assert(in_flight_ == 0 && "experiment ended with live inferences");
-    assert(gen_.exhausted() && "experiment ended with pending arrivals");
+bool scheduler::at_checkpoint_boundary() {
+    if (done_ || in_flight_ != 0) return false;
+    // All same-cycle activity must have drained: the next live event has to
+    // be strictly in the future (arrivals and the bandwidth-epoch timer are
+    // the only event kinds that exist at such an instant, and both are
+    // reconstructible from the snapshot).
+    return machine_.eq().next_time() > machine_.eq().now();
+}
 
+bool scheduler::run_segment(cycle_t boundary) {
+    if (finalized_) return false;
+    start_if_needed();
+    paused_ = false;
+    if (dispatch_hold_after_ != never) {
+        // Continuing past a held pause lifts the hold: the carried backlog
+        // dispatches now.
+        dispatch_hold_after_ = never;
+        try_dispatch();
+    }
+
+    auto& eq = machine_.eq();
+    while (true) {
+        if (!done_ && eq.now() >= boundary && at_checkpoint_boundary()) {
+            paused_ = true;
+            return true;
+        }
+        if (!eq.step()) break;
+    }
+    finalize();
+    return false;
+}
+
+bool scheduler::run_segment_hold_dispatch(cycle_t hold_after) {
+    if (finalized_) return false;
+    start_if_needed();
+    paused_ = false;
+    dispatch_hold_after_ = hold_after;
+    try_dispatch();  // a backlog held by an earlier segment may now be due
+
+    auto& eq = machine_.eq();
+    while (true) {
+        // Held boundary: every arrival has fired (into the queue or onto
+        // the floor), no inference is running, and nothing further is due
+        // this cycle. The only pending event can be the bandwidth-epoch
+        // timer, which is cancelled — a warm resume re-arms it.
+        const bool no_running = in_flight_ == dispatch_queue_.size();
+        if (!done_ && no_running && gen_.exhausted()) {
+            bw_timer_.cancel();
+            if (eq.next_time() > eq.now()) {
+                paused_ = true;
+                return true;
+            }
+        }
+        if (!eq.step()) break;
+    }
+    dispatch_hold_after_ = never;
+    finalize();
+    return false;
+}
+
+void scheduler::fill_result() {
     result_.makespan = machine_.eq().now();
     result_.cache_hit_rate = machine_.cache().stats().hit_rate();
     result_.cache_stats = machine_.cache().stats();
@@ -439,6 +843,33 @@ sim::experiment_result scheduler::run() {
         if (bus_.open_epoch_active()) cut_epoch();
         result_.telemetry = bus_.history();
     }
+}
+
+void scheduler::finalize() {
+    if (finalized_) return;
+    assert(in_flight_ == 0 && "experiment ended with live inferences");
+    assert(gen_.exhausted() && "experiment ended with pending arrivals");
+    fill_result();
+    finalized_ = true;
+}
+
+sim::experiment_result scheduler::segment_result() {
+    if (!paused_ && !finalized_)
+        throw std::logic_error(
+            "scheduler::segment_result: only valid while paused or after "
+            "completion");
+    if (!finalized_) {
+        fill_result();
+        // The boundary cut closed an epoch; start the next segment's first
+        // epoch at the boundary rather than the stale deadline.
+        if (telemetry_on_ && cfg_.adapt_ctl.epoch != 0)
+            epoch_deadline_ = machine_.eq().now() + cfg_.adapt_ctl.epoch;
+    }
+    return result_;
+}
+
+sim::experiment_result scheduler::run() {
+    run_segment(never);
     return result_;
 }
 

@@ -8,6 +8,16 @@
 // path: MoCA re-partitions bandwidth every epoch, AuRORA sizes core groups
 // by deadline slack, the CaMDN variants manage the cache via static shares
 // or the per-layer Algorithm-1 page negotiation with LBM.
+//
+// Runs are resumable: run_segment() pauses at the first checkpoint
+// boundary — an instant with no queued or running work, where every
+// pending event is either a future arrival (owned by the generator's
+// cursor) or the re-armable bandwidth-epoch timer — and save() serializes
+// the full warm state as a scheduler_snapshot. A scheduler constructed
+// from that snapshot continues the run bit-identically (resume_mode::exact)
+// or starts a new workload segment on the warm machine
+// (resume_mode::warm; how the serve layer carries cache warmth and clock
+// across fleet feedback rounds).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +30,7 @@
 #include "adapt/telemetry.h"
 #include "runtime/bandwidth_allocator.h"
 #include "runtime/cache_allocation.h"
+#include "runtime/scheduler_snapshot.h"
 #include "runtime/task.h"
 #include "runtime/workload.h"
 #include "sim/address_map.h"
@@ -28,18 +39,77 @@
 
 namespace camdn::runtime {
 
+/// How a scheduler constructed from a snapshot interprets it.
+enum class resume_mode : std::uint8_t {
+    /// Continue the same run bit-identically: the generator cursor, pending
+    /// event ids, telemetry history and completions so far are restored, so
+    /// the finished result matches an unsplit run exactly. Requires the
+    /// identical experiment_config (validated by fingerprint) and a
+    /// checkpointable generator.
+    exact,
+    /// Start a new workload on the warm machine: clock, cache contents,
+    /// DRAM timing, controller state and per-slot counters carry over;
+    /// results and telemetry history start empty. The SoC geometry, policy
+    /// and slot count must match; the arrival side may differ (e.g. the
+    /// next feedback round's trace slice).
+    warm,
+};
+
 class scheduler final : public workload_control {
 public:
     /// `cfg` and `gen` must outlive the scheduler.
     scheduler(const sim::experiment_config& cfg, workload_generator& gen);
 
+    /// Resumes from `snap` (see resume_mode). Throws snapshot_error when
+    /// the snapshot does not fit `cfg`, or when an exact resume is
+    /// requested without a restorable generator cursor.
+    scheduler(const sim::experiment_config& cfg, workload_generator& gen,
+              const scheduler_snapshot& snap, resume_mode mode);
+
     /// Runs the generator's workload to completion (deterministic under
-    /// cfg.seed). Call at most once.
+    /// cfg.seed).
     sim::experiment_result run();
+
+    /// Runs until the first checkpoint boundary at or after `boundary`: an
+    /// instant with no queued or running work and no further event due at
+    /// the current cycle. Returns true when paused at such a boundary
+    /// (save() is now valid); false when the workload completed first (the
+    /// result is finalized, as after run()). May be called repeatedly to
+    /// advance through multiple boundaries.
+    bool run_segment(cycle_t boundary);
+
+    /// Segment-with-backlog variant for bounded workloads (fleet feedback
+    /// rounds): once the clock passes `hold_after`, admission keeps
+    /// accepting arrivals at their true times (dropping on a full queue,
+    /// exactly as live) but no new inference dispatches; running work
+    /// finishes and the scheduler pauses with the queued backlog intact.
+    /// save() then carries the admission queue, and a warm resume
+    /// dispatches it first — no thundering-herd clamp of late arrivals.
+    /// Returns true when paused with held work, false when the workload
+    /// drained completely first (finalized, as after run()).
+    bool run_segment_hold_dispatch(cycle_t hold_after);
+
+    /// Serializes the warm state. Valid while paused at a checkpoint
+    /// boundary or after completion; throws std::logic_error otherwise.
+    scheduler_snapshot save() const;
+
+    /// The finalized result (valid once run()/run_segment() completed).
+    const sim::experiment_result& result() const { return result_; }
+    bool finished() const { return finalized_; }
+
+    /// The segment's result so far — the same fields as a finalized
+    /// result with makespan = the pause instant. Cuts the trailing open
+    /// telemetry epoch, so call it before save() when both are wanted
+    /// (the cut then carries into the snapshot and the next segment's
+    /// epochs start at the boundary). Throws std::logic_error unless
+    /// paused or finished.
+    sim::experiment_result segment_result();
 
     // ---- workload_control ----
     cycle_t now() const override { return machine_.eq().now(); }
-    void at(cycle_t when, std::function<void()> fn) override;
+    std::uint64_t at(cycle_t when, std::function<void()> fn) override;
+    void at_restored(cycle_t when, std::uint64_t id,
+                     std::function<void()> fn) override;
     void submit(const model::model* mdl, task_id slot = no_task) override;
     std::size_t pending() const override { return dispatch_queue_.size(); }
 
@@ -92,6 +162,20 @@ private:
     void apply_action(const adapt::control_action& a);
     void update_done();
 
+    /// First-run / first-resume setup: starts (or resumes) the generator
+    /// and arms the bandwidth-epoch timer.
+    void start_if_needed();
+    /// Fills result_ from the current simulation state (idempotent).
+    void fill_result();
+    /// Fills result_ and marks the run finished.
+    void finalize();
+    /// True at an instant eligible for save(): nothing queued or running
+    /// and the next live event strictly in the future.
+    bool at_checkpoint_boundary();
+    void restore(const scheduler_snapshot& snap, resume_mode mode);
+    std::uint64_t machine_fingerprint() const;
+    std::uint64_t run_fingerprint() const;
+
     const sim::experiment_config& cfg_;
     workload_generator& gen_;
     sim::soc machine_;
@@ -115,6 +199,22 @@ private:
     std::uint64_t dram_bytes_mark_ = 0;
     std::uint64_t dram_throttled_mark_ = 0;
     cycle_t epoch_deadline_ = never;
+
+    // ---- segmented execution / checkpointing ----
+    event_queue::timer bw_timer_;
+    bool started_ = false;
+    bool paused_ = false;
+    bool finalized_ = false;
+    /// Dispatch hold (run_segment_hold_dispatch): from this cycle on,
+    /// admitted requests stay queued instead of dispatching.
+    cycle_t dispatch_hold_after_ = never;
+    /// Exact resume defers generator re-arm and seq restore to
+    /// start_if_needed; these stash the snapshot's pending-timer state.
+    bool resume_exact_ = false;
+    bool resume_bw_armed_ = false;
+    cycle_t resume_bw_when_ = 0;
+    std::uint64_t resume_bw_seq_ = 0;
+    std::uint64_t resume_event_seq_ = 0;
 
     sim::experiment_result result_;
     std::uint32_t in_flight_ = 0;

@@ -1,0 +1,105 @@
+#include "runtime/scheduler_snapshot.h"
+
+namespace camdn::runtime {
+
+std::vector<std::uint8_t> scheduler_snapshot::encode() const {
+    snapshot_writer w;
+    w.u32(magic);
+    w.u32(version);
+    w.u64(machine_fingerprint);
+    w.u64(run_fingerprint);
+    w.u32(slots);
+
+    w.u64(now);
+    w.u64(event_seq);
+    w.u64(epoch_deadline);
+    w.b(bw_timer_armed);
+    w.u64(bw_timer_when);
+    w.u64(bw_timer_seq);
+
+    w.u64(dram_bytes_mark);
+    w.u64(dram_throttled_mark);
+    w.d(ahead_ratio);
+    w.u64(slot_completed.size());
+    for (const std::uint32_t c : slot_completed) w.u32(c);
+    w.u64(page_share.size());
+    for (const std::uint32_t p : page_share) w.u32(p);
+    w.u64(free_cores.size());
+    for (const npu_id c : free_cores) w.i32(c);
+    w.u64(core_busy_cycles.size());
+    for (const std::uint64_t c : core_busy_cycles) w.u64(c);
+
+    w.u64(admission_queue.size());
+    for (const auto& q : admission_queue) {
+        w.str(q.model);
+        w.u64(q.arrival);
+        w.i32(q.slot);
+    }
+
+    w.blob(machine);
+    w.blob(telemetry);
+    w.blob(controller);
+    w.blob(workload);
+    w.blob(results);
+    return w.take();
+}
+
+scheduler_snapshot scheduler_snapshot::decode(const std::uint8_t* data,
+                                              std::size_t size) {
+    snapshot_reader r(data, size);
+    if (r.u32() != magic)
+        throw snapshot_error("not a scheduler snapshot (bad magic)");
+    const std::uint32_t v = r.u32();
+    if (v != version)
+        throw snapshot_error("snapshot version mismatch: have " +
+                             std::to_string(v) + ", expected " +
+                             std::to_string(version));
+
+    scheduler_snapshot s;
+    s.machine_fingerprint = r.u64();
+    s.run_fingerprint = r.u64();
+    s.slots = r.u32();
+
+    s.now = r.u64();
+    s.event_seq = r.u64();
+    s.epoch_deadline = r.u64();
+    s.bw_timer_armed = r.b();
+    s.bw_timer_when = r.u64();
+    s.bw_timer_seq = r.u64();
+
+    s.dram_bytes_mark = r.u64();
+    s.dram_throttled_mark = r.u64();
+    s.ahead_ratio = r.d();
+    const std::uint64_t nslot = r.count(4);
+    s.slot_completed.resize(nslot);
+    for (auto& c : s.slot_completed) c = r.u32();
+    const std::uint64_t nshare = r.count(4);
+    s.page_share.resize(nshare);
+    for (auto& p : s.page_share) p = r.u32();
+    const std::uint64_t ncores = r.count(4);
+    s.free_cores.resize(ncores);
+    for (auto& c : s.free_cores) c = r.i32();
+    const std::uint64_t nbusy = r.count(8);
+    s.core_busy_cycles.resize(nbusy);
+    for (auto& c : s.core_busy_cycles) c = r.u64();
+
+    const std::uint64_t nqueue = r.count(8 + 8 + 4);
+    s.admission_queue.resize(nqueue);
+    for (auto& q : s.admission_queue) {
+        q.model = r.str();
+        q.arrival = r.u64();
+        q.slot = r.i32();
+    }
+
+    s.machine = r.blob();
+    s.telemetry = r.blob();
+    s.controller = r.blob();
+    s.workload = r.blob();
+    s.results = r.blob();
+    if (!r.done())
+        throw snapshot_error("snapshot has " + std::to_string(r.remaining()) +
+                             " trailing bytes");
+    return s;
+}
+
+}  // namespace camdn::runtime

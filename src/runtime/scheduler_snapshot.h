@@ -1,0 +1,101 @@
+// Serializable warm state of a paused (or finished) runtime::scheduler.
+//
+// A snapshot is taken at a checkpoint boundary — an instant with no queued
+// or running work, so the only pending simulation events are future
+// arrivals (owned by the workload generator's cursor) and the re-armable
+// bandwidth-epoch timer. Everything else the simulation's future depends on
+// is captured here:
+//   * the clock, the event-queue tie-break counter and the pending
+//     bandwidth-epoch timer (time + sequence, so same-cycle ordering
+//     replays bit for bit);
+//   * the full machine state — transparent cache lines with LRU order,
+//     slice/DRAM timing horizons, the shared page pool (exact free-list
+//     order) and live CPTs, per-core busy counters, regulator windows;
+//   * scheduler bookkeeping — per-slot inference counts, the NPU free-core
+//     stack (release order matters for future dispatch), the admission
+//     queue, telemetry epoch marks, the adaptive controller's loop state;
+//   * opaque cursor sections for the workload generator and the
+//     completions recorded so far (exact resume only).
+//
+// encode()/decode() round-trip through a versioned little-endian byte
+// format; decode throws camdn::snapshot_error on truncation, bad magic or
+// version mismatch, and scheduler resume additionally validates the
+// fingerprints against the resuming configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/snapshot_io.h"
+#include "common/types.h"
+
+namespace camdn::runtime {
+
+struct scheduler_snapshot {
+    static constexpr std::uint32_t magic = 0x43534e50;  // "PNSC" on disk
+    static constexpr std::uint32_t version = 1;
+
+    // ---- identity / compatibility ----
+    /// Hash of everything the machine state depends on (SoC geometry,
+    /// policy, slot count, feature toggles). Any resume requires a match.
+    std::uint64_t machine_fingerprint = 0;
+    /// Hash of the arrival side (workload kind, seed, rates/counts, QoS
+    /// mode). Exact resume — continuing the same run — requires a match;
+    /// warm resume (a new trace segment on the warm machine) does not.
+    std::uint64_t run_fingerprint = 0;
+    std::uint32_t slots = 0;
+
+    // ---- clock and pending re-armable events ----
+    cycle_t now = 0;
+    /// Event-queue tie-break counter at the boundary.
+    std::uint64_t event_seq = 0;
+    /// Next telemetry epoch cut (absolute; `never` when telemetry is off).
+    cycle_t epoch_deadline = never;
+    bool bw_timer_armed = false;
+    cycle_t bw_timer_when = 0;
+    std::uint64_t bw_timer_seq = 0;
+
+    // ---- scheduler bookkeeping ----
+    std::uint64_t dram_bytes_mark = 0;
+    std::uint64_t dram_throttled_mark = 0;
+    double ahead_ratio = 0.2;
+    /// Per-slot completed-inference counters.
+    std::vector<std::uint32_t> slot_completed;
+    /// Controller-published per-slot page shares (adaptive policy only).
+    std::vector<std::uint32_t> page_share;
+    /// Free-core stack in pop order (history-dependent: cores return in
+    /// release order, and future dispatches pop from the back).
+    std::vector<npu_id> free_cores;
+    /// Per-core cumulative busy cycles.
+    std::vector<std::uint64_t> core_busy_cycles;
+
+    /// Admitted-but-undispatched requests. Empty at run_segment's
+    /// quiescent boundaries (quiescence implies a drained queue);
+    /// non-empty when the pause came from run_segment_hold_dispatch,
+    /// which carries the backlog with true arrival stamps.
+    struct queued_request {
+        std::string model;  ///< model name, resolved against the catalog
+        cycle_t arrival = 0;
+        task_id slot = no_task;
+    };
+    std::vector<queued_request> admission_queue;
+
+    // ---- opaque subsystem sections ----
+    std::vector<std::uint8_t> machine;    ///< cache + pool + CPTs + DRAM + cores
+    std::vector<std::uint8_t> telemetry;  ///< bus counters + epoch history
+    std::vector<std::uint8_t> controller; ///< feedback-controller loop state
+    std::vector<std::uint8_t> workload;   ///< generator cursor (exact resume)
+    std::vector<std::uint8_t> results;    ///< completions so far (exact resume)
+
+    std::vector<std::uint8_t> encode() const;
+    /// Throws snapshot_error on bad magic, version mismatch, truncation or
+    /// trailing garbage.
+    static scheduler_snapshot decode(const std::uint8_t* data,
+                                     std::size_t size);
+    static scheduler_snapshot decode(const std::vector<std::uint8_t>& bytes) {
+        return decode(bytes.data(), bytes.size());
+    }
+};
+
+}  // namespace camdn::runtime

@@ -36,14 +36,22 @@ namespace {
 
 // The paper's scenario: co_located slots, each with a pre-generated random
 // model sequence, re-dispatching as soon as the previous inference ends.
+// An optional think time models interactive users: the re-dispatch is
+// delayed by `think_cycles` after each completion (think_cycles == 0
+// preserves the immediate-re-dispatch path bit for bit). Thinking slots
+// make mid-run checkpoint boundaries reachable — instants where every slot
+// is between inferences.
 class closed_loop_generator final : public workload_generator {
 public:
     closed_loop_generator(const std::vector<const model::model*>& models,
                           std::uint32_t slots,
-                          std::uint32_t inferences_per_slot, std::uint64_t seed)
+                          std::uint32_t inferences_per_slot, std::uint64_t seed,
+                          cycle_t think_cycles = 0)
         : inferences_per_slot_(inferences_per_slot),
+          think_cycles_(think_cycles),
           plan_(slots),
-          next_(slots, 0) {
+          next_(slots, 0),
+          pending_(slots) {
         // Pre-generate the random model sequence per slot so every policy
         // sees the identical workload (paper: random dispatch, fair
         // comparison). The rng call sequence matches the original driver,
@@ -57,6 +65,7 @@ public:
     }
 
     void start(workload_control& ctl) override {
+        ctl_ = &ctl;
         if (inferences_per_slot_ == 0) return;
         live_slots_ = static_cast<std::uint32_t>(plan_.size());
         for (std::size_t s = 0; s < plan_.size(); ++s)
@@ -65,19 +74,81 @@ public:
 
     void on_complete(workload_control& ctl, const completion_info& c) override {
         next_[c.slot] += 1;
-        if (next_[c.slot] < inferences_per_slot_) {
-            ctl.submit(plan_[c.slot][next_[c.slot]], c.slot);
-        } else {
+        if (next_[c.slot] >= inferences_per_slot_) {
             live_slots_ -= 1;
+            return;
         }
+        if (think_cycles_ == 0) {
+            ctl.submit(plan_[c.slot][next_[c.slot]], c.slot);
+            return;
+        }
+        auto& p = pending_[c.slot];
+        p.armed = true;
+        p.when = c.end + think_cycles_;
+        p.seq = ctl.at(p.when, [this, slot = c.slot] { fire(slot); });
     }
 
     bool exhausted() const override { return live_slots_ == 0; }
 
+    // ---- checkpoint support ----
+
+    bool checkpointable() const override { return true; }
+
+    void save_state(snapshot_writer& w) const override {
+        w.u32(live_slots_);
+        w.u64(next_.size());
+        for (const std::uint32_t n : next_) w.u32(n);
+        w.u64(pending_.size());
+        for (const auto& p : pending_) {
+            w.b(p.armed);
+            w.u64(p.when);
+            w.u64(p.seq);
+        }
+    }
+
+    void restore_state(snapshot_reader& r) override {
+        live_slots_ = r.u32();
+        if (r.count(4) != next_.size())
+            throw snapshot_error("snapshot closed-loop slot-count mismatch");
+        for (auto& n : next_) n = r.u32();
+        if (r.count(17) != pending_.size())
+            throw snapshot_error("snapshot closed-loop slot-count mismatch");
+        for (auto& p : pending_) {
+            p.armed = r.b();
+            p.when = r.u64();
+            p.seq = r.u64();
+        }
+    }
+
+    void resume(workload_control& ctl) override {
+        ctl_ = &ctl;
+        for (std::size_t s = 0; s < pending_.size(); ++s)
+            if (pending_[s].armed)
+                ctl.at_restored(pending_[s].when, pending_[s].seq,
+                                [this, slot = static_cast<task_id>(s)] {
+                                    fire(slot);
+                                });
+    }
+
 private:
+    void fire(task_id slot) {
+        pending_[slot].armed = false;
+        ctl_->submit(plan_[slot][next_[slot]], slot);
+    }
+
+    /// A scheduled think-time re-dispatch (so a checkpoint can re-arm it).
+    struct pending_submit {
+        bool armed = false;
+        cycle_t when = 0;
+        std::uint64_t seq = 0;
+    };
+
     std::uint32_t inferences_per_slot_;
+    cycle_t think_cycles_;
     std::vector<std::vector<const model::model*>> plan_;
     std::vector<std::uint32_t> next_;
+    std::vector<pending_submit> pending_;
+    workload_control* ctl_ = nullptr;
     std::uint32_t live_slots_ = 0;
 };
 
@@ -91,8 +162,11 @@ public:
 
     void start(workload_control& ctl) override {
         ctl_ = &ctl;
-        for (std::size_t i = 0; i < arrivals_.size(); ++i)
-            ctl.at(arrivals_[i].at, [this, i] { arrive(i); });
+        for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+            const std::uint64_t seq =
+                ctl.at(arrivals_[i].at, [this, i] { arrive(i); });
+            if (i == 0) base_seq_ = seq;
+        }
     }
 
     void on_complete(workload_control&, const completion_info& c) override {
@@ -105,6 +179,47 @@ public:
 
     const percentile_tracker* queue_delays_ms() const override {
         return &queue_delays_;
+    }
+
+    // ---- checkpoint support ----
+    //
+    // The arrival list itself is a pure function of the construction
+    // parameters (the derived class rebuilds it from the config), so the
+    // cursor is just the fired-arrival count plus the measurement state.
+    // Arrival event ids are consecutive from base_seq_ — start() schedules
+    // the whole list back to back before any other event exists.
+
+    bool checkpointable() const override { return true; }
+
+    void save_state(snapshot_writer& w) const override {
+        w.u64(fired_);
+        w.u64(rejected_);
+        w.u64(base_seq_);
+        const auto& samples = queue_delays_.sorted_samples();
+        w.u64(samples.size());
+        for (const double s : samples) w.d(s);
+    }
+
+    void restore_state(snapshot_reader& r) override {
+        fired_ = static_cast<std::size_t>(r.u64());
+        if (fired_ > arrivals_.size())
+            throw snapshot_error(
+                "snapshot arrival cursor beyond the arrival list");
+        rejected_ = r.u64();
+        base_seq_ = r.u64();
+        const std::uint64_t n = r.count(8);
+        std::vector<double> samples(n);
+        for (auto& s : samples) s = r.d();
+        queue_delays_.assign(std::move(samples));
+    }
+
+    void resume(workload_control& ctl) override {
+        ctl_ = &ctl;
+        // Arrivals fire in time order (the list is ascending), so the
+        // fired count is a prefix: re-arm exactly the suffix.
+        for (std::size_t i = fired_; i < arrivals_.size(); ++i)
+            ctl.at_restored(arrivals_[i].at, base_seq_ + i,
+                            [this, i] { arrive(i); });
     }
 
 protected:
@@ -124,6 +239,7 @@ private:
     workload_control* ctl_ = nullptr;
     std::size_t fired_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t base_seq_ = 0;
     percentile_tracker queue_delays_;
 };
 
@@ -230,7 +346,9 @@ std::unique_ptr<workload_generator> make_workload_generator(
         case workload_kind::closed_loop:
             return std::make_unique<closed_loop_generator>(
                 cfg.workload, cfg.co_located, cfg.inferences_per_slot,
-                cfg.seed);
+                cfg.seed,
+                cfg.think_time_ms > 0.0 ? ms_to_cycles(cfg.think_time_ms)
+                                        : 0);
         case workload_kind::open_loop_poisson:
             return std::make_unique<open_loop_generator>(
                 cfg.workload, cfg.arrival_rate_per_ms, cfg.total_arrivals,

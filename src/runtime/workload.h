@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/snapshot_io.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "model/model.h"
@@ -87,8 +88,16 @@ public:
     virtual cycle_t now() const = 0;
 
     /// Schedules `fn` at absolute simulation time `when` (generators use
-    /// this for future arrivals; past times clamp to now()).
-    virtual void at(cycle_t when, std::function<void()> fn) = 0;
+    /// this for future arrivals; past times clamp to now()). Returns the
+    /// event's id — its same-cycle tie-break sequence — which generators
+    /// record for pending work so a checkpoint can re-arm it exactly.
+    virtual std::uint64_t at(cycle_t when, std::function<void()> fn) = 0;
+
+    /// Exact-resume re-arm: schedules `fn` at `when` under the event id it
+    /// held when the checkpoint was taken, so same-cycle event ordering
+    /// replays bit for bit. Only valid while resuming from a snapshot.
+    virtual void at_restored(cycle_t when, std::uint64_t id,
+                             std::function<void()> fn) = 0;
 
     /// Submits one inference of `mdl`, stamped with arrival = now().
     /// `slot` pins the request to one task slot (closed-loop semantics);
@@ -137,6 +146,25 @@ public:
     virtual const percentile_tracker* queue_delays_ms() const {
         return nullptr;
     }
+
+    // ---- checkpoint support (scheduler::save / exact resume) ----
+    //
+    // save_state serializes the arrival cursor: everything needed so that a
+    // generator freshly constructed from the same config, after
+    // restore_state, owes the simulation exactly the not-yet-fired work.
+    // resume() is called instead of start() on an exact resume and must
+    // re-arm that pending work via at_restored() under the saved event ids.
+    // The defaults support generators whose start() is idempotent from any
+    // point (none of the built-ins; all of them override).
+
+    virtual void save_state(snapshot_writer&) const {}
+    virtual void restore_state(snapshot_reader&) {}
+    virtual void resume(workload_control& ctl) { start(ctl); }
+
+    /// True when this generator implements the checkpoint hooks. The
+    /// scheduler refuses an exact resume of a generator that cannot restore
+    /// its cursor (it would replay arrivals from scratch).
+    virtual bool checkpointable() const { return false; }
 };
 
 /// Builds the generator selected by cfg.kind from an experiment config.

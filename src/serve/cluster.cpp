@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "model/model_zoo.h"
 #include "runtime/qos.h"
+#include "runtime/scheduler_snapshot.h"
 #include "serve/placement.h"
 #include "serve/router.h"
 #include "sim/sweep.h"
@@ -150,6 +151,7 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     // re-plan placement against the observed traffic mix.
     const auto stream = build_stream(cfg, cum);
     std::vector<std::uint64_t> routed_per_model(M, 0);
+    std::vector<runtime::scheduler_snapshot> carried;
 
     for (std::uint32_t round = 0; round < rounds; ++round) {
         const std::size_t lo = stream.size() * round / rounds;
@@ -181,7 +183,28 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             ec.seed = soc_seed(cfg.seed, s);
             ec.telemetry = cfg.telemetry || fb_on;
         }
-        auto round_res = sim::run_sweep(ecs, cfg.threads);
+        // Warm-carry rounds resume every SoC from its previous round's
+        // snapshot: cache warmth, DRAM timing, per-slot counters and the
+        // clock all survive the boundary, so round r+1 starts on the state
+        // round r actually left behind. Each round still runs its slice to
+        // drain (the fleet barrier needs complete rollups); arrivals the
+        // previous round's tail overran are admitted at the resume instant
+        // — the carried-backlog effect cold restarts hid entirely.
+        // Single-shot runs and carry-disabled fleets stay on the cold path.
+        const bool carry = fb_on && cfg.carry_soc_state;
+        std::vector<sim::experiment_result> round_res;
+        if (carry) {
+            std::vector<const runtime::scheduler_snapshot*> in(S, nullptr);
+            if (round > 0)
+                for (std::size_t s = 0; s < S; ++s) in[s] = &carried[s];
+            const bool more_rounds = round + 1 < rounds;
+            std::vector<runtime::scheduler_snapshot> out;
+            round_res = sim::run_sweep_segments(
+                ecs, in, more_rounds ? &out : nullptr, {}, cfg.threads);
+            if (more_rounds) carried = std::move(out);
+        } else {
+            round_res = sim::run_sweep(ecs, cfg.threads);
+        }
 
         if (fb_on && round + 1 < rounds) {
             std::vector<adapt::soc_rollup> rollups;

@@ -88,8 +88,14 @@ struct cluster_config {
     /// after each round, per-SoC telemetry rollups update the router's
     /// load weights (traffic drains away from SoCs under page-wait
     /// pressure) and sustained SLA violation triggers re-placement against
-    /// the observed traffic mix. Each round simulates on fresh SoC state.
+    /// the observed traffic mix.
     std::uint32_t feedback_rounds = 1;
+    /// With feedback rounds: carry each SoC's scheduler snapshot across the
+    /// round boundary (runtime::resume_mode::warm), so round r+1 starts on
+    /// round r's cache warmth, DRAM timing, clock and queue backlog instead
+    /// of restarting every SoC from cold state. false reproduces the
+    /// PR 3 cold-restart behavior.
+    bool carry_soc_state = true;
     adapt::fleet_feedback_config feedback{};
     /// SLA definition for rollups and cluster_result::sla_rate: a
     /// completion meets SLA within qos_scale * its model's Table-I target.

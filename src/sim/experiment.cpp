@@ -1,7 +1,10 @@
 #include "sim/experiment.h"
 
+#include <memory>
+
 #include "model/model_zoo.h"
 #include "runtime/scheduler.h"
+#include "runtime/scheduler_snapshot.h"
 #include "runtime/workload.h"
 #include "sim/sweep.h"
 
@@ -41,14 +44,29 @@ std::uint64_t experiment_result::completions_of(const std::string& abbr) const {
 }
 
 experiment_result run_experiment(const experiment_config& cfg) {
+    return run_experiment_segment(cfg, nullptr, nullptr);
+}
+
+experiment_result run_experiment_segment(
+    const experiment_config& cfg,
+    const runtime::scheduler_snapshot* resume_from,
+    runtime::scheduler_snapshot* save_to, cycle_t hold_dispatch_after) {
     experiment_config local = cfg;
     if (local.workload.empty()) {
         for (const auto& m : model::benchmark_models())
             local.workload.push_back(&m);
     }
     auto gen = runtime::make_workload_generator(local);
-    runtime::scheduler s(local, *gen);
-    return s.run();
+    auto s = resume_from != nullptr
+                 ? std::make_unique<runtime::scheduler>(
+                       local, *gen, *resume_from, runtime::resume_mode::warm)
+                 : std::make_unique<runtime::scheduler>(local, *gen);
+    s->run_segment_hold_dispatch(hold_dispatch_after);
+    // segment_result closes the boundary telemetry epoch before save(), so
+    // the cut carries into the snapshot.
+    experiment_result res = s->segment_result();
+    if (save_to != nullptr) *save_to = s->save();
+    return res;
 }
 
 std::map<std::string, cycle_t> isolated_latencies(

@@ -27,6 +27,10 @@
 #include "runtime/workload.h"
 #include "sim/soc_config.h"
 
+namespace camdn::runtime {
+struct scheduler_snapshot;
+}
+
 namespace camdn::sim {
 
 struct experiment_config {
@@ -40,6 +44,13 @@ struct experiment_config {
     std::uint32_t co_located = 8;          ///< concurrent task slots
     std::uint32_t inferences_per_slot = 1; ///< inferences per slot (closed loop)
     std::uint64_t seed = 42;
+
+    /// Closed-loop think time: each slot waits this long after a completion
+    /// before re-dispatching (interactive-user model). 0 re-dispatches
+    /// immediately — bit-identical to the paper's methodology. Thinking
+    /// slots are also what makes mid-run checkpoint boundaries reachable
+    /// for closed-loop workloads (see runtime::scheduler::run_segment).
+    double think_time_ms = 0.0;
 
     /// Arrival-side scenario (see runtime/workload.h).
     runtime::workload_kind kind = runtime::workload_kind::closed_loop;
@@ -132,6 +143,22 @@ struct experiment_result {
 
 /// Runs one experiment to completion (deterministic under cfg.seed).
 experiment_result run_experiment(const experiment_config& cfg);
+
+/// Segment runner for checkpoint/resume flows (warm resume): builds the
+/// workload from `cfg`, restores machine state from `resume_from` when
+/// non-null (the clock, cache warmth, DRAM timing and controller state
+/// carry; results and telemetry history start empty) and writes the
+/// end-of-segment snapshot to `*save_to` when non-null. With
+/// `hold_dispatch_after` < `never`, dispatch stops once the clock passes
+/// it: arrivals keep queueing (or dropping) at their true times, running
+/// work finishes, and the queued backlog carries into the snapshot (see
+/// runtime::scheduler::run_segment_hold_dispatch). With both pointers null
+/// and no hold this is run_experiment.
+experiment_result run_experiment_segment(
+    const experiment_config& cfg,
+    const runtime::scheduler_snapshot* resume_from,
+    runtime::scheduler_snapshot* save_to,
+    cycle_t hold_dispatch_after = never);
 
 /// Single-tenant latency of each model on one core under the shared
 /// baseline (the normalized-progress reference for QoS metrics), keyed by

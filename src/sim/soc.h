@@ -21,10 +21,13 @@ public:
     event_queue& eq() { return eq_; }
     const event_queue& eq() const { return eq_; }
     dram::dram_system& dram() { return *dram_; }
+    const dram::dram_system& dram() const { return *dram_; }
     cache::shared_cache& cache() { return *cache_; }
+    const cache::shared_cache& cache() const { return *cache_; }
     npu::dma_engine& dma() { return *dma_; }
 
     std::vector<npu::npu_core>& cores() { return cores_; }
+    const std::vector<npu::npu_core>& cores() const { return cores_; }
     const soc_config& config() const { return config_; }
     policy active_policy() const { return policy_; }
 

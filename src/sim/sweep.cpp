@@ -2,24 +2,29 @@
 
 #include <atomic>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "runtime/scheduler_snapshot.h"
+
 namespace camdn::sim {
 
-std::vector<experiment_result> run_sweep(
-    const std::vector<experiment_config>& cfgs, unsigned threads) {
-    std::vector<experiment_result> results(cfgs.size());
-    if (cfgs.empty()) return results;
+namespace {
 
+/// Shared pool driver: runs `run_one(i)` for every index, inline when the
+/// effective width is 1, else across a thread pool. The first exception
+/// stops the sweep and rethrows on the caller's thread.
+void pool_for_each(std::size_t count, unsigned threads,
+                   const std::function<void(std::size_t)>& run_one) {
+    if (count == 0) return;
     unsigned n = threads != 0 ? threads
                               : std::max(1u, std::thread::hardware_concurrency());
-    n = std::min<unsigned>(n, static_cast<unsigned>(cfgs.size()));
+    n = std::min<unsigned>(n, static_cast<unsigned>(count));
     if (n <= 1) {
-        for (std::size_t i = 0; i < cfgs.size(); ++i)
-            results[i] = run_experiment(cfgs[i]);
-        return results;
+        for (std::size_t i = 0; i < count; ++i) run_one(i);
+        return;
     }
 
     std::atomic<std::size_t> next{0};
@@ -27,11 +32,10 @@ std::vector<experiment_result> run_sweep(
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&]() {
-        for (std::size_t i;
-             !stop.load(std::memory_order_relaxed) &&
-             (i = next.fetch_add(1)) < cfgs.size();) {
+        for (std::size_t i; !stop.load(std::memory_order_relaxed) &&
+                            (i = next.fetch_add(1)) < count;) {
             try {
-                results[i] = run_experiment(cfgs[i]);
+                run_one(i);
             } catch (...) {
                 stop.store(true, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(error_mutex);
@@ -45,6 +49,32 @@ std::vector<experiment_result> run_sweep(
     for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
     if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::vector<experiment_result> run_sweep(
+    const std::vector<experiment_config>& cfgs, unsigned threads) {
+    std::vector<experiment_result> results(cfgs.size());
+    pool_for_each(cfgs.size(), threads,
+                  [&](std::size_t i) { results[i] = run_experiment(cfgs[i]); });
+    return results;
+}
+
+std::vector<experiment_result> run_sweep_segments(
+    const std::vector<experiment_config>& cfgs,
+    const std::vector<const runtime::scheduler_snapshot*>& resume_from,
+    std::vector<runtime::scheduler_snapshot>* save_to,
+    const std::vector<cycle_t>& hold_after, unsigned threads) {
+    std::vector<experiment_result> results(cfgs.size());
+    if (save_to != nullptr) save_to->assign(cfgs.size(), {});
+    pool_for_each(cfgs.size(), threads, [&](std::size_t i) {
+        const runtime::scheduler_snapshot* in =
+            i < resume_from.size() ? resume_from[i] : nullptr;
+        const cycle_t hold = i < hold_after.size() ? hold_after[i] : never;
+        results[i] = run_experiment_segment(
+            cfgs[i], in, save_to != nullptr ? &(*save_to)[i] : nullptr, hold);
+    });
     return results;
 }
 

@@ -390,5 +390,90 @@ TEST(cluster_feedback, single_round_stays_single_shot) {
     EXPECT_EQ(res.replacements, 0u);
 }
 
+// ---- warm-carry feedback rounds (scheduler snapshots) ----------------
+
+serve::cluster_config warmth_cluster() {
+    serve::soc_instance_config inst;
+    // MoCA keeps all traffic on the transparent path, so carried cache
+    // warmth is directly visible in the telemetry hit counters.
+    inst.pol = sim::policy::moca;
+    inst.slots = 2;
+    inst.admission_queue_limit = 32;
+    auto cfg = serve::uniform_cluster(2, inst);
+    cfg.models = {&model::model_by_abbr("MB.")};
+    cfg.arrival_rate_per_ms = 2.0;
+    cfg.total_arrivals = 24;
+    cfg.feedback_rounds = 2;
+    cfg.threads = 2;
+    return cfg;
+}
+
+/// Transparent hit rate of the first telemetry epoch of round 2, summed
+/// over the fleet (per_soc is round-major).
+double round2_first_epoch_hit_rate(const serve::cluster_result& res,
+                                   std::size_t socs) {
+    std::uint64_t hits = 0, misses = 0;
+    for (std::size_t s = 0; s < socs; ++s) {
+        const auto& r = res.per_soc[socs + s];
+        if (r.telemetry.empty()) continue;
+        for (const auto& c : r.telemetry.front().tasks) {
+            hits += c.cache_hits;
+            misses += c.cache_misses;
+        }
+    }
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+TEST(cluster_feedback, warm_carry_preserves_cache_warmth_across_rounds) {
+    const auto cfg = warmth_cluster();
+    const auto warm = serve::run_cluster(cfg);  // carry_soc_state default on
+
+    auto cold_cfg = cfg;
+    cold_cfg.carry_soc_state = false;  // PR 3 cold-restart behavior
+    const auto cold = serve::run_cluster(cold_cfg);
+
+    // Round 1 is cold in both runs and must be identical.
+    const std::size_t S = cfg.socs.size();
+    ASSERT_EQ(warm.per_soc.size(), 2 * S);
+    ASSERT_EQ(cold.per_soc.size(), 2 * S);
+    for (std::size_t s = 0; s < S; ++s) {
+        EXPECT_EQ(warm.per_soc[s].makespan, cold.per_soc[s].makespan);
+        EXPECT_EQ(warm.per_soc[s].completions.size(),
+                  cold.per_soc[s].completions.size());
+    }
+
+    // Round 2 starts on carried cache state: its first epoch's hit rate
+    // must beat the cold restart's.
+    const double warm_rate = round2_first_epoch_hit_rate(warm, S);
+    const double cold_rate = round2_first_epoch_hit_rate(cold, S);
+    EXPECT_GT(warm_rate, cold_rate);
+
+    // The carried clock keeps per-SoC makespans monotone across rounds.
+    for (std::size_t s = 0; s < S; ++s)
+        if (!warm.per_soc[S + s].completions.empty())
+            EXPECT_GE(warm.per_soc[S + s].makespan, warm.per_soc[s].makespan);
+}
+
+TEST(cluster_feedback, warm_carry_deterministic_across_pool_widths) {
+    auto cfg = warmth_cluster();
+    const auto a = serve::run_cluster(cfg);
+    cfg.threads = 1;
+    const auto b = serve::run_cluster(cfg);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p99(), b.fleet_latency_ms.p99());
+    ASSERT_EQ(a.per_soc.size(), b.per_soc.size());
+    for (std::size_t i = 0; i < a.per_soc.size(); ++i) {
+        EXPECT_EQ(a.per_soc[i].makespan, b.per_soc[i].makespan);
+        EXPECT_EQ(a.per_soc[i].completions.size(),
+                  b.per_soc[i].completions.size());
+        EXPECT_EQ(a.per_soc[i].telemetry.size(), b.per_soc[i].telemetry.size());
+    }
+}
+
 }  // namespace
 }  // namespace camdn

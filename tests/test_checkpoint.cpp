@@ -1,0 +1,574 @@
+// Checkpoint/restore suite (ctest label: checkpoint).
+//
+// Covers the resumable scheduler end to end:
+//   * resume equivalence — splitting a run at randomized (seeded)
+//     checkpoint boundaries, serializing, and resuming in a fresh
+//     scheduler is bit-identical to the unsplit run (makespan, every
+//     completion record, cache/DRAM stats, queue delays, telemetry
+//     counters) for closed_loop (with think time), open_loop_poisson,
+//     open_loop_mmpp and tenant_churn workloads;
+//   * snapshot round-trip — encode -> decode -> re-encode is byte-equal,
+//     and malformed input (truncation, bad magic, version skew, trailing
+//     garbage, wrong configuration) is rejected with snapshot_error;
+//   * warm resume — a new trace segment on the warm machine keeps the
+//     clock and cache warmth;
+//   * the drained-run makespan fix — the cancellable bandwidth-epoch
+//     timer stops the MoCA epoch chain once the run drains, so the
+//     makespan is the last real event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cache/cpt.h"
+#include "cache/page_allocator.h"
+#include "common/rng.h"
+#include "model/model_zoo.h"
+#include "runtime/scheduler.h"
+#include "runtime/scheduler_snapshot.h"
+#include "runtime/workload.h"
+#include "sim/experiment.h"
+
+namespace camdn {
+namespace {
+
+using runtime::resume_mode;
+using runtime::scheduler_snapshot;
+using sim::experiment_config;
+using sim::experiment_result;
+
+// ---- result comparison ------------------------------------------------
+
+void expect_identical(const experiment_result& a, const experiment_result& b) {
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes);
+    EXPECT_EQ(a.rejected_arrivals, b.rejected_arrivals);
+
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        const auto& x = a.completions[i];
+        const auto& y = b.completions[i];
+        EXPECT_EQ(x.slot, y.slot) << "completion " << i;
+        EXPECT_EQ(x.abbr, y.abbr) << "completion " << i;
+        EXPECT_EQ(x.arrival, y.arrival) << "completion " << i;
+        EXPECT_EQ(x.start, y.start) << "completion " << i;
+        EXPECT_EQ(x.end, y.end) << "completion " << i;
+        EXPECT_EQ(x.dram_bytes, y.dram_bytes) << "completion " << i;
+        EXPECT_EQ(x.cores, y.cores) << "completion " << i;
+    }
+
+    EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+    EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+    EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions);
+    EXPECT_EQ(a.cache_stats.inter_task_evictions,
+              b.cache_stats.inter_task_evictions);
+    EXPECT_EQ(a.cache_stats.region_reads, b.cache_stats.region_reads);
+    EXPECT_EQ(a.cache_stats.region_fills, b.cache_stats.region_fills);
+    EXPECT_EQ(a.cache_stats.bypass_reads, b.cache_stats.bypass_reads);
+    EXPECT_EQ(a.cache_stats.multicast_combined,
+              b.cache_stats.multicast_combined);
+    EXPECT_EQ(a.cache_stats.slice_busy_cycles,
+              b.cache_stats.slice_busy_cycles);
+    EXPECT_EQ(a.dram_stats.reads, b.dram_stats.reads);
+    EXPECT_EQ(a.dram_stats.writes, b.dram_stats.writes);
+    EXPECT_EQ(a.dram_stats.row_hits, b.dram_stats.row_hits);
+    EXPECT_EQ(a.dram_stats.row_misses, b.dram_stats.row_misses);
+    EXPECT_EQ(a.dram_stats.throttled, b.dram_stats.throttled);
+    EXPECT_EQ(a.dram_stats.bus_busy_deci, b.dram_stats.bus_busy_deci);
+
+    EXPECT_EQ(a.queue_delay_ms.count(), b.queue_delay_ms.count());
+    EXPECT_DOUBLE_EQ(a.queue_delay_ms.p50(), b.queue_delay_ms.p50());
+    EXPECT_DOUBLE_EQ(a.queue_delay_ms.p99(), b.queue_delay_ms.p99());
+
+    ASSERT_EQ(a.telemetry.size(), b.telemetry.size());
+    for (std::size_t e = 0; e < a.telemetry.size(); ++e) {
+        const auto& x = a.telemetry[e];
+        const auto& y = b.telemetry[e];
+        EXPECT_EQ(x.index, y.index) << "epoch " << e;
+        EXPECT_EQ(x.start, y.start) << "epoch " << e;
+        EXPECT_EQ(x.end, y.end) << "epoch " << e;
+        EXPECT_EQ(x.dram_bytes, y.dram_bytes) << "epoch " << e;
+        EXPECT_EQ(x.dram_throttled, y.dram_throttled) << "epoch " << e;
+        EXPECT_EQ(x.idle_pages, y.idle_pages) << "epoch " << e;
+        EXPECT_EQ(x.active_slots, y.active_slots) << "epoch " << e;
+        ASSERT_EQ(x.tasks.size(), y.tasks.size());
+        for (std::size_t s = 0; s < x.tasks.size(); ++s) {
+            const auto& cx = x.tasks[s];
+            const auto& cy = y.tasks[s];
+            EXPECT_EQ(cx.cache_hits, cy.cache_hits) << e << "/" << s;
+            EXPECT_EQ(cx.cache_misses, cy.cache_misses) << e << "/" << s;
+            EXPECT_EQ(cx.region_lines, cy.region_lines) << e << "/" << s;
+            EXPECT_EQ(cx.fill_lines, cy.fill_lines) << e << "/" << s;
+            EXPECT_EQ(cx.dma_bytes, cy.dma_bytes) << e << "/" << s;
+            EXPECT_EQ(cx.layers_retired, cy.layers_retired) << e << "/" << s;
+            EXPECT_EQ(cx.compute_cycles, cy.compute_cycles) << e << "/" << s;
+            EXPECT_EQ(cx.page_wait_cycles, cy.page_wait_cycles)
+                << e << "/" << s;
+            EXPECT_EQ(cx.page_timeouts, cy.page_timeouts) << e << "/" << s;
+            EXPECT_EQ(cx.completions, cy.completions) << e << "/" << s;
+            EXPECT_EQ(cx.slack_cycles, cy.slack_cycles) << e << "/" << s;
+        }
+    }
+}
+
+// ---- split-run driver -------------------------------------------------
+
+/// Runs `cfg` in segments: at each boundary the run pauses (when a
+/// checkpoint boundary at/after it exists before completion), the state is
+/// serialized to bytes, decoded, and resumed in a brand-new scheduler with
+/// a brand-new generator. Returns the final result; counts actual pauses.
+experiment_result run_split(const experiment_config& cfg,
+                            const std::vector<cycle_t>& boundaries,
+                            std::size_t* pauses = nullptr) {
+    auto gen = runtime::make_workload_generator(cfg);
+    auto sched = std::make_unique<runtime::scheduler>(cfg, *gen);
+    for (const cycle_t b : boundaries) {
+        if (!sched->run_segment(b)) break;  // workload completed first
+        if (pauses) ++*pauses;
+        const std::vector<std::uint8_t> bytes = sched->save().encode();
+        const scheduler_snapshot snap = scheduler_snapshot::decode(bytes);
+        gen = runtime::make_workload_generator(cfg);
+        sched = std::make_unique<runtime::scheduler>(cfg, *gen, snap,
+                                                     resume_mode::exact);
+    }
+    return sched->run();
+}
+
+/// ~10 seeded boundaries spread over the continuous run's makespan.
+std::vector<cycle_t> seeded_boundaries(cycle_t makespan, std::uint64_t seed,
+                                       std::size_t count = 10) {
+    rng r(seed);
+    std::vector<cycle_t> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(1 + r.next_below(std::max<cycle_t>(makespan, 2) - 1));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<const model::model*> small_catalog() {
+    return {&model::model_by_abbr("MB."), &model::model_by_abbr("EF.")};
+}
+
+experiment_config base_cfg() {
+    experiment_config cfg;
+    cfg.workload = small_catalog();
+    cfg.co_located = 2;
+    cfg.telemetry = true;
+    cfg.seed = 17;
+    return cfg;
+}
+
+void check_resume_equivalence(const experiment_config& cfg,
+                              std::uint64_t boundary_seed) {
+    const experiment_result continuous = sim::run_experiment(cfg);
+    const auto boundaries =
+        seeded_boundaries(continuous.makespan, boundary_seed);
+    std::size_t pauses = 0;
+    const experiment_result split = run_split(cfg, boundaries, &pauses);
+    // The workloads are tuned to quiesce between bursts, so a reasonable
+    // share of the boundaries must genuinely pause mid-run — otherwise the
+    // property degenerates to comparing two continuous runs.
+    EXPECT_GE(pauses, 3u) << "too few mid-run checkpoint boundaries";
+    expect_identical(continuous, split);
+}
+
+// ---- resume equivalence per workload generator ------------------------
+
+TEST(checkpoint, resume_equivalence_closed_loop_with_think_time) {
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::closed_loop;
+    cfg.pol = sim::policy::moca;  // exercises the bw-epoch timer re-arm
+    cfg.inferences_per_slot = 4;
+    cfg.think_time_ms = 1.0;
+    check_resume_equivalence(cfg, 101);
+}
+
+TEST(checkpoint, resume_equivalence_open_loop_poisson) {
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.arrival_rate_per_ms = 1.0;
+    cfg.total_arrivals = 12;
+    cfg.admission_queue_limit = 4;
+    check_resume_equivalence(cfg, 202);
+}
+
+TEST(checkpoint, resume_equivalence_open_loop_mmpp) {
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::open_loop_mmpp;
+    cfg.pol = sim::policy::camdn_adaptive;  // controller state must carry
+    cfg.arrival_rate_per_ms = 1.0;
+    cfg.mmpp_rate_scale = {0.25, 3.0};
+    cfg.mmpp_sojourn_ms = 3.0;
+    cfg.total_arrivals = 12;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    check_resume_equivalence(cfg, 303);
+}
+
+TEST(checkpoint, resume_equivalence_tenant_churn) {
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::tenant_churn;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.qos_mode = true;  // deadline bookkeeping must carry too
+    cfg.workload = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+                    &model::model_by_abbr("RS."),
+                    &model::model_by_abbr("VT.")};
+    cfg.arrival_rate_per_ms = 0.6;
+    cfg.churn_interval_ms = 4.0;
+    cfg.churn_active_models = 2;
+    cfg.total_arrivals = 12;
+    cfg.admission_queue_limit = 8;
+    check_resume_equivalence(cfg, 404);
+}
+
+TEST(checkpoint, repeated_boundaries_round_trip_without_progress) {
+    // Boundaries that all land before the first quiescent instant after
+    // the first one collapse onto the same checkpoint: every extra
+    // boundary exercises a save/encode/decode/resume cycle with no
+    // simulation progress in between, and the result must still match.
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.arrival_rate_per_ms = 0.5;
+    cfg.total_arrivals = 6;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    const experiment_result continuous = sim::run_experiment(cfg);
+    const cycle_t mid = continuous.makespan / 2;
+    const experiment_result split =
+        run_split(cfg, {mid, mid, mid, mid + 1, mid + 2});
+    expect_identical(continuous, split);
+}
+
+// ---- snapshot round-trip and rejection --------------------------------
+
+scheduler_snapshot mid_run_snapshot(const experiment_config& cfg,
+                                    cycle_t boundary) {
+    auto gen = runtime::make_workload_generator(cfg);
+    runtime::scheduler sched(cfg, *gen);
+    EXPECT_TRUE(sched.run_segment(boundary));
+    return sched.save();
+}
+
+experiment_config roundtrip_cfg() {
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.pol = sim::policy::camdn_adaptive;
+    cfg.arrival_rate_per_ms = 0.8;
+    cfg.total_arrivals = 8;
+    cfg.admission_queue_limit = 8;
+    return cfg;
+}
+
+TEST(checkpoint, snapshot_reencode_is_byte_identical) {
+    const auto cfg = roundtrip_cfg();
+    const auto snap = mid_run_snapshot(cfg, ms_to_cycles(2.0));
+    const auto bytes = snap.encode();
+    const auto decoded = scheduler_snapshot::decode(bytes);
+    const auto bytes2 = decoded.encode();
+    ASSERT_EQ(bytes.size(), bytes2.size());
+    EXPECT_EQ(bytes, bytes2);
+    // The mid-run snapshot is non-trivial: warm machine state is present.
+    EXPECT_FALSE(decoded.machine.empty());
+    EXPECT_FALSE(decoded.telemetry.empty());
+    EXPECT_FALSE(decoded.controller.empty());
+    EXPECT_FALSE(decoded.workload.empty());
+    EXPECT_GT(decoded.now, 0u);
+}
+
+TEST(checkpoint, truncated_snapshots_are_rejected) {
+    const auto cfg = roundtrip_cfg();
+    const auto bytes = mid_run_snapshot(cfg, ms_to_cycles(2.0)).encode();
+    ASSERT_GT(bytes.size(), 64u);
+    // Any strict prefix must throw, never crash or mis-parse. The header
+    // is covered exhaustively; the (large) body by seeded sampling — the
+    // full sweep would be quadratic in the snapshot size.
+    std::vector<std::size_t> lengths;
+    for (std::size_t len = 0; len < 64; ++len) lengths.push_back(len);
+    rng r(7);
+    for (int i = 0; i < 64; ++i)
+        lengths.push_back(static_cast<std::size_t>(
+            r.next_below(bytes.size() - 1)));
+    lengths.push_back(bytes.size() - 1);
+    for (const std::size_t len : lengths) {
+        std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+        EXPECT_THROW(scheduler_snapshot::decode(cut), snapshot_error)
+            << "prefix length " << len;
+    }
+}
+
+TEST(checkpoint, bad_magic_version_and_trailing_bytes_are_rejected) {
+    const auto cfg = roundtrip_cfg();
+    const auto bytes = mid_run_snapshot(cfg, ms_to_cycles(2.0)).encode();
+
+    auto corrupt = bytes;
+    corrupt[0] ^= 0xff;  // magic
+    try {
+        scheduler_snapshot::decode(corrupt);
+        FAIL() << "bad magic accepted";
+    } catch (const snapshot_error& e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    }
+
+    corrupt = bytes;
+    corrupt[4] += 1;  // version
+    try {
+        scheduler_snapshot::decode(corrupt);
+        FAIL() << "version skew accepted";
+    } catch (const snapshot_error& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+
+    corrupt = bytes;
+    corrupt.push_back(0);  // trailing garbage
+    EXPECT_THROW(scheduler_snapshot::decode(corrupt), snapshot_error);
+}
+
+TEST(checkpoint, resume_rejects_mismatched_configurations) {
+    const auto cfg = roundtrip_cfg();
+    const auto snap = mid_run_snapshot(cfg, ms_to_cycles(2.0));
+
+    // Different machine (slot count): both resume modes refuse.
+    auto other = cfg;
+    other.co_located = 4;
+    auto gen = runtime::make_workload_generator(other);
+    EXPECT_THROW(runtime::scheduler(other, *gen, snap, resume_mode::exact),
+                 snapshot_error);
+    EXPECT_THROW(runtime::scheduler(other, *gen, snap, resume_mode::warm),
+                 snapshot_error);
+
+    // Different arrival side (seed): exact refuses, warm accepts.
+    auto reseeded = cfg;
+    reseeded.seed = cfg.seed + 1;
+    auto gen2 = runtime::make_workload_generator(reseeded);
+    EXPECT_THROW(runtime::scheduler(reseeded, *gen2, snap, resume_mode::exact),
+                 snapshot_error);
+    EXPECT_NO_THROW(
+        runtime::scheduler(reseeded, *gen2, snap, resume_mode::warm));
+}
+
+TEST(checkpoint, corrupt_but_well_formed_state_is_rejected) {
+    const auto cfg = roundtrip_cfg();
+    const auto snap = mid_run_snapshot(cfg, ms_to_cycles(2.0));
+
+    // Duplicated free-core stack entry (one core dispatched twice).
+    auto dup = snap;
+    ASSERT_GE(dup.free_cores.size(), 2u);
+    dup.free_cores[0] = dup.free_cores[1];
+    auto gen = runtime::make_workload_generator(cfg);
+    EXPECT_THROW(runtime::scheduler(cfg, *gen, dup, resume_mode::exact),
+                 snapshot_error);
+
+    // Page pool whose contents are not a permutation of the real pages:
+    // byte-surgery on a serialized pool (u32 total, u64 count, then the
+    // free list) duplicating the first free pcpn into the second slot.
+    cache::cache_config cc;
+    cache::page_allocator pool(cc);
+    snapshot_writer w;
+    pool.save_state(w);
+    auto bytes = w.take();
+    ASSERT_GT(bytes.size(), 20u);
+    for (int b = 0; b < 4; ++b) bytes[16 + b] = bytes[12 + b];
+    snapshot_reader r(bytes);
+    cache::page_allocator fresh(cc);
+    EXPECT_THROW(fresh.restore_state(r), snapshot_error);
+
+    // CPT entry mapping a physical page beyond the cache.
+    cache::cache_page_table cpt(cc);
+    snapshot_writer cw;
+    cpt.save_state(cw);
+    auto cbytes = cw.take();
+    ASSERT_GT(cbytes.size(), 13u);
+    for (int b = 0; b < 4; ++b) cbytes[8 + b] = 0xff;  // entry 0 pcpn
+    cbytes[12] = 1;                                    // entry 0 valid
+    snapshot_reader cr(cbytes);
+    cache::cache_page_table fresh_cpt(cc);
+    EXPECT_THROW(fresh_cpt.restore_state(cr), snapshot_error);
+}
+
+TEST(checkpoint, continuing_past_a_held_pause_lifts_the_hold) {
+    // After a hold-dispatch pause, run() on the same scheduler must lift
+    // the hold and dispatch the carried backlog — not finalize with the
+    // queue still frozen.
+    const auto* mb = &model::model_by_abbr("MB.");
+    experiment_config seg;
+    seg.workload = {mb};
+    seg.co_located = 1;
+    seg.pol = sim::policy::camdn_full;
+    seg.kind = runtime::workload_kind::trace_replay;
+    for (cycle_t i = 0; i < 4; ++i) seg.trace.push_back({1000 + i, mb});
+    seg.admission_queue_limit = 8;
+
+    auto gen = runtime::make_workload_generator(seg);
+    runtime::scheduler sched(seg, *gen);
+    ASSERT_TRUE(sched.run_segment_hold_dispatch(/*hold_after=*/1001));
+    const auto res = sched.run();
+    EXPECT_EQ(res.completions.size(), 4u);
+}
+
+TEST(checkpoint, exact_resume_of_a_held_snapshot_rearms_the_bw_chain) {
+    // Hold-dispatch cancels the MoCA bandwidth-epoch chain before the
+    // save; an exact resume must re-arm it (like a warm resume does), not
+    // run the rest of the workload with bandwidth regulation dead.
+    const auto* mb = &model::model_by_abbr("MB.");
+    experiment_config seg;
+    seg.workload = {mb};
+    seg.co_located = 2;
+    seg.pol = sim::policy::moca;
+    seg.kind = runtime::workload_kind::trace_replay;
+    for (cycle_t i = 0; i < 6; ++i) seg.trace.push_back({1000 + 10 * i, mb});
+    seg.admission_queue_limit = 8;
+
+    auto gen = runtime::make_workload_generator(seg);
+    runtime::scheduler sched(seg, *gen);
+    ASSERT_TRUE(sched.run_segment_hold_dispatch(/*hold_after=*/1005));
+    const auto snap = sched.save();
+    EXPECT_FALSE(snap.bw_timer_armed);
+    ASSERT_FALSE(snap.admission_queue.empty());
+
+    auto gen2 = runtime::make_workload_generator(seg);
+    runtime::scheduler resumed(seg, *gen2, snap, resume_mode::exact);
+    const auto res = resumed.run();
+    EXPECT_EQ(res.completions.size(), 6u);
+    // The chain ran after the resume: completions spaced more than one
+    // bw epoch apart prove epochs kept firing without deadlocking, and
+    // the run terminated (drain cancelled the re-armed chain again).
+    EXPECT_GT(res.makespan, 1005u);
+}
+
+// ---- warm resume (new workload on the warm machine) -------------------
+
+TEST(checkpoint, warm_resume_carries_clock_and_cache_warmth) {
+    // Segment 1: a trace of MB. inferences on the transparent-path MoCA
+    // policy populates the cache.
+    const auto* mb = &model::model_by_abbr("MB.");
+    experiment_config seg1;
+    seg1.workload = {mb};
+    seg1.co_located = 2;
+    seg1.pol = sim::policy::moca;
+    seg1.kind = runtime::workload_kind::trace_replay;
+    for (int i = 0; i < 6; ++i)
+        seg1.trace.push_back({ms_to_cycles(0.5) * (i + 1), mb});
+    seg1.telemetry = true;
+
+    runtime::scheduler_snapshot snap;
+    const auto res1 =
+        sim::run_experiment_segment(seg1, nullptr, &snap);
+    ASSERT_EQ(res1.completions.size(), 6u);
+
+    // Segment 2: the same trace shape, shifted past segment 1's end.
+    experiment_config seg2 = seg1;
+    seg2.trace.clear();
+    for (int i = 0; i < 6; ++i)
+        seg2.trace.push_back({snap.now + ms_to_cycles(0.5) * (i + 1), mb});
+
+    const auto warm = sim::run_experiment_segment(seg2, &snap, nullptr);
+    const auto cold = sim::run_experiment_segment(seg2, nullptr, nullptr);
+    ASSERT_EQ(warm.completions.size(), 6u);
+    ASSERT_EQ(cold.completions.size(), 6u);
+
+    // The clock continued: segment 2 completions happen after segment 1.
+    EXPECT_GT(warm.completions.front().start, res1.makespan);
+    // Warmth: the resumed run's first-inference hit rate beats cold start.
+    // (Cumulative stats carry, so compare the per-segment delta on warm.)
+    const auto warm_delta_hits = warm.cache_stats.hits - res1.cache_stats.hits;
+    const auto warm_delta_miss =
+        warm.cache_stats.misses - res1.cache_stats.misses;
+    const double warm_rate =
+        static_cast<double>(warm_delta_hits) /
+        static_cast<double>(warm_delta_hits + warm_delta_miss);
+    const double cold_rate =
+        static_cast<double>(cold.cache_stats.hits) /
+        static_cast<double>(cold.cache_stats.hits + cold.cache_stats.misses);
+    EXPECT_GT(warm_rate, cold_rate);
+    // Warm resume starts a fresh result: only segment-2 completions and
+    // telemetry epochs are reported.
+    EXPECT_FALSE(warm.telemetry.empty());
+    EXPECT_EQ(warm.telemetry.front().index, 0u);
+}
+
+TEST(checkpoint, hold_dispatch_carries_the_admission_queue) {
+    // Four back-to-back arrivals on one slot; dispatch is held just after
+    // the first, so the remaining three pause in the admission queue and
+    // ride the snapshot with their true arrival stamps.
+    const auto* mb = &model::model_by_abbr("MB.");
+    experiment_config seg;
+    seg.workload = {mb};
+    seg.co_located = 1;
+    seg.pol = sim::policy::camdn_full;
+    seg.kind = runtime::workload_kind::trace_replay;
+    for (cycle_t i = 0; i < 4; ++i) seg.trace.push_back({1000 + i, mb});
+    seg.admission_queue_limit = 8;
+
+    auto gen = runtime::make_workload_generator(seg);
+    runtime::scheduler sched(seg, *gen);
+    ASSERT_TRUE(sched.run_segment_hold_dispatch(/*hold_after=*/1001));
+    const auto res1 = sched.segment_result();
+    const auto snap = sched.save();
+    EXPECT_EQ(res1.completions.size(), 1u);  // dispatched before the hold
+    ASSERT_EQ(snap.admission_queue.size(), 3u);
+    EXPECT_EQ(snap.admission_queue.front().arrival, 1001u);
+    EXPECT_EQ(snap.admission_queue.back().arrival, 1003u);
+
+    // Snapshot round-trip keeps the queue; a warm resume with no further
+    // arrivals drains exactly the carried backlog.
+    const auto decoded = scheduler_snapshot::decode(snap.encode());
+    experiment_config seg2 = seg;
+    seg2.trace.clear();
+    const auto res2 = sim::run_experiment_segment(seg2, &decoded, nullptr);
+    ASSERT_EQ(res2.completions.size(), 3u);
+    for (const auto& rec : res2.completions) {
+        EXPECT_GE(rec.arrival, 1001u);  // true arrival stamps survived
+        EXPECT_LE(rec.arrival, 1003u);
+        EXPECT_GE(rec.start, snap.now);  // served at/after the resume
+    }
+}
+
+// ---- drained-run makespan (cancellable bw-epoch timer) ----------------
+
+TEST(checkpoint, drained_open_loop_run_does_not_inflate_makespan) {
+    // MoCA re-arms its bandwidth epoch every cfg.bw_epoch cycles. Before
+    // the cancellable timer, the pending epoch event dragged the clock past
+    // the last completion on drained runs, inflating the makespan by up to
+    // one epoch. The makespan must now be exactly the last completion.
+    experiment_config cfg;
+    cfg.workload = small_catalog();
+    cfg.pol = sim::policy::moca;
+    cfg.co_located = 2;
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.arrival_rate_per_ms = 2.0;
+    cfg.total_arrivals = 6;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    cfg.bw_epoch = 50'000;
+
+    const auto res = sim::run_experiment(cfg);
+    ASSERT_EQ(res.completions.size(), 6u);
+    cycle_t last_end = 0;
+    for (const auto& rec : res.completions)
+        last_end = std::max(last_end, rec.end);
+    EXPECT_EQ(res.makespan, last_end);
+}
+
+TEST(checkpoint, closed_loop_think_time_zero_matches_legacy_exactly) {
+    experiment_config cfg;
+    cfg.workload = small_catalog();
+    cfg.pol = sim::policy::camdn_full;
+    cfg.co_located = 2;
+    cfg.inferences_per_slot = 2;
+    cfg.seed = 9;
+
+    auto with_field = cfg;
+    with_field.think_time_ms = 0.0;
+    expect_identical(sim::run_experiment(cfg), sim::run_experiment(with_field));
+
+    // A positive think time stretches the run but serves the same plan.
+    auto thinking = cfg;
+    thinking.think_time_ms = 1.0;
+    const auto slow = sim::run_experiment(thinking);
+    EXPECT_EQ(slow.completions.size(), 4u);
+    EXPECT_GT(slow.makespan, sim::run_experiment(cfg).makespan);
+}
+
+}  // namespace
+}  // namespace camdn

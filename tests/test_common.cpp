@@ -121,6 +121,72 @@ TEST(event_queue, run_respects_max_events) {
     EXPECT_EQ(fired, 3);
 }
 
+TEST(event_queue, cancelled_timer_neither_runs_nor_advances_the_clock) {
+    event_queue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    auto timer = eq.schedule_cancellable(100, [&] { fired += 100; });
+    EXPECT_TRUE(timer.armed());
+    EXPECT_EQ(timer.when(), 100u);
+    timer.cancel();
+    EXPECT_FALSE(timer.armed());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    // The cancelled entry was discarded silently: the clock stops at the
+    // last live event instead of being dragged to cycle 100.
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(event_queue, uncancelled_timer_fires_once_and_disarms) {
+    event_queue eq;
+    int fired = 0;
+    auto timer = eq.schedule_cancellable(5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(timer.armed());
+    timer.cancel();  // after firing: harmless no-op
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(event_queue, next_time_skips_cancelled_entries) {
+    event_queue eq;
+    auto t1 = eq.schedule_cancellable(3, [] {});
+    eq.schedule(7, [] {});
+    EXPECT_EQ(eq.next_time(), 3u);
+    t1.cancel();
+    EXPECT_EQ(eq.next_time(), 7u);
+    eq.run();
+    EXPECT_EQ(eq.next_time(), never);
+}
+
+TEST(event_queue, restored_events_replay_saved_tie_break_order) {
+    // Two runs: one schedules A then B at the same cycle; the other
+    // restores them in the opposite call order but under the saved
+    // sequence numbers — execution order must match the original.
+    std::string order;
+    event_queue eq;
+    eq.restore_now(50);
+    eq.schedule_restored(60, /*seq=*/7, [&] { order += 'B'; });
+    eq.schedule_restored(60, /*seq=*/3, [&] { order += 'A'; });
+    eq.restore_next_seq(8);
+    eq.schedule(60, [&] { order += 'C'; });  // gets seq 8: runs last
+    eq.run();
+    EXPECT_EQ(order, "ABC");
+    EXPECT_EQ(eq.now(), 60u);
+}
+
+TEST(event_queue, restore_now_moves_the_clock_of_an_empty_queue) {
+    event_queue eq;
+    eq.restore_now(1234);
+    EXPECT_EQ(eq.now(), 1234u);
+    int fired = 0;
+    eq.schedule(1000, [&] { ++fired; });  // past: clamps to restored now
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1234u);
+}
+
 // ---- rng ----
 
 TEST(rng, deterministic_for_fixed_seed) {

@@ -260,9 +260,13 @@ TEST(experiment_golden, aurora_qos_matches_pre_refactor_driver) {
     cfg.seed = 7;
     cfg.qos_mode = true;
     cfg.qos_scale = 1.0;
-    // Makespan exceeds the last completion (719856): the driver's final
-    // bandwidth-reallocation epoch fires at 750000, exactly as before.
-    expect_golden(run_experiment(cfg), 750000, 36468736,
+    // The pre-refactor driver reported makespan 750000 here: its final
+    // bandwidth-reallocation epoch (a no-op — the run had drained) was
+    // still pending and dragged the clock past the last completion. The
+    // cancellable bw-epoch timer now stops the chain when the run drains,
+    // so the makespan is the last completion. Completion records are
+    // unchanged bit for bit.
+    expect_golden(run_experiment(cfg), 719856, 36468736,
                   {{0, "MB.", 0, 0, 704400, 9060288, 1},
                    {1, "MB.", 0, 0, 708188, 9081920, 1},
                    {2, "MB.", 0, 0, 713506, 9140096, 1},
