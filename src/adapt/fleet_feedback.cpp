@@ -1,6 +1,7 @@
 #include "adapt/fleet_feedback.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/stats.h"
 #include "runtime/qos.h"
@@ -69,6 +70,41 @@ bool fleet_feedback::replacement_due() {
         if (s >= cfg_.replace_patience) due = true;
     if (due) std::fill(streak_.begin(), streak_.end(), 0u);
     return due;
+}
+
+double fleet_feedback::mix_divergence(
+    const std::vector<double>& planned,
+    const std::vector<std::uint64_t>& observed) {
+    const std::size_t m = std::min(planned.size(), observed.size());
+    if (m == 0) return 0.0;
+    double total_w = 0.0;
+    double total_n = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        total_w += std::max(planned[i], 0.0);
+        total_n += static_cast<double>(observed[i]);
+    }
+    if (total_w <= 0.0 || total_n <= 0.0) return 0.0;
+
+    // Add-one smoothing on the counts; a proportional floor on the
+    // weights — both sides stay proper distributions, so the divergence
+    // is finite and >= 0 even with unserved tenants or zero weights.
+    const double floor = total_w / static_cast<double>(m) * 1e-3;
+    double kl = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const double p = (static_cast<double>(observed[i]) + 1.0) /
+                         (total_n + static_cast<double>(m));
+        const double q = (std::max(planned[i], 0.0) + floor) /
+                         (total_w + static_cast<double>(m) * floor);
+        kl += p * std::log(p / q);
+    }
+    return std::max(kl, 0.0);
+}
+
+bool fleet_feedback::drift_replan_due(
+    const std::vector<double>& planned,
+    const std::vector<std::uint64_t>& observed) const {
+    return cfg_.mix_kl_threshold > 0.0 &&
+           mix_divergence(planned, observed) > cfg_.mix_kl_threshold;
 }
 
 }  // namespace camdn::adapt

@@ -54,6 +54,11 @@ struct fleet_feedback_config {
     double sla_target = 0.9;
     /// Consecutive violating rounds on any SoC before re-placement fires.
     std::uint32_t replace_patience = 2;
+    /// Proactive re-placement on traffic-mix drift: when > 0, a round
+    /// whose observed per-tenant routed mix diverges from the planned mix
+    /// by more than this many nats (KL, add-one smoothed) triggers a
+    /// re-plan without waiting for an SLA violation streak. 0 disables.
+    double mix_kl_threshold = 0.0;
 };
 
 class fleet_feedback {
@@ -71,6 +76,18 @@ public:
     /// `replace_patience` consecutive rounds. Consuming the signal resets
     /// every streak (the re-placement gets a fresh observation window).
     bool replacement_due();
+
+    /// KL divergence (nats) of the observed per-tenant routed counts from
+    /// the planned traffic weights. Both sides are normalized with add-one
+    /// style smoothing, so zero counts and zero weights are safe and the
+    /// result is always finite and non-negative.
+    static double mix_divergence(const std::vector<double>& planned,
+                                 const std::vector<std::uint64_t>& observed);
+
+    /// Proactive drift trigger: true when mix_kl_threshold > 0 and the
+    /// round's observed mix diverged past it. Pure (no streak state).
+    bool drift_replan_due(const std::vector<double>& planned,
+                          const std::vector<std::uint64_t>& observed) const;
 
     std::uint32_t rounds_seen() const { return rounds_; }
 

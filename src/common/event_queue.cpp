@@ -1,14 +1,28 @@
 #include "common/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace camdn {
 
+void event_queue::push(entry e) {
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), later{});
+}
+
+event_queue::entry event_queue::pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), later{});
+    entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+}
+
 std::uint64_t event_queue::schedule(cycle_t when, callback fn) {
     if (when < now_) when = now_;
     const std::uint64_t seq = next_seq_++;
-    heap_.push(entry{when, seq, std::move(fn), nullptr});
+    push(entry{when, seq, std::move(fn), nullptr});
     return seq;
 }
 
@@ -18,14 +32,88 @@ event_queue::timer event_queue::schedule_cancellable(cycle_t when,
     auto tok = std::make_shared<timer::state>();
     tok->when = when;
     tok->seq = next_seq_++;
-    heap_.push(entry{when, tok->seq, std::move(fn), tok});
+    push(entry{when, tok->seq, std::move(fn), tok});
     return timer(std::move(tok));
+}
+
+void event_queue::set_handler(event_channel ch, typed_handler fn) {
+    handlers_[static_cast<std::size_t>(ch)] = std::move(fn);
+}
+
+std::uint64_t event_queue::schedule_event(cycle_t when,
+                                          const typed_event& ev) {
+    if (when < now_) when = now_;
+    const std::uint64_t seq = next_seq_++;
+    entry e{when, seq, nullptr, nullptr};
+    e.is_typed = true;
+    e.ev = ev;
+    push(std::move(e));
+    return seq;
+}
+
+void event_queue::restore_event(cycle_t when, std::uint64_t seq,
+                                const typed_event& ev) {
+    if (when < now_) when = now_;
+    entry e{when, seq, nullptr, nullptr};
+    e.is_typed = true;
+    e.ev = ev;
+    push(std::move(e));
+}
+
+void event_queue::save_typed(snapshot_writer& w) const {
+    std::vector<const entry*> typed;
+    for (const auto& e : heap_)
+        if (e.is_typed) typed.push_back(&e);
+    std::sort(typed.begin(), typed.end(), [](const entry* a, const entry* b) {
+        if (a->when != b->when) return a->when < b->when;
+        return a->seq < b->seq;
+    });
+    w.u64(typed.size());
+    for (const entry* e : typed) {
+        w.u64(e->when);
+        w.u64(e->seq);
+        w.u8(e->ev.channel);
+        w.u8(e->ev.kind);
+        w.u64(e->ev.a);
+        w.u64(e->ev.b);
+    }
+}
+
+void event_queue::restore_typed(snapshot_reader& r) {
+    const std::uint64_t n = r.count(8 + 8 + 1 + 1 + 8 + 8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const cycle_t when = r.u64();
+        const std::uint64_t seq = r.u64();
+        typed_event ev;
+        ev.channel = r.u8();
+        ev.kind = r.u8();
+        if (ev.channel >= n_event_channels)
+            throw snapshot_error("snapshot typed event on unknown channel " +
+                                 std::to_string(ev.channel));
+        ev.a = r.u64();
+        ev.b = r.u64();
+        restore_event(when, seq, ev);
+    }
+}
+
+std::size_t event_queue::pending_typed() const {
+    std::size_t n = 0;
+    for (const auto& e : heap_)
+        if (e.is_typed) ++n;
+    return n;
+}
+
+std::size_t event_queue::pending_closures() const {
+    std::size_t n = 0;
+    for (const auto& e : heap_)
+        if (!e.is_typed && !(e.tok && e.tok->cancelled)) ++n;
+    return n;
 }
 
 void event_queue::schedule_restored(cycle_t when, std::uint64_t seq,
                                     callback fn) {
     if (when < now_) when = now_;
-    heap_.push(entry{when, seq, std::move(fn), nullptr});
+    push(entry{when, seq, std::move(fn), nullptr});
 }
 
 event_queue::timer event_queue::restore_cancellable(cycle_t when,
@@ -35,7 +123,7 @@ event_queue::timer event_queue::restore_cancellable(cycle_t when,
     auto tok = std::make_shared<timer::state>();
     tok->when = when;
     tok->seq = seq;
-    heap_.push(entry{when, seq, std::move(fn), tok});
+    push(entry{when, seq, std::move(fn), tok});
     return timer(std::move(tok));
 }
 
@@ -50,25 +138,31 @@ void event_queue::restore_now(cycle_t now) {
 }
 
 void event_queue::discard_cancelled_head() {
-    while (!heap_.empty() && heap_.top().tok && heap_.top().tok->cancelled)
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().tok && heap_.front().tok->cancelled)
+        pop();
 }
 
 cycle_t event_queue::next_time() {
     discard_cancelled_head();
-    return heap_.empty() ? never : heap_.top().when;
+    return heap_.empty() ? never : heap_.front().when;
 }
 
 bool event_queue::step() {
     discard_cancelled_head();
     if (heap_.empty()) return false;
-    // priority_queue::top() is const; the callback must be moved out before
-    // pop, so copy the handle via const_cast-free extraction.
-    entry e = heap_.top();
-    heap_.pop();
+    entry e = pop();
     now_ = e.when;
     if (e.tok) e.tok->fired = true;
-    e.fn();
+    if (e.is_typed) {
+        const auto& h = handlers_[e.ev.channel];
+        if (!h)
+            throw std::logic_error(
+                "typed event dispatched to unregistered channel " +
+                std::to_string(e.ev.channel));
+        h(e.ev);
+    } else {
+        e.fn();
+    }
     return true;
 }
 

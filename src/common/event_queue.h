@@ -1,11 +1,24 @@
 // Discrete-event simulation engine.
 //
 // Every timed component of the SoC model (NPU state machines, DMA chunk
-// completions, Algorithm 1 timeouts, task arrivals) schedules closures on
-// one global queue. Events at equal timestamps run in scheduling order so a
+// completions, Algorithm 1 timeouts, task arrivals) schedules work on one
+// global queue. Events at equal timestamps run in scheduling order so a
 // fixed seed yields a bit-identical simulation.
 //
-// Two facilities support the resumable scheduler (runtime/scheduler.h):
+// Events come in two forms:
+//   * closures — arbitrary std::function callbacks. Opaque: a pending
+//     closure cannot be serialized, so checkpoints may only contain
+//     closure events whose owner can re-arm them from its own cursor
+//     (workload-generator arrivals, the bandwidth-epoch timer);
+//   * typed events — a (channel, kind, payload) record dispatched to the
+//     component registered on the channel. Typed events carry no captured
+//     state, so the pending set round-trips through save_typed() /
+//     restore_typed() byte for byte — this is what lets the simulator
+//     checkpoint at an arbitrary cycle with DMA chunks and layer tiles
+//     still in flight (the structure ONNXim-style cycle-level NPU models
+//     use for their event records).
+//
+// Three facilities support the resumable scheduler (runtime/scheduler.h):
 //   * cancellable timers — periodic chains like the MoCA bandwidth epoch
 //     arm through schedule_cancellable(); a cancelled entry is skipped
 //     without running and, crucially, without advancing now(), so a drained
@@ -14,22 +27,47 @@
 //     under the sequence number it held when a checkpoint was taken, and
 //     restore_now()/restore_next_seq() re-establish the clock and the
 //     tie-break counter, so a resumed run replays same-cycle event order
-//     bit for bit.
+//     bit for bit;
+//   * typed-event serialization — save_typed() walks the pending typed
+//     entries (sorted by time and sequence, so snapshots are byte-stable)
+//     and restore_typed() re-arms them under their saved sequences.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn {
 
+/// Components that receive typed events. One handler per channel,
+/// registered at wiring time (the handler is static plumbing, not
+/// serialized state).
+enum class event_channel : std::uint8_t {
+    dma = 0,    ///< npu::dma_engine chunk completions
+    layer = 1,  ///< sim::layer_engine tile gates and store issues
+    sched = 2,  ///< runtime::scheduler page-negotiation retries
+};
+inline constexpr std::size_t n_event_channels = 3;
+
+/// One serializable event record: which component (channel), which of its
+/// transitions (kind, component-defined) and two payload words whose
+/// meaning the component owns (flight ids, slot ids, tile indices).
+struct typed_event {
+    std::uint8_t channel = 0;
+    std::uint8_t kind = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
 class event_queue {
 public:
     using callback = std::function<void()>;
+    using typed_handler = std::function<void(const typed_event&)>;
 
     /// Handle to a cancellable event. Default-constructed handles are
     /// detached (armed() == false, cancel() is a no-op), so holders need no
@@ -78,6 +116,33 @@ public:
     /// Schedules a cancellable event and returns its handle.
     timer schedule_cancellable(cycle_t when, callback fn);
 
+    // ---- typed events ----
+
+    /// Registers (or replaces) the handler of `ch`. Typed events reaching
+    /// an unregistered channel throw std::logic_error at dispatch.
+    void set_handler(event_channel ch, typed_handler fn);
+
+    /// Schedules a typed event; same clamping and sequence rules as
+    /// schedule().
+    std::uint64_t schedule_event(cycle_t when, const typed_event& ev);
+
+    /// Re-arms a typed event under an explicit saved sequence number.
+    void restore_event(cycle_t when, std::uint64_t seq, const typed_event& ev);
+
+    /// Serializes every pending typed event (when, seq, record), sorted by
+    /// (when, seq) so equal states produce equal bytes.
+    void save_typed(snapshot_writer& w) const;
+
+    /// Re-arms a saved pending set. The caller restores now()/next_seq()
+    /// separately; restored sequences must stay below the restored
+    /// next_seq().
+    void restore_typed(snapshot_reader& r);
+
+    std::size_t pending_typed() const;
+    /// Live (uncancelled) closure events still pending — at a checkpoint
+    /// every one of these must be owned by a component that re-arms it.
+    std::size_t pending_closures() const;
+
     // ---- checkpoint/restore support ----
 
     /// Re-arms an event under an explicit sequence number saved at
@@ -121,8 +186,10 @@ private:
     struct entry {
         cycle_t when;
         std::uint64_t seq;  // tie-breaker: FIFO among same-cycle events
-        callback fn;
+        callback fn;        // empty for typed events
         std::shared_ptr<timer::state> tok;  // null for plain events
+        bool is_typed = false;
+        typed_event ev{};
     };
     struct later {
         bool operator()(const entry& a, const entry& b) const {
@@ -131,11 +198,17 @@ private:
         }
     };
 
+    void push(entry e);
+    entry pop();
+
     /// Pops cancelled entries off the head (they neither run nor advance
     /// the clock).
     void discard_cancelled_head();
 
-    std::priority_queue<entry, std::vector<entry>, later> heap_;
+    /// Min-heap on (when, seq) — a plain vector managed with the std heap
+    /// algorithms so checkpointing can walk the pending entries.
+    std::vector<entry> heap_;
+    std::array<typed_handler, n_event_channels> handlers_{};
     cycle_t now_ = 0;
     std::uint64_t next_seq_ = 0;
 };

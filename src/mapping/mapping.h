@@ -83,6 +83,26 @@ struct mct {
     const mapping_candidate& minimal() const { return lwm.front(); }
 };
 
+/// Serializable identity of `cand` inside `table`: its LWM index, -1 for
+/// the LBM candidate, -2 when not part of the table. Checkpoints store
+/// this index instead of the pointer.
+inline std::int32_t candidate_index(const mct& table,
+                                    const mapping_candidate* cand) {
+    if (table.lbm && cand == &*table.lbm) return -1;
+    for (std::size_t i = 0; i < table.lwm.size(); ++i)
+        if (cand == &table.lwm[i]) return static_cast<std::int32_t>(i);
+    return -2;
+}
+
+/// Inverse of candidate_index; nullptr when the index does not resolve.
+inline const mapping_candidate* candidate_at(const mct& table,
+                                             std::int32_t index) {
+    if (index == -1) return table.lbm ? &*table.lbm : nullptr;
+    if (index >= 0 && static_cast<std::size_t>(index) < table.lwm.size())
+        return &table.lwm[index];
+    return nullptr;
+}
+
 /// Offline mapping output for one model (the "model mapping file").
 struct model_mapping {
     std::string model_name;

@@ -1,8 +1,7 @@
 #include "npu/dma_engine.h"
 
 #include <algorithm>
-#include <deque>
-#include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace camdn::npu {
@@ -12,7 +11,11 @@ dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
     : eq_(eq),
       cache_(cache),
       chunk_lines_(chunk_lines == 0 ? 1 : chunk_lines),
-      window_(window == 0 ? 1 : window) {}
+      window_(window == 0 ? 1 : window) {
+    eq_.set_handler(event_channel::dma, [this](const typed_event& ev) {
+        pump(ev.a);
+    });
+}
 
 cycle_t dma_engine::transfer_now(const transfer_request& req, cycle_t arrival) {
     using kind = transfer_request::kind;
@@ -46,55 +49,27 @@ cycle_t dma_engine::transfer_now(const transfer_request& req, cycle_t arrival) {
     return arrival;
 }
 
-/// In-flight bookkeeping of one submitted transfer.
-struct dma_engine::flight : std::enable_shared_from_this<dma_engine::flight> {
-    dma_engine& engine;
-    transfer_request req;
-    std::function<void(cycle_t)> on_done;
+std::uint64_t dma_engine::start_flight(const transfer_request& req, flight f) {
+    if (telemetry_) telemetry_->on_dma_bytes(req.task, req.nlines * line_bytes);
+    f.req = req;
+    f.total_chunks = ceil_div(req.nlines, chunk_lines_);
+    f.last_done = eq_.now();
+    const std::uint64_t id = next_flight_++;
+    flights_.emplace(id, std::move(f));
+    pump(id);
+    return id;
+}
 
-    std::uint64_t issued_lines = 0;   // lines handed to the memory system
-    std::uint64_t retired_chunks = 0;
-    std::uint64_t total_chunks = 0;
-    std::uint64_t issued_chunks = 0;
-    std::deque<cycle_t> outstanding;  // completion times of in-flight chunks
-    cycle_t last_done = 0;
-
-    flight(dma_engine& e, const transfer_request& r,
-           std::function<void(cycle_t)> cb)
-        : engine(e), req(r), on_done(std::move(cb)) {
-        total_chunks = ceil_div(r.nlines, e.chunk_lines_);
-        last_done = e.eq_.now();
+void dma_engine::submit_tracked(const transfer_request& req,
+                                const dma_target& target) {
+    if (req.nlines == 0) {
+        if (sink_) sink_(target, eq_.now());
+        return;
     }
-
-    void pump() {
-        // Issue as long as the window has room and lines remain.
-        while (issued_chunks < total_chunks &&
-               outstanding.size() < engine.window_) {
-            const std::uint64_t lines = std::min<std::uint64_t>(
-                engine.chunk_lines_, req.nlines - issued_lines);
-            transfer_request chunk = req;
-            chunk.addr = req.addr + issued_lines * line_bytes;
-            chunk.dram_addr = req.dram_addr + issued_lines * line_bytes;
-            chunk.nlines = lines;
-            const cycle_t done = engine.transfer_now(chunk, engine.eq_.now());
-            issued_lines += lines;
-            ++issued_chunks;
-            outstanding.push_back(done);
-            last_done = std::max(last_done, done);
-        }
-        if (outstanding.empty()) {
-            // Everything issued and retired.
-            on_done(last_done);
-            return;
-        }
-        // Wake when the oldest chunk retires; that frees a window slot.
-        const cycle_t next = outstanding.front();
-        outstanding.pop_front();
-        ++retired_chunks;
-        auto self = shared_from_this();
-        engine.eq_.schedule(next, [self]() { self->pump(); });
-    }
-};
+    flight f;
+    f.target = target;
+    start_flight(req, std::move(f));
+}
 
 void dma_engine::submit(const transfer_request& req,
                         std::function<void(cycle_t)> on_done) {
@@ -102,9 +77,119 @@ void dma_engine::submit(const transfer_request& req,
         on_done(eq_.now());
         return;
     }
-    if (telemetry_) telemetry_->on_dma_bytes(req.task, req.nlines * line_bytes);
-    auto f = std::make_shared<flight>(*this, req, std::move(on_done));
-    f->pump();
+    flight f;
+    f.legacy_done = std::move(on_done);
+    start_flight(req, std::move(f));
+}
+
+void dma_engine::pump(std::uint64_t id) {
+    auto it = flights_.find(id);
+    if (it == flights_.end())
+        throw std::logic_error("dma_engine: chunk_done for unknown flight");
+    flight& f = it->second;
+
+    // Issue as long as the window has room and lines remain.
+    while (f.issued_chunks < f.total_chunks &&
+           f.outstanding.size() < window_) {
+        const std::uint64_t lines = std::min<std::uint64_t>(
+            chunk_lines_, f.req.nlines - f.issued_lines);
+        transfer_request chunk = f.req;
+        chunk.addr = f.req.addr + f.issued_lines * line_bytes;
+        chunk.dram_addr = f.req.dram_addr + f.issued_lines * line_bytes;
+        chunk.nlines = lines;
+        const cycle_t done = transfer_now(chunk, eq_.now());
+        f.issued_lines += lines;
+        ++f.issued_chunks;
+        f.outstanding.push_back(done);
+        f.last_done = std::max(f.last_done, done);
+    }
+    if (f.outstanding.empty()) {
+        // Everything issued and retired. Detach the flight before the
+        // completion runs: the sink may submit a follow-up transfer.
+        const cycle_t done = f.last_done;
+        const dma_target target = f.target;
+        auto legacy = std::move(f.legacy_done);
+        flights_.erase(it);
+        if (legacy) {
+            legacy(done);
+        } else if (sink_) {
+            sink_(target, done);
+        }
+        return;
+    }
+    // Wake when the oldest chunk retires; that frees a window slot.
+    const cycle_t next = f.outstanding.front();
+    f.outstanding.pop_front();
+    ++f.retired_chunks;
+    eq_.schedule_event(next, typed_event{
+                                 static_cast<std::uint8_t>(event_channel::dma),
+                                 0, id, 0});
+}
+
+void dma_engine::save_state(snapshot_writer& w) const {
+    w.u64(next_flight_);
+    w.u64(flights_.size());
+    for (const auto& [id, f] : flights_) {
+        if (f.legacy_done)
+            throw std::logic_error(
+                "dma_engine::save_state: a legacy closure flight is live "
+                "(test-only submit() path cannot be checkpointed)");
+        w.u64(id);
+        w.u8(static_cast<std::uint8_t>(f.req.op));
+        w.i32(f.req.task);
+        w.u64(f.req.addr);
+        w.u64(f.req.dram_addr);
+        w.u64(f.req.nlines);
+        w.u32(f.req.group_size);
+        w.u64(f.issued_lines);
+        w.u64(f.total_chunks);
+        w.u64(f.issued_chunks);
+        w.u64(f.retired_chunks);
+        w.u64(f.outstanding.size());
+        for (const cycle_t c : f.outstanding) w.u64(c);
+        w.u64(f.last_done);
+        w.u64(f.target.a);
+        w.u64(f.target.b);
+    }
+}
+
+void dma_engine::restore_state(snapshot_reader& r) {
+    if (!flights_.empty())
+        throw std::logic_error(
+            "dma_engine::restore_state requires an idle engine");
+    next_flight_ = r.u64();
+    const std::uint64_t n = r.count(8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t id = r.u64();
+        if (id >= next_flight_)
+            throw snapshot_error("snapshot DMA flight id beyond the counter");
+        flight f;
+        const std::uint8_t op = r.u8();
+        if (op > static_cast<std::uint8_t>(transfer_request::kind::bypass_write))
+            throw snapshot_error("snapshot DMA flight has unknown op");
+        f.req.op = static_cast<transfer_request::kind>(op);
+        f.req.task = r.i32();
+        f.req.addr = r.u64();
+        f.req.dram_addr = r.u64();
+        f.req.nlines = r.u64();
+        f.req.group_size = r.u32();
+        f.issued_lines = r.u64();
+        f.total_chunks = r.u64();
+        f.issued_chunks = r.u64();
+        f.retired_chunks = r.u64();
+        const std::uint64_t outstanding = r.count(8);
+        for (std::uint64_t c = 0; c < outstanding; ++c)
+            f.outstanding.push_back(r.u64());
+        f.last_done = r.u64();
+        f.target.a = r.u64();
+        f.target.b = r.u64();
+        if (f.issued_chunks > f.total_chunks ||
+            f.retired_chunks > f.issued_chunks ||
+            f.issued_lines > f.req.nlines)
+            throw snapshot_error("snapshot DMA flight cursor is inconsistent");
+        if (!flights_.emplace(id, std::move(f)).second)
+            throw snapshot_error("snapshot DMA flight id appears twice");
+    }
 }
 
 }  // namespace camdn::npu

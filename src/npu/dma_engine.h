@@ -7,14 +7,26 @@
 // cache slices. A window of chunks stays in flight (a real DMA engine keeps
 // multiple outstanding requests), so the memory pipe does not drain between
 // chunks: chunk j issues once chunk j-W has completed.
+//
+// In-flight transfers are explicit `flight` records — plain structs keyed
+// by flight id and advanced by typed `chunk_done` events (event_channel::
+// dma) — so a simulation can checkpoint with chunks mid-air: save_state()
+// serializes every live flight and restore_state() rebuilds them, with the
+// pending chunk_done events riding the event queue's typed-event section.
+// Completions route to a single registered sink carrying the submitter's
+// opaque (a, b) token; the legacy closure submit() remains for unit tests
+// but its flights cannot be checkpointed.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 
 #include "adapt/telemetry.h"
 #include "cache/shared_cache.h"
 #include "common/event_queue.h"
+#include "common/snapshot_io.h"
 #include "common/types.h"
 
 namespace camdn::npu {
@@ -40,6 +52,13 @@ struct transfer_request {
     std::uint32_t group_size = 1;  ///< multicast group width (reads)
 };
 
+/// Opaque completion token a tracked transfer carries back to the sink
+/// (the layer engine packs its slot, tile and purpose in here).
+struct dma_target {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
 class dma_engine {
 public:
     /// `chunk_lines` trades fidelity (finer interleaving) for event count;
@@ -47,8 +66,20 @@ public:
     dma_engine(event_queue& eq, cache::shared_cache& cache,
                std::uint64_t chunk_lines = 128, std::uint32_t window = 4);
 
-    /// Starts a transfer; `on_done` fires with the completion cycle of the
-    /// final chunk. Multiple transfers may be in flight.
+    /// Receives the completion of every tracked transfer: the submitted
+    /// token plus the completion cycle of the final chunk. Registered once
+    /// at wiring time (static plumbing, never serialized).
+    using sink_fn = std::function<void(const dma_target&, cycle_t)>;
+    void set_sink(sink_fn sink) { sink_ = std::move(sink); }
+
+    /// Starts a checkpointable transfer; the sink fires with `target` when
+    /// the final chunk retires (synchronously when nlines == 0). Multiple
+    /// transfers may be in flight.
+    void submit_tracked(const transfer_request& req, const dma_target& target);
+
+    /// Legacy closure variant (unit tests, one-shot probes): `on_done`
+    /// fires with the completion cycle. A flight submitted this way cannot
+    /// be checkpointed — save_state throws while one is live.
     void submit(const transfer_request& req,
                 std::function<void(cycle_t)> on_done);
 
@@ -60,17 +91,51 @@ public:
     std::uint64_t chunk_lines() const { return chunk_lines_; }
     std::uint32_t window() const { return window_; }
 
+    bool idle() const { return flights_.empty(); }
+    std::size_t live_flights() const { return flights_.size(); }
+
+    /// Serializes every live flight (cursor, window occupancy, completion
+    /// token). Throws std::logic_error while a legacy closure flight is
+    /// live. The pending chunk_done events are saved separately with the
+    /// event queue's typed section.
+    void save_state(snapshot_writer& w) const;
+    /// Rebuilds the flight table; throws snapshot_error on malformed
+    /// input. Requires an idle engine.
+    void restore_state(snapshot_reader& r);
+
     /// Attaches the per-epoch telemetry bus (nullptr detaches). Submitted
     /// transfers are attributed to their task at issue time.
     void set_telemetry(adapt::telemetry_bus* bus) { telemetry_ = bus; }
 
 private:
-    struct flight;
+    /// In-flight bookkeeping of one submitted transfer: the request, the
+    /// chunk cursor, the occupancy of the issue window and the completion
+    /// target. Plain data except `legacy_done` (test-only closures).
+    struct flight {
+        transfer_request req;
+        std::uint64_t issued_lines = 0;  // lines handed to the memory system
+        std::uint64_t total_chunks = 0;
+        std::uint64_t issued_chunks = 0;
+        std::uint64_t retired_chunks = 0;
+        std::deque<cycle_t> outstanding;  // completion times of in-flight chunks
+        cycle_t last_done = 0;
+        dma_target target{};
+        std::function<void(cycle_t)> legacy_done;  // non-null: test flight
+    };
+
+    std::uint64_t start_flight(const transfer_request& req, flight f);
+    /// Issues chunks while the window has room, then sleeps until the
+    /// oldest outstanding chunk retires (typed chunk_done event) or
+    /// completes the flight.
+    void pump(std::uint64_t id);
 
     event_queue& eq_;
     cache::shared_cache& cache_;
     std::uint64_t chunk_lines_;
     std::uint32_t window_;
+    sink_fn sink_;
+    std::map<std::uint64_t, flight> flights_;
+    std::uint64_t next_flight_ = 0;
     adapt::telemetry_bus* telemetry_ = nullptr;
 };
 

@@ -33,9 +33,12 @@ public:
 
     scratchpad& spad() { return spad_; }
     std::uint64_t busy_cycles() const { return busy_cycles_; }
+    /// Cycle the current assignment started (mid-layer checkpointing).
+    cycle_t busy_since() const { return busy_since_; }
 
-    /// Checkpoint restore: re-seeds the cumulative busy counter (cores are
-    /// idle at every checkpoint boundary, so no other state survives).
+    /// Checkpoint restore: re-seeds the cumulative busy counter. A
+    /// mid-layer resume re-establishes the assignment itself via assign()
+    /// with the saved busy_since cycle.
     void restore_busy_cycles(std::uint64_t cycles) { busy_cycles_ = cycles; }
 
 private:

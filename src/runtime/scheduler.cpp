@@ -5,7 +5,6 @@
 #include <cstring>
 #include <type_traits>
 
-#include "sim/layer_executor.h"
 #include "sim/mapping_registry.h"
 
 namespace camdn::runtime {
@@ -39,6 +38,16 @@ struct fingerprint {
     }
 };
 
+/// Address-map salt of a model name (FNV-1a). Dispatch and mid-layer
+/// restore must derive the identical salt or a resumed run's parameter
+/// addresses silently diverge — keep this the single definition.
+std::uint64_t model_salt(const std::string& name) {
+    std::uint64_t salt = 1469598103934665603ull;
+    for (const char ch : name)
+        salt = (salt ^ static_cast<unsigned char>(ch)) * 1099511628211ull;
+    return salt;
+}
+
 }  // namespace
 
 scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
@@ -64,6 +73,7 @@ scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
     const std::uint32_t slots = cfg_.co_located;
     tasks_.resize(slots);
     slot_busy_.assign(slots, false);
+    neg_.assign(slots, {});
     addrs_.reserve(slots);
     for (std::uint32_t s = 0; s < slots; ++s) {
         tasks_[s].id = static_cast<task_id>(s);
@@ -71,6 +81,16 @@ scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
     }
     for (std::uint32_t c = cfg_.soc.npu.cores; c > 0; --c)
         free_cores_.push_back(static_cast<npu_id>(c - 1));
+
+    // Typed-event wiring: layer completions route back per slot, and
+    // page-negotiation retries arrive on the scheduler's channel.
+    machine_.layers().set_features(cfg_.features);
+    machine_.layers().set_on_done(
+        [this](task_id slot, cycle_t end) { end_layer(tasks_[slot], end); });
+    machine_.eq().set_handler(event_channel::sched,
+                              [this](const typed_event& ev) {
+                                  on_page_retry(static_cast<task_id>(ev.a));
+                              });
 }
 
 scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen,
@@ -176,7 +196,11 @@ void scheduler::restore(const scheduler_snapshot& snap, resume_mode mode) {
     }
 
     if (snap.core_busy_cycles.size() != machine_.cores().size() ||
-        snap.free_cores.size() != machine_.cores().size())
+        snap.free_cores.size() + [&] {
+            std::size_t n = 0;
+            for (const auto& rs : snap.running) n += rs.cores.size();
+            return n;
+        }() != machine_.cores().size())
         throw snapshot_error("snapshot core count mismatch");
     for (std::size_t c = 0; c < machine_.cores().size(); ++c)
         machine_.cores()[c].restore_busy_cycles(snap.core_busy_cycles[c]);
@@ -193,6 +217,85 @@ void scheduler::restore(const scheduler_snapshot& snap, resume_mode mode) {
 
     for (std::size_t s = 0; s < tasks_.size(); ++s)
         tasks_[s].completed_inferences = snap.slot_completed[s];
+
+    // In-flight inferences (mid-layer pauses). Models resolve by name
+    // against the catalog and the trace; the mapping registry rebuilds the
+    // MCTs deterministically, so candidate indices stay valid.
+    auto find_model = [this](const std::string& name) -> const model::model* {
+        for (const auto* m : cfg_.workload)
+            if (m != nullptr && m->name == name) return m;
+        for (const auto& a : cfg_.trace)
+            if (a.mdl != nullptr && a.mdl->name == name) return a.mdl;
+        return nullptr;
+    };
+    for (const auto& rs : snap.running) {
+        if (rs.slot < 0 || static_cast<std::size_t>(rs.slot) >= tasks_.size())
+            throw snapshot_error("snapshot running slot out of range");
+        if (slot_busy_[rs.slot])
+            throw snapshot_error("snapshot running slot appears twice");
+        task& t = tasks_[rs.slot];
+        t.mdl = find_model(rs.model);
+        if (t.mdl == nullptr)
+            throw snapshot_error("snapshot running model '" + rs.model +
+                                 "' is not in the workload catalog");
+        t.mapping = &sim::mapping_for(*t.mdl, cfg_.soc.mapper());
+        if (rs.current_layer >= t.mdl->layers.size())
+            throw snapshot_error("snapshot running layer out of range");
+        t.current_layer = rs.current_layer;
+        if (rs.cores.empty() || rs.cores.size() != rs.core_busy_since.size())
+            throw snapshot_error(
+                "snapshot running slot has a malformed core group");
+        t.cores.clear();
+        for (std::size_t i = 0; i < rs.cores.size(); ++i) {
+            const npu_id c = rs.cores[i];
+            if (c < 0 || static_cast<std::size_t>(c) >= machine_.cores().size())
+                throw snapshot_error("snapshot running core id out of range");
+            if (seen[static_cast<std::size_t>(c)])
+                throw snapshot_error("snapshot core " + std::to_string(c) +
+                                     " is both free and assigned (or "
+                                     "assigned twice)");
+            seen[static_cast<std::size_t>(c)] = true;
+            machine_.cores()[c].assign(t.id, rs.core_busy_since[i]);
+            t.cores.push_back(c);
+        }
+        t.arrival = rs.arrival;
+        t.started = rs.started;
+        t.deadline = rs.deadline;
+        t.t_next = rs.t_next;
+        t.p_next = rs.p_next;
+        t.lbm_enabled = rs.lbm_enabled;
+        t.lbm_block = rs.lbm_block;
+        t.dram_bytes_mark = rs.dram_bytes_mark;
+        t.p_alloc = machine_.cache().pages().allocated(t.id);
+        // Re-key the slot's parameter addresses exactly as dispatch did.
+        addrs_[rs.slot] = sim::address_map(rs.slot, model_salt(t.mdl->name));
+        slot_busy_[rs.slot] = true;
+        in_flight_ += 1;
+        auto& neg = neg_[rs.slot];
+        neg.armed = rs.neg_armed;
+        neg.cand = rs.neg_cand;
+        neg.pages = rs.neg_pages;
+        neg.timeout = rs.neg_timeout;
+        if (neg.armed &&
+            mapping::candidate_at(t.current_mct(), neg.cand) == nullptr)
+            throw snapshot_error(
+                "snapshot pending negotiation candidate out of range");
+    }
+
+    if (!snap.engine.empty()) {
+        snapshot_reader r(snap.engine);
+        machine_.layers().restore_state(r, tasks_, addrs_);
+        machine_.dma().restore_state(r);
+        if (!r.done())
+            throw snapshot_error("snapshot engine section has trailing bytes");
+    }
+    if (!snap.typed_events.empty()) {
+        snapshot_reader r(snap.typed_events);
+        machine_.eq().restore_typed(r);
+        if (!r.done())
+            throw snapshot_error(
+                "snapshot typed-event section has trailing bytes");
+    }
 
     dram_bytes_mark_ = snap.dram_bytes_mark;
     dram_throttled_mark_ = snap.dram_throttled_mark;
@@ -227,9 +330,7 @@ void scheduler::restore(const scheduler_snapshot& snap, resume_mode mode) {
     }
 
     for (const auto& q : snap.admission_queue) {
-        const model::model* mdl = nullptr;
-        for (const auto* m : cfg_.workload)
-            if (m->name == q.model) mdl = m;
+        const model::model* mdl = find_model(q.model);
         if (mdl == nullptr)
             throw snapshot_error("snapshot queued model '" + q.model +
                                  "' is not in the workload catalog");
@@ -272,16 +373,24 @@ void scheduler::restore(const scheduler_snapshot& snap, resume_mode mode) {
         resume_bw_when_ = snap.bw_timer_when;
         resume_bw_seq_ = snap.bw_timer_seq;
         resume_event_seq_ = snap.event_seq;
+    } else {
+        // Warm resume: the restored typed events keep their saved
+        // sequences, so the tie-break counter must move past them before
+        // the new workload schedules anything (restored-before-new at
+        // equal cycles; relative order among new events is unaffected).
+        machine_.eq().restore_next_seq(snap.event_seq);
     }
 }
 
 scheduler_snapshot scheduler::save() const {
     if (!paused_ && !finalized_)
         throw std::logic_error(
-            "scheduler::save: only valid while paused at a checkpoint "
-            "boundary or after completion");
-    assert(in_flight_ == dispatch_queue_.size() &&
-           "checkpoint boundary must have no running inferences");
+            "scheduler::save: only valid while paused or after completion");
+    std::size_t busy = 0;
+    for (const bool b : slot_busy_)
+        if (b) ++busy;
+    assert(in_flight_ == dispatch_queue_.size() + busy &&
+           "pause point accounting: queued + running must equal in-flight");
 
     scheduler_snapshot s;
     s.machine_fingerprint = machine_fingerprint();
@@ -309,11 +418,48 @@ scheduler_snapshot scheduler::save() const {
     for (const auto& q : dispatch_queue_)
         s.admission_queue.push_back({q.mdl->name, q.arrival, q.slot});
 
+    for (std::size_t sl = 0; sl < tasks_.size(); ++sl) {
+        if (!slot_busy_[sl]) continue;
+        const task& t = tasks_[sl];
+        scheduler_snapshot::running_slot rs;
+        rs.slot = t.id;
+        rs.model = t.mdl->name;
+        rs.current_layer = t.current_layer;
+        rs.cores = t.cores;
+        rs.core_busy_since.reserve(t.cores.size());
+        for (const npu_id c : t.cores)
+            rs.core_busy_since.push_back(machine_.cores()[c].busy_since());
+        rs.arrival = t.arrival;
+        rs.started = t.started;
+        rs.deadline = t.deadline;
+        rs.t_next = t.t_next;
+        rs.p_next = t.p_next;
+        rs.lbm_enabled = t.lbm_enabled;
+        rs.lbm_block = t.lbm_block;
+        rs.dram_bytes_mark = t.dram_bytes_mark;
+        rs.neg_armed = neg_[sl].armed;
+        rs.neg_cand = neg_[sl].cand;
+        rs.neg_pages = neg_[sl].pages;
+        rs.neg_timeout = neg_[sl].timeout;
+        s.running.push_back(std::move(rs));
+    }
+
     {
         snapshot_writer w;
         machine_.cache().save_state(w);
         machine_.dram().save_state(w);
         s.machine = w.take();
+    }
+    {
+        snapshot_writer w;
+        machine_.layers().save_state(w);
+        machine_.dma().save_state(w);
+        s.engine = w.take();
+    }
+    {
+        snapshot_writer w;
+        machine_.eq().save_typed(w);
+        s.typed_events = w.take();
     }
     if (telemetry_on_) {
         snapshot_writer w;
@@ -477,10 +623,7 @@ void scheduler::try_dispatch() {
         t.current_layer = 0;
         // Re-key the slot's parameter addresses to the dispatched model
         // (FNV-1a of the name keeps runs reproducible across processes).
-        std::uint64_t salt = 1469598103934665603ull;
-        for (char ch : mdl->name) salt = (salt ^ static_cast<unsigned char>(ch)) *
-                                         1099511628211ull;
-        addrs_[slot] = sim::address_map(slot, salt);
+        addrs_[slot] = sim::address_map(slot, model_salt(mdl->name));
         t.arrival = arrival;
         // The deadline anchors at arrival — the same reference the SLA
         // metrics use — so queue delay consumes slack. Closed-loop slots
@@ -529,6 +672,7 @@ void scheduler::try_dispatch() {
 
 void scheduler::begin_inference(task& t) {
     t.started = machine_.eq().now();
+    neg_[t.id] = {};
     t.dram_bytes_mark = machine_.dram().task_bytes(t.id);
     t.lbm_enabled = false;
     t.t_next = machine_.eq().now();
@@ -617,8 +761,18 @@ void scheduler::negotiate_pages(task& t, allocation_decision d) {
             const cycle_t retry =
                 std::min(d.timeout, now + cfg_.page_retry_interval);
             if (telemetry_on_) bus_.on_page_wait(t.id, retry - now);
-            machine_.eq().schedule(retry,
-                                   [this, &t, d]() { negotiate_pages(t, d); });
+            // The retry is a typed event: the decision's payload lands in
+            // the slot's pending_negotiation record so a mid-wait
+            // checkpoint can rebuild it.
+            auto& neg = neg_[t.id];
+            neg.armed = true;
+            neg.cand = mapping::candidate_index(t.current_mct(), d.candidate);
+            neg.pages = d.pages_needed;
+            neg.timeout = d.timeout;
+            machine_.eq().schedule_event(
+                retry,
+                typed_event{static_cast<std::uint8_t>(event_channel::sched), 0,
+                            static_cast<std::uint64_t>(t.id), 0});
             return;
         }
         t.p_alloc = pool.allocated(t.id);
@@ -669,9 +823,21 @@ void scheduler::remap_cpt(task& t) {
     for (std::uint32_t v = 0; v < pages.size(); ++v) cpt.map(v, pages[v]);
 }
 
+void scheduler::on_page_retry(task_id slot) {
+    auto& neg = neg_[slot];
+    if (!neg.armed) return;  // superseded (defensive; retries arm 1:1)
+    neg.armed = false;
+    task& t = tasks_[slot];
+    allocation_decision d;
+    d.candidate = mapping::candidate_at(t.current_mct(), neg.cand);
+    d.pages_needed = neg.pages;
+    d.timeout = neg.timeout;
+    assert(d.candidate != nullptr && "armed negotiation must resolve");
+    negotiate_pages(t, d);
+}
+
 void scheduler::run_layer(task& t, const mapping::mapping_candidate& cand) {
-    sim::execute_layer(machine_, cfg_.features, t, cand, addrs_[t.id],
-                       [this, &t](cycle_t end) { end_layer(t, end); });
+    machine_.layers().start(t, cand, addrs_[t.id]);
 }
 
 void scheduler::end_layer(task& t, cycle_t end) {
@@ -768,12 +934,13 @@ void scheduler::start_if_needed() {
     try_dispatch();
 }
 
-bool scheduler::at_checkpoint_boundary() {
-    if (done_ || in_flight_ != 0) return false;
+bool scheduler::at_pause_point() {
+    if (done_) return false;
     // All same-cycle activity must have drained: the next live event has to
-    // be strictly in the future (arrivals and the bandwidth-epoch timer are
-    // the only event kinds that exist at such an instant, and both are
-    // reconstructible from the snapshot).
+    // be strictly in the future. In-flight work is fine — its typed events
+    // serialize with the queue, and every pending closure at such an
+    // instant (arrivals, the bandwidth-epoch timer, think-time
+    // re-dispatches) is reconstructible from an owned cursor.
     return machine_.eq().next_time() > machine_.eq().now();
 }
 
@@ -790,7 +957,7 @@ bool scheduler::run_segment(cycle_t boundary) {
 
     auto& eq = machine_.eq();
     while (true) {
-        if (!done_ && eq.now() >= boundary && at_checkpoint_boundary()) {
+        if (!done_ && eq.now() >= boundary && at_pause_point()) {
             paused_ = true;
             return true;
         }

@@ -9,15 +9,18 @@
 // by deadline slack, the CaMDN variants manage the cache via static shares
 // or the per-layer Algorithm-1 page negotiation with LBM.
 //
-// Runs are resumable: run_segment() pauses at the first checkpoint
-// boundary — an instant with no queued or running work, where every
-// pending event is either a future arrival (owned by the generator's
-// cursor) or the re-armable bandwidth-epoch timer — and save() serializes
-// the full warm state as a scheduler_snapshot. A scheduler constructed
-// from that snapshot continues the run bit-identically (resume_mode::exact)
-// or starts a new workload segment on the warm machine
-// (resume_mode::warm; how the serve layer carries cache warmth and clock
-// across fleet feedback rounds).
+// Runs are resumable at an *arbitrary* cycle: run_segment() pauses at the
+// first inter-event instant at or after the requested boundary — mid-layer,
+// with DMA chunks in flight and page negotiations pending — and save()
+// serializes the full warm state as a scheduler_snapshot. Every pending
+// event at a pause is either typed (layer tile gates and stores, DMA chunk
+// completions, page-negotiation retries — serialized with the queue) or
+// re-armable from an owned cursor (generator arrivals, the bandwidth-epoch
+// timer), so a scheduler constructed from the snapshot continues the run
+// bit-identically (resume_mode::exact) or starts a new workload segment on
+// the warm machine with the in-flight inferences carried across
+// (resume_mode::warm; how the serve layer time-slices fleet feedback
+// rounds).
 #pragma once
 
 #include <cstdint>
@@ -70,12 +73,12 @@ public:
     /// cfg.seed).
     sim::experiment_result run();
 
-    /// Runs until the first checkpoint boundary at or after `boundary`: an
-    /// instant with no queued or running work and no further event due at
-    /// the current cycle. Returns true when paused at such a boundary
-    /// (save() is now valid); false when the workload completed first (the
-    /// result is finalized, as after run()). May be called repeatedly to
-    /// advance through multiple boundaries.
+    /// Runs until the first pause point at or after `boundary`: any
+    /// inter-event instant (the next live event strictly in the future),
+    /// including mid-layer with transfers in flight — no quiescence wait.
+    /// Returns true when paused (save() is now valid); false when the
+    /// workload completed first (the result is finalized, as after run()).
+    /// May be called repeatedly to advance through multiple boundaries.
     bool run_segment(cycle_t boundary);
 
     /// Segment-with-backlog variant for bounded workloads (fleet feedback
@@ -89,8 +92,9 @@ public:
     /// drained completely first (finalized, as after run()).
     bool run_segment_hold_dispatch(cycle_t hold_after);
 
-    /// Serializes the warm state. Valid while paused at a checkpoint
-    /// boundary or after completion; throws std::logic_error otherwise.
+    /// Serializes the warm state, including any in-flight inferences.
+    /// Valid while paused or after completion; throws std::logic_error
+    /// otherwise.
     scheduler_snapshot save() const;
 
     /// The finalized result (valid once run()/run_segment() completed).
@@ -147,6 +151,9 @@ private:
     void negotiate_pages(task& t, allocation_decision d);
     void grant_and_run(task& t, const allocation_decision& d);
     void run_layer(task& t, const mapping::mapping_candidate& cand);
+    /// Typed page_retry event handler: rebuilds the slot's armed
+    /// allocation decision and re-enters negotiate_pages.
+    void on_page_retry(task_id slot);
     void end_layer(task& t, cycle_t end);
     void end_inference(task& t, cycle_t end);
     void remap_cpt(task& t);
@@ -169,9 +176,10 @@ private:
     void fill_result();
     /// Fills result_ and marks the run finished.
     void finalize();
-    /// True at an instant eligible for save(): nothing queued or running
-    /// and the next live event strictly in the future.
-    bool at_checkpoint_boundary();
+    /// True at an instant eligible for save(): the next live event is
+    /// strictly in the future (work may be mid-flight — the typed-event
+    /// engine serializes it).
+    bool at_pause_point();
     void restore(const scheduler_snapshot& snap, resume_mode mode);
     std::uint64_t machine_fingerprint() const;
     std::uint64_t run_fingerprint() const;
@@ -185,6 +193,17 @@ private:
     std::vector<task> tasks_;
     std::vector<sim::address_map> addrs_;
     std::vector<bool> slot_busy_;
+
+    /// Armed Algorithm-1 page-negotiation retry per slot: the payload the
+    /// queued sched-channel page_retry event needs to rebuild its
+    /// allocation_decision (serializable, unlike the old retry closure).
+    struct pending_negotiation {
+        bool armed = false;
+        std::int32_t cand = -2;  ///< candidate_index in the layer's MCT
+        std::uint32_t pages = 0;
+        cycle_t timeout = never;
+    };
+    std::vector<pending_negotiation> neg_;
 
     std::vector<npu_id> free_cores_;
     std::deque<work_item> dispatch_queue_;

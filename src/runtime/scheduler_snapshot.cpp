@@ -36,7 +36,32 @@ std::vector<std::uint8_t> scheduler_snapshot::encode() const {
         w.i32(q.slot);
     }
 
+    w.u64(running.size());
+    for (const auto& rs : running) {
+        w.i32(rs.slot);
+        w.str(rs.model);
+        w.u32(rs.current_layer);
+        w.u64(rs.cores.size());
+        for (const npu_id c : rs.cores) w.i32(c);
+        w.u64(rs.core_busy_since.size());
+        for (const cycle_t c : rs.core_busy_since) w.u64(c);
+        w.u64(rs.arrival);
+        w.u64(rs.started);
+        w.u64(rs.deadline);
+        w.u64(rs.t_next);
+        w.u32(rs.p_next);
+        w.b(rs.lbm_enabled);
+        w.u32(rs.lbm_block);
+        w.u64(rs.dram_bytes_mark);
+        w.b(rs.neg_armed);
+        w.i32(rs.neg_cand);
+        w.u32(rs.neg_pages);
+        w.u64(rs.neg_timeout);
+    }
+
     w.blob(machine);
+    w.blob(engine);
+    w.blob(typed_events);
     w.blob(telemetry);
     w.blob(controller);
     w.blob(workload);
@@ -50,6 +75,11 @@ scheduler_snapshot scheduler_snapshot::decode(const std::uint8_t* data,
     if (r.u32() != magic)
         throw snapshot_error("not a scheduler snapshot (bad magic)");
     const std::uint32_t v = r.u32();
+    if (v == 1)
+        throw snapshot_error(
+            "snapshot version 1 is the legacy quiescent-boundary format "
+            "(pre-typed-event engine) and cannot be resumed; re-create the "
+            "snapshot with this build");
     if (v != version)
         throw snapshot_error("snapshot version mismatch: have " +
                              std::to_string(v) + ", expected " +
@@ -91,7 +121,36 @@ scheduler_snapshot scheduler_snapshot::decode(const std::uint8_t* data,
         q.slot = r.i32();
     }
 
+    const std::uint64_t nrunning = r.count(4 + 8 + 4 + 8 * 2 + 8 * 6 + 4 * 3 +
+                                           1 * 2 + 8 * 2 + 4);
+    s.running.resize(nrunning);
+    for (auto& rs : s.running) {
+        rs.slot = r.i32();
+        rs.model = r.str();
+        rs.current_layer = r.u32();
+        const std::uint64_t nc = r.count(4);
+        rs.cores.resize(nc);
+        for (auto& c : rs.cores) c = r.i32();
+        const std::uint64_t nb = r.count(8);
+        rs.core_busy_since.resize(nb);
+        for (auto& c : rs.core_busy_since) c = r.u64();
+        rs.arrival = r.u64();
+        rs.started = r.u64();
+        rs.deadline = r.u64();
+        rs.t_next = r.u64();
+        rs.p_next = r.u32();
+        rs.lbm_enabled = r.b();
+        rs.lbm_block = r.u32();
+        rs.dram_bytes_mark = r.u64();
+        rs.neg_armed = r.b();
+        rs.neg_cand = r.i32();
+        rs.neg_pages = r.u32();
+        rs.neg_timeout = r.u64();
+    }
+
     s.machine = r.blob();
+    s.engine = r.blob();
+    s.typed_events = r.blob();
     s.telemetry = r.blob();
     s.controller = r.blob();
     s.workload = r.blob();

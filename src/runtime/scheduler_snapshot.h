@@ -1,10 +1,9 @@
 // Serializable warm state of a paused (or finished) runtime::scheduler.
 //
-// A snapshot is taken at a checkpoint boundary — an instant with no queued
-// or running work, so the only pending simulation events are future
-// arrivals (owned by the workload generator's cursor) and the re-armable
-// bandwidth-epoch timer. Everything else the simulation's future depends on
-// is captured here:
+// Since the typed-event refactor a snapshot can be taken at an *arbitrary*
+// cycle — mid-layer, with DMA chunks in flight and stores pending — not
+// only at quiescent instants. Everything the simulation's future depends
+// on is captured:
 //   * the clock, the event-queue tie-break counter and the pending
 //     bandwidth-epoch timer (time + sequence, so same-cycle ordering
 //     replays bit for bit);
@@ -14,13 +13,21 @@
 //   * scheduler bookkeeping — per-slot inference counts, the NPU free-core
 //     stack (release order matters for future dispatch), the admission
 //     queue, telemetry epoch marks, the adaptive controller's loop state;
+//   * the in-flight execution state — one `running_slot` per busy task
+//     (model, layer cursor, core group, QoS deadline, Algorithm-1
+//     globals, pending page negotiation), the layer engine's tile
+//     cursors and the DMA engine's flight records (the `engine` section),
+//     and the pending typed events of the queue (the `typed_events`
+//     section) under their saved sequence numbers;
 //   * opaque cursor sections for the workload generator and the
 //     completions recorded so far (exact resume only).
 //
 // encode()/decode() round-trip through a versioned little-endian byte
 // format; decode throws camdn::snapshot_error on truncation, bad magic or
-// version mismatch, and scheduler resume additionally validates the
-// fingerprints against the resuming configuration.
+// version mismatch (version-1 snapshots from the pre-typed-event engine
+// are rejected with an explicit legacy message), and scheduler resume
+// additionally validates the fingerprints against the resuming
+// configuration.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +41,9 @@ namespace camdn::runtime {
 
 struct scheduler_snapshot {
     static constexpr std::uint32_t magic = 0x43534e50;  // "PNSC" on disk
-    static constexpr std::uint32_t version = 1;
+    /// Version 2: typed-event engine — adds the running-slot, engine and
+    /// typed-event sections and drops the quiescent-boundary requirement.
+    static constexpr std::uint32_t version = 2;
 
     // ---- identity / compatibility ----
     /// Hash of everything the machine state depends on (SoC geometry,
@@ -70,10 +79,7 @@ struct scheduler_snapshot {
     /// Per-core cumulative busy cycles.
     std::vector<std::uint64_t> core_busy_cycles;
 
-    /// Admitted-but-undispatched requests. Empty at run_segment's
-    /// quiescent boundaries (quiescence implies a drained queue);
-    /// non-empty when the pause came from run_segment_hold_dispatch,
-    /// which carries the backlog with true arrival stamps.
+    /// Admitted-but-undispatched requests, with true arrival stamps.
     struct queued_request {
         std::string model;  ///< model name, resolved against the catalog
         cycle_t arrival = 0;
@@ -81,8 +87,41 @@ struct scheduler_snapshot {
     };
     std::vector<queued_request> admission_queue;
 
+    /// One busy slot's mid-inference state. Empty at quiescent saves
+    /// (drained runs, hold-dispatch pauses); populated by mid-layer
+    /// pauses. The layer-engine tile cursor and DMA flights of these
+    /// slots live in the `engine` section.
+    struct running_slot {
+        task_id slot = no_task;
+        std::string model;  ///< resolved against the catalog on resume
+        std::uint32_t current_layer = 0;
+        /// Core group plus each core's assignment cycle (busy accounting).
+        std::vector<npu_id> cores;
+        std::vector<cycle_t> core_busy_since;
+        cycle_t arrival = 0;
+        cycle_t started = 0;
+        cycle_t deadline = never;
+        // Algorithm-1 globals (Tnext/Pnext; Palloc rebuilds from the pool).
+        cycle_t t_next = 0;
+        std::uint32_t p_next = 0;
+        bool lbm_enabled = false;
+        std::uint32_t lbm_block = 0;
+        std::uint64_t dram_bytes_mark = 0;
+        /// Pending Algorithm-1 page negotiation: when armed, a sched-channel
+        /// page_retry event is queued and these rebuild its decision
+        /// (candidate index in the layer's MCT, requested pages, absolute
+        /// timeout).
+        bool neg_armed = false;
+        std::int32_t neg_cand = 0;
+        std::uint32_t neg_pages = 0;
+        cycle_t neg_timeout = never;
+    };
+    std::vector<running_slot> running;
+
     // ---- opaque subsystem sections ----
     std::vector<std::uint8_t> machine;    ///< cache + pool + CPTs + DRAM + cores
+    std::vector<std::uint8_t> engine;     ///< layer-run cursors + DMA flights
+    std::vector<std::uint8_t> typed_events;  ///< pending typed queue entries
     std::vector<std::uint8_t> telemetry;  ///< bus counters + epoch history
     std::vector<std::uint8_t> controller; ///< feedback-controller loop state
     std::vector<std::uint8_t> workload;   ///< generator cursor (exact resume)

@@ -152,6 +152,141 @@ private:
     std::uint32_t live_slots_ = 0;
 };
 
+// Closed-loop + churn hybrid: the paper's N-slot closed loop (think time
+// included) whose model choice rotates with the churn window. The
+// within-window pick of slot s's j-th inference is pre-drawn from the
+// seed; only the window base depends on the dispatch cycle, so the same
+// simulated schedule always serves the same models while a slot's tenant
+// still swaps mid-run — each swap tears down the previous model's CPT and
+// region state under whatever adaptation is active.
+class closed_loop_churn_generator final : public workload_generator {
+public:
+    closed_loop_churn_generator(const std::vector<const model::model*>& models,
+                                std::uint32_t slots,
+                                std::uint32_t inferences_per_slot,
+                                std::uint64_t seed, cycle_t think_cycles,
+                                cycle_t interval_cycles, std::uint32_t active)
+        : models_(models),
+          inferences_per_slot_(inferences_per_slot),
+          think_cycles_(think_cycles),
+          interval_cycles_(std::max<cycle_t>(interval_cycles, 1)),
+          window_(std::min<std::size_t>(models.size(),
+                                        std::max<std::uint32_t>(active, 1))),
+          picks_(slots),
+          next_(slots, 0),
+          pending_(slots) {
+        rng r(seed);
+        for (auto& p : picks_) {
+            p.reserve(inferences_per_slot);
+            for (std::uint32_t j = 0; j < inferences_per_slot; ++j)
+                p.push_back(static_cast<std::uint32_t>(r.next_below(window_)));
+        }
+    }
+
+    void start(workload_control& ctl) override {
+        ctl_ = &ctl;
+        if (inferences_per_slot_ == 0) return;
+        live_slots_ = static_cast<std::uint32_t>(picks_.size());
+        for (std::size_t s = 0; s < picks_.size(); ++s)
+            ctl.submit(model_at(s, 0, ctl.now()), static_cast<task_id>(s));
+    }
+
+    void on_complete(workload_control& ctl, const completion_info& c) override {
+        next_[c.slot] += 1;
+        if (next_[c.slot] >= inferences_per_slot_) {
+            live_slots_ -= 1;
+            return;
+        }
+        if (think_cycles_ == 0) {
+            ctl.submit(model_at(c.slot, next_[c.slot], ctl.now()), c.slot);
+            return;
+        }
+        auto& p = pending_[c.slot];
+        p.armed = true;
+        p.when = c.end + think_cycles_;
+        p.seq = ctl.at(p.when, [this, slot = c.slot] { fire(slot); });
+    }
+
+    bool exhausted() const override { return live_slots_ == 0; }
+
+    // ---- checkpoint support (same cursor shape as closed_loop) ----
+
+    bool checkpointable() const override { return true; }
+
+    void save_state(snapshot_writer& w) const override {
+        w.u32(live_slots_);
+        w.u64(next_.size());
+        for (const std::uint32_t n : next_) w.u32(n);
+        w.u64(pending_.size());
+        for (const auto& p : pending_) {
+            w.b(p.armed);
+            w.u64(p.when);
+            w.u64(p.seq);
+        }
+    }
+
+    void restore_state(snapshot_reader& r) override {
+        live_slots_ = r.u32();
+        if (r.count(4) != next_.size())
+            throw snapshot_error(
+                "snapshot closed-loop-churn slot-count mismatch");
+        for (auto& n : next_) n = r.u32();
+        if (r.count(17) != pending_.size())
+            throw snapshot_error(
+                "snapshot closed-loop-churn slot-count mismatch");
+        for (auto& p : pending_) {
+            p.armed = r.b();
+            p.when = r.u64();
+            p.seq = r.u64();
+        }
+    }
+
+    void resume(workload_control& ctl) override {
+        ctl_ = &ctl;
+        for (std::size_t s = 0; s < pending_.size(); ++s)
+            if (pending_[s].armed)
+                ctl.at_restored(pending_[s].when, pending_[s].seq,
+                                [this, slot = static_cast<task_id>(s)] {
+                                    fire(slot);
+                                });
+    }
+
+private:
+    /// The model slot `s` serves for its inference `j` when dispatched at
+    /// `now`: the churn phase selects the catalog window, the pre-drawn
+    /// pick selects within it.
+    const model::model* model_at(std::size_t s, std::uint32_t j,
+                                 cycle_t now) const {
+        const std::size_t phase =
+            static_cast<std::size_t>(now / interval_cycles_);
+        const std::size_t base = (phase * window_) % models_.size();
+        return models_[(base + picks_[s][j]) % models_.size()];
+    }
+
+    void fire(task_id slot) {
+        pending_[slot].armed = false;
+        ctl_->submit(model_at(slot, next_[slot], ctl_->now()), slot);
+    }
+
+    /// A scheduled think-time re-dispatch (so a checkpoint can re-arm it).
+    struct pending_submit {
+        bool armed = false;
+        cycle_t when = 0;
+        std::uint64_t seq = 0;
+    };
+
+    std::vector<const model::model*> models_;
+    std::uint32_t inferences_per_slot_;
+    cycle_t think_cycles_;
+    cycle_t interval_cycles_;
+    std::size_t window_;
+    std::vector<std::vector<std::uint32_t>> picks_;
+    std::vector<std::uint32_t> next_;
+    std::vector<pending_submit> pending_;
+    workload_control* ctl_ = nullptr;
+    std::uint32_t live_slots_ = 0;
+};
+
 // Shared arrival-list machinery of the rate-driven generators: fires a
 // pre-built (time, model) list against a bounded admission queue and
 // tracks queue-delay percentiles of whatever completes.
@@ -366,6 +501,12 @@ std::unique_ptr<workload_generator> make_workload_generator(
                 cfg.workload, cfg.arrival_rate_per_ms, cfg.churn_interval_ms,
                 cfg.churn_active_models, cfg.total_arrivals,
                 cfg.admission_queue_limit, cfg.seed);
+        case workload_kind::closed_loop_churn:
+            return std::make_unique<closed_loop_churn_generator>(
+                cfg.workload, cfg.co_located, cfg.inferences_per_slot,
+                cfg.seed,
+                cfg.think_time_ms > 0.0 ? ms_to_cycles(cfg.think_time_ms) : 0,
+                ms_to_cycles(cfg.churn_interval_ms), cfg.churn_active_models);
     }
     return nullptr;  // unreachable
 }

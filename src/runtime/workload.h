@@ -37,6 +37,12 @@ enum class workload_kind : std::uint8_t {
     /// Poisson arrivals whose active tenant set rotates every
     /// cfg.churn_interval_ms (models joining and leaving the SoC).
     tenant_churn,
+    /// Closed-loop + churn hybrid: N re-dispatching slots (with
+    /// cfg.think_time_ms) whose model choice follows the rotating
+    /// cfg.churn_active_models window at each dispatch instant — a slot's
+    /// tenant swaps mid-run, exercising the CPT teardown path under
+    /// adaptation.
+    closed_loop_churn,
 };
 
 /// Admission-queue capacity meaning "never drop". A capacity of 0 is a

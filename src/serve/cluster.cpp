@@ -148,15 +148,40 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     // Phase 2+3, per round: route the round's slice of the shared stream,
     // simulate each SoC's trace on the sweep pool, then (feedback only)
     // fold the round's telemetry rollups into router weights and possibly
-    // re-plan placement against the observed traffic mix.
+    // re-plan placement against the observed traffic mix (on a sustained
+    // SLA violation streak, or proactively on KL mix drift).
     const auto stream = build_stream(cfg, cum);
     std::vector<std::uint64_t> routed_per_model(M, 0);
+    std::vector<std::uint64_t> round_routed(M, 0);
     std::vector<runtime::scheduler_snapshot> carried;
+    // Mix the current placement was planned against (for the drift
+    // trigger); re-plans rebase it onto the observed mix.
+    std::vector<double> planned_mix = weights;
+
+    // Time-sliced rounds cover fixed windows of stream time and pause
+    // every SoC mid-flight at the boundary; drain-sliced rounds split the
+    // stream by count and run each slice to completion.
+    const bool time_sliced = fb_on && cfg.round_cycles > 0;
+    std::size_t stream_pos = 0;
 
     for (std::uint32_t round = 0; round < rounds; ++round) {
-        const std::size_t lo = stream.size() * round / rounds;
-        const std::size_t hi = stream.size() * (round + 1) / rounds;
+        std::size_t lo, hi;
+        if (time_sliced) {
+            lo = stream_pos;
+            if (round + 1 < rounds) {
+                const cycle_t window_end = cfg.round_cycles * (round + 1);
+                hi = lo;
+                while (hi < stream.size() && stream[hi].at < window_end) ++hi;
+            } else {
+                hi = stream.size();  // final round takes the tail
+            }
+            stream_pos = hi;
+        } else {
+            lo = stream.size() * round / rounds;
+            hi = stream.size() * (round + 1) / rounds;
+        }
 
+        std::fill(round_routed.begin(), round_routed.end(), 0u);
         std::vector<std::vector<runtime::trace_arrival>> traces(S);
         for (std::size_t i = lo; i < hi; ++i) {
             out.arrivals += 1;
@@ -168,6 +193,7 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             }
             traces[s].push_back({stream[i].at, cfg.models[stream[i].model]});
             routed_per_model[stream[i].model] += 1;
+            round_routed[stream[i].model] += 1;
         }
 
         std::vector<sim::experiment_config> ecs(S);
@@ -186,21 +212,27 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         // Warm-carry rounds resume every SoC from its previous round's
         // snapshot: cache warmth, DRAM timing, per-slot counters and the
         // clock all survive the boundary, so round r+1 starts on the state
-        // round r actually left behind. Each round still runs its slice to
-        // drain (the fleet barrier needs complete rollups); arrivals the
-        // previous round's tail overran are admitted at the resume instant
-        // — the carried-backlog effect cold restarts hid entirely.
+        // round r actually left behind. Drain-sliced rounds still run each
+        // slice to completion before the fleet barrier; time-sliced rounds
+        // pause every SoC at the round's wall-clock boundary with layers
+        // mid-flight (the typed-event engine serializes the in-air state),
+        // so long layers no longer stretch round boundaries — the carried
+        // snapshot resumes them mid-tile in the next round.
         // Single-shot runs and carry-disabled fleets stay on the cold path.
-        const bool carry = fb_on && cfg.carry_soc_state;
+        const bool carry = fb_on && (cfg.carry_soc_state || time_sliced);
         std::vector<sim::experiment_result> round_res;
         if (carry) {
             std::vector<const runtime::scheduler_snapshot*> in(S, nullptr);
             if (round > 0)
                 for (std::size_t s = 0; s < S; ++s) in[s] = &carried[s];
             const bool more_rounds = round + 1 < rounds;
+            std::vector<cycle_t> pause;
+            if (time_sliced && more_rounds)
+                pause.assign(S, cfg.round_cycles * (round + 1));
             std::vector<runtime::scheduler_snapshot> out;
             round_res = sim::run_sweep_segments(
-                ecs, in, more_rounds ? &out : nullptr, {}, cfg.threads);
+                ecs, in, more_rounds ? &out : nullptr, {}, cfg.threads,
+                pause);
             if (more_rounds) carried = std::move(out);
         } else {
             round_res = sim::run_sweep(ecs, cfg.threads);
@@ -213,24 +245,33 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
                 rollups.push_back(adapt::rollup_from(res, cfg.qos_scale));
             fb.observe(rollups);
 
-            if (fb.replacement_due()) {
+            // Re-plan against the observed cumulative mix (+1 smoothing
+            // keeps every model placeable and the weights positive).
+            auto replan = [&]() {
                 std::uint64_t total_routed = 0;
                 for (const auto n : routed_per_model) total_routed += n;
-                if (total_routed > 0) {
-                    // Re-plan against the observed mix (+1 smoothing keeps
-                    // every model placeable and the weights positive).
-                    replan_cfg.traffic_share.assign(M, 1.0);
-                    for (std::size_t m = 0; m < M; ++m)
-                        replan_cfg.traffic_share[m] +=
-                            static_cast<double>(routed_per_model[m]);
-                    placements.push_back(std::make_unique<placement>(
-                        plan_placement(replan_cfg)));
-                    router = std::make_unique<request_router>(
-                        replan_cfg, *placements.back());
-                    router->set_load_weights(&fb.weights());
-                    out.replacements += 1;
-                    out.resident_models = placements.back()->resident;
-                }
+                if (total_routed == 0) return false;
+                replan_cfg.traffic_share.assign(M, 1.0);
+                for (std::size_t m = 0; m < M; ++m)
+                    replan_cfg.traffic_share[m] +=
+                        static_cast<double>(routed_per_model[m]);
+                placements.push_back(
+                    std::make_unique<placement>(plan_placement(replan_cfg)));
+                router = std::make_unique<request_router>(replan_cfg,
+                                                          *placements.back());
+                router->set_load_weights(&fb.weights());
+                out.replacements += 1;
+                out.resident_models = placements.back()->resident;
+                planned_mix = traffic_weights(replan_cfg);
+                return true;
+            };
+
+            if (fb.replacement_due()) {
+                replan();
+            } else if (fb.drift_replan_due(planned_mix, round_routed)) {
+                // Proactive: the mix drifted from the plan even though no
+                // SoC has a violation streak yet.
+                if (replan()) out.drift_replacements += 1;
             }
         }
 

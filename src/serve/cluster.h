@@ -94,8 +94,18 @@ struct cluster_config {
     /// round boundary (runtime::resume_mode::warm), so round r+1 starts on
     /// round r's cache warmth, DRAM timing, clock and queue backlog instead
     /// of restarting every SoC from cold state. false reproduces the
-    /// PR 3 cold-restart behavior.
+    /// PR 3 cold-restart behavior (drain-sliced rounds only; time-sliced
+    /// rounds always carry).
     bool carry_soc_state = true;
+    /// Round slicing. 0 = drain-sliced (legacy): the stream splits into R
+    /// equal-count slices and every SoC runs its slice to drain before the
+    /// fleet barrier, so long layers stretch round boundaries arbitrarily.
+    /// > 0 = time-sliced: round r covers stream time
+    /// [r*round_cycles, (r+1)*round_cycles), every SoC pauses mid-flight at
+    /// the boundary (typed-event engine: DMA chunks and tiles still in
+    /// the air ride the snapshot), and the final round runs to drain.
+    /// Ignored without feedback rounds.
+    cycle_t round_cycles = 0;
     adapt::fleet_feedback_config feedback{};
     /// SLA definition for rollups and cluster_result::sla_rate: a
     /// completion meets SLA within qos_scale * its model's Table-I target.
@@ -157,8 +167,11 @@ struct cluster_result {
     std::uint64_t deadline_met = 0;
     /// Final router load weights (empty without feedback).
     std::vector<double> route_weights;
-    /// Re-placements triggered by sustained SLA violation.
+    /// Re-placements triggered (SLA violation streaks + mix drift).
     std::uint32_t replacements = 0;
+    /// Subset of `replacements` fired proactively by KL traffic-mix drift
+    /// (fleet_feedback_config::mix_kl_threshold).
+    std::uint32_t drift_replacements = 0;
 
     /// Fleet SLA: deadline_met over all arrivals — drops and unroutable
     /// requests count as violations.

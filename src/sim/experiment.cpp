@@ -50,7 +50,8 @@ experiment_result run_experiment(const experiment_config& cfg) {
 experiment_result run_experiment_segment(
     const experiment_config& cfg,
     const runtime::scheduler_snapshot* resume_from,
-    runtime::scheduler_snapshot* save_to, cycle_t hold_dispatch_after) {
+    runtime::scheduler_snapshot* save_to, cycle_t hold_dispatch_after,
+    cycle_t pause_at) {
     experiment_config local = cfg;
     if (local.workload.empty()) {
         for (const auto& m : model::benchmark_models())
@@ -61,7 +62,10 @@ experiment_result run_experiment_segment(
                  ? std::make_unique<runtime::scheduler>(
                        local, *gen, *resume_from, runtime::resume_mode::warm)
                  : std::make_unique<runtime::scheduler>(local, *gen);
-    s->run_segment_hold_dispatch(hold_dispatch_after);
+    if (pause_at != never)
+        s->run_segment(pause_at);  // time-sliced: pause mid-flight
+    else
+        s->run_segment_hold_dispatch(hold_dispatch_after);
     // segment_result closes the boundary telemetry epoch before save(), so
     // the cut carries into the snapshot.
     experiment_result res = s->segment_result();

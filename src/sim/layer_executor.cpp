@@ -1,334 +1,23 @@
 #include "sim/layer_executor.h"
 
-#include <algorithm>
 #include <memory>
-#include <vector>
-
-#include "npu/dma_engine.h"
+#include <utility>
 
 namespace camdn::sim {
-
-namespace {
-
-using npu::transfer_request;
-using req_kind = npu::transfer_request::kind;
-
-/// Bytes of element `i` of `total` when `bytes` is split as evenly as
-/// possible (difference-of-prefixes, so the chunks sum exactly).
-std::uint64_t chunk_bytes(std::uint64_t bytes, std::uint64_t i,
-                          std::uint64_t total) {
-    return bytes * (i + 1) / total - bytes * i / total;
-}
-std::uint64_t chunk_offset(std::uint64_t bytes, std::uint64_t i,
-                           std::uint64_t total) {
-    return bytes * i / total;
-}
-
-/// Pseudo-tile size for streaming operators (elementwise/pool/dwconv):
-/// pipelining granularity, not a residency constraint.
-constexpr std::uint64_t stream_tile_bytes = kib(256);
-
-struct layer_run : std::enable_shared_from_this<layer_run> {
-    soc& machine;
-    camdn_features feat;
-    runtime::task& t;
-    mapping::mapping_candidate cand;
-    const model::layer& l;
-    address_map addrs;
-    std::function<void(cycle_t)> on_done;
-
-    bool use_region = false;
-    std::uint32_t group = 1;  // cores running this task
-
-    std::uint64_t tiles_m = 1, tiles_n = 1, total = 1, idx = 0;
-    std::uint64_t compute_total = 0;
-    cycle_t issue_cycle = 0;
-
-    cycle_t compute_end_prev = 0;
-    cycle_t compute_end_prev2 = 0;
-    std::uint64_t pending_stores = 0;
-    bool all_issued = false;
-    cycle_t final_end = 0;
-    bool done_fired = false;
-
-    // vcaddr layout inside the model's region.
-    addr_t w_vc = 0, in_vc = 0;
-    addr_t lbm_in_vc = 0, lbm_out_vc = 0, lbm_res_vc = 0;
-    bool residual_from_region = false;
-
-    layer_run(soc& m, const camdn_features& f, runtime::task& task,
-              const mapping::mapping_candidate& c, const address_map& a,
-              std::function<void(cycle_t)> cb)
-        : machine(m),
-          feat(f),
-          t(task),
-          cand(c),
-          l(task.mdl->layers[task.current_layer]),
-          addrs(a),
-          on_done(std::move(cb)) {}
-
-    void start() {
-        use_region = is_camdn(machine.active_policy());
-        group = std::max<std::uint32_t>(
-            1, static_cast<std::uint32_t>(t.cores.size()));
-
-        const bool dense = l.kind == model::layer_kind::conv ||
-                           l.kind == model::layer_kind::gemm;
-        if (dense) {
-            tiles_m = ceil_div(l.m, cand.tm);
-            tiles_n = ceil_div(l.n, cand.tn);
-        } else {
-            const std::uint64_t span =
-                std::max(l.input_bytes, l.output_bytes);
-            tiles_m = std::max<std::uint64_t>(
-                1, ceil_div(span, stream_tile_bytes));
-            tiles_n = 1;
-        }
-        total = tiles_m * tiles_n;
-        compute_total = cand.compute_cycles / group;
-
-        // Region layout. LWM: pinned weights then pinned input. LBM: the
-        // block arena laid out by layout_block.
-        if (cand.is_lbm) {
-            const auto& block = t.mapping->block_of_layer(t.current_layer);
-            lbm_out_vc = block.offset_of(t.current_layer);
-            if (cand.input_from_region)
-                lbm_in_vc = block.offset_of(t.current_layer - 1);
-            const std::int32_t res = l.residual_from;
-            if (res >= 0 &&
-                mapping::residual_in_block(*t.mdl, t.current_layer, block)) {
-                residual_from_region = true;
-                lbm_res_vc = block.offset_of(static_cast<std::uint32_t>(res));
-            }
-        } else {
-            w_vc = 0;
-            in_vc = round_up(cand.weights_pinned_bytes, line_bytes);
-        }
-
-        issue_cycle = machine.eq().now();
-        compute_end_prev = machine.eq().now();
-        compute_end_prev2 = machine.eq().now();
-        next_tile();
-    }
-
-    // ---- request construction -------------------------------------------
-
-    /// Duplicated (per-core) or multicast read according to features.
-    void push_read(std::vector<transfer_request>& out, req_kind kind,
-                   addr_t addr, addr_t dram_addr, std::uint64_t nlines,
-                   bool shareable) {
-        if (nlines == 0) return;
-        transfer_request r;
-        r.op = kind;
-        r.task = t.id;
-        r.addr = addr;
-        r.dram_addr = dram_addr;
-        r.nlines = nlines;
-        if (group > 1 && shareable) {
-            const bool can_multicast =
-                use_region && feat.multicast &&
-                (kind == req_kind::region_read || kind == req_kind::bypass_read);
-            if (can_multicast) {
-                r.group_size = group;
-                out.push_back(r);
-                return;
-            }
-            // No combining: every core issues its own copy.
-            for (std::uint32_t g = 0; g < group; ++g) out.push_back(r);
-            return;
-        }
-        out.push_back(r);
-    }
-
-    req_kind stream_read_kind() const {
-        if (!use_region) return req_kind::transparent_read;
-        return feat.bypass ? req_kind::bypass_read : req_kind::transparent_read;
-    }
-    req_kind stream_write_kind() const {
-        if (!use_region) return req_kind::transparent_write;
-        return feat.bypass ? req_kind::bypass_write : req_kind::transparent_write;
-    }
-
-    /// Emits the requests for a [off, off+bytes) slice of a tensor whose
-    /// first `pinned` bytes live in the region at `vc_base`. The pinned
-    /// prefix fills on its first pass and is re-read from the region after;
-    /// the streamed suffix uses the policy's stream path every pass.
-    void push_split_read(std::vector<transfer_request>& reqs,
-                         std::uint64_t off, std::uint64_t bytes,
-                         std::uint64_t pinned, addr_t vc_base, addr_t dram_base,
-                         bool first_pass, bool shareable) {
-        if (bytes == 0) return;
-        const bool pin_path = use_region && pinned > 0 && off < pinned;
-        if (pin_path) {
-            const std::uint64_t pin_bytes = std::min(bytes, pinned - off);
-            push_read(reqs,
-                      first_pass ? req_kind::region_fill : req_kind::region_read,
-                      vc_base + off, dram_base + off, lines_for(pin_bytes),
-                      !first_pass && shareable);
-            off += pin_bytes;
-            bytes -= pin_bytes;
-            if (bytes == 0) return;
-        }
-        push_read(reqs, stream_read_kind(), dram_base + off, dram_base + off,
-                  lines_for(bytes), shareable);
-    }
-
-    std::vector<transfer_request> build_loads(std::uint64_t mi,
-                                              std::uint64_t ni) {
-        std::vector<transfer_request> reqs;
-        const std::uint32_t li = t.current_layer;
-
-        // Parameters (or the attention second operand). Re-fetched once per
-        // mi pass — or loaded once when weight-stationary (weight_passes
-        // == 1 with multiple mi tiles); identical across cores -> shareable.
-        const bool w_stationary = cand.weight_passes == 1 && tiles_m > 1;
-        if (l.weight_bytes > 0 && !(w_stationary && mi > 0)) {
-            const std::uint64_t bytes = chunk_bytes(l.weight_bytes, ni, tiles_n);
-            const std::uint64_t off = chunk_offset(l.weight_bytes, ni, tiles_n);
-            push_split_read(reqs, off, bytes, cand.weights_pinned_bytes, w_vc,
-                            addrs.weights(li), /*first_pass=*/mi == 0,
-                            /*shareable=*/true);
-        }
-
-        // Input activations. Re-fetched once per ni pass — or kept resident
-        // when input-stationary; cores work on disjoint m -> not shareable.
-        const bool in_stationary = cand.input_passes == 1 && tiles_n > 1;
-        if (l.input_bytes > 0 && !(in_stationary && ni > 0)) {
-            const std::uint64_t bytes = chunk_bytes(l.input_bytes, mi, tiles_m);
-            const std::uint64_t off = chunk_offset(l.input_bytes, mi, tiles_m);
-            const addr_t dram =
-                li == 0 ? addrs.model_input() : addrs.activation(li - 1);
-            if (cand.input_from_region) {
-                push_read(reqs, req_kind::region_read, lbm_in_vc + off,
-                          dram + off, lines_for(bytes), false);
-            } else {
-                push_split_read(reqs, off, bytes, cand.input_pinned_bytes,
-                                in_vc, dram, /*first_pass=*/ni == 0,
-                                /*shareable=*/false);
-            }
-        }
-
-        // Residual second operand (elementwise adds), chunked like input.
-        if (l.residual_from >= 0 && l.output_bytes > 0) {
-            const std::uint64_t bytes = chunk_bytes(l.output_bytes, mi, tiles_m);
-            const std::uint64_t off = chunk_offset(l.output_bytes, mi, tiles_m);
-            const addr_t dram =
-                addrs.activation(static_cast<std::uint32_t>(l.residual_from)) +
-                off;
-            if (residual_from_region && cand.is_lbm) {
-                push_read(reqs, req_kind::region_read, lbm_res_vc + off, dram,
-                          lines_for(bytes), false);
-            } else {
-                push_read(reqs, stream_read_kind(), dram, dram,
-                          lines_for(bytes), false);
-            }
-        }
-        return reqs;
-    }
-
-    transfer_request build_store(std::uint64_t tile) {
-        transfer_request r;
-        r.task = t.id;
-        const std::uint64_t bytes = chunk_bytes(l.output_bytes, tile, total);
-        const std::uint64_t off = chunk_offset(l.output_bytes, tile, total);
-        r.nlines = lines_for(bytes);
-        const addr_t dram = addrs.activation(t.current_layer) + off;
-        if (cand.output_to_region && use_region) {
-            r.op = req_kind::region_write;
-            r.addr = lbm_out_vc + off;
-            r.dram_addr = dram;
-        } else {
-            r.op = stream_write_kind();
-            r.addr = dram;
-            r.dram_addr = dram;
-        }
-        return r;
-    }
-
-    // ---- pipeline ---------------------------------------------------------
-
-    void next_tile() {
-        if (idx >= total) {
-            all_issued = true;
-            maybe_finish();
-            return;
-        }
-        // Double buffering: tile idx may load only once tile idx-2 has
-        // finished computing (its buffer is free).
-        const cycle_t gate = compute_end_prev2;
-        if (machine.eq().now() < gate) {
-            auto self = shared_from_this();
-            machine.eq().schedule(gate, [self]() { self->next_tile(); });
-            return;
-        }
-
-        const std::uint64_t tile = idx++;
-        const std::uint64_t mi = tile / tiles_n;
-        const std::uint64_t ni = tile % tiles_n;
-        const auto reqs = build_loads(mi, ni);
-        if (reqs.empty()) {
-            loads_complete(tile, machine.eq().now());
-            return;
-        }
-        // A tile's tensor transfers run concurrently (independent DMA
-        // queues); the tile is loaded when the last of them retires.
-        auto remaining = std::make_shared<std::size_t>(reqs.size());
-        auto latest = std::make_shared<cycle_t>(machine.eq().now());
-        auto self = shared_from_this();
-        for (const auto& r : reqs) {
-            machine.dma().submit(r, [self, remaining, latest,
-                                     tile](cycle_t done) {
-                *latest = std::max(*latest, done);
-                if (--*remaining == 0) self->loads_complete(tile, *latest);
-            });
-        }
-    }
-
-    void loads_complete(std::uint64_t tile, cycle_t load_done) {
-        const std::uint64_t tile_cycles =
-            compute_total / total + (tile + 1 == total ? compute_total % total : 0);
-        const cycle_t compute_start = std::max(load_done, compute_end_prev);
-        const cycle_t compute_end = compute_start + tile_cycles;
-        compute_end_prev2 = compute_end_prev;
-        compute_end_prev = compute_end;
-        final_end = std::max(final_end, compute_end);
-
-        // Store fires when the tile's compute retires.
-        ++pending_stores;
-        auto self = shared_from_this();
-        const transfer_request store = build_store(tile);
-        machine.eq().schedule(compute_end, [self, store]() {
-            self->machine.dma().submit(store, [self](cycle_t done) {
-                self->final_end = std::max(self->final_end, done);
-                --self->pending_stores;
-                self->maybe_finish();
-            });
-        });
-
-        next_tile();
-    }
-
-    void maybe_finish() {
-        if (done_fired || !all_issued || pending_stores > 0) return;
-        done_fired = true;
-        const cycle_t end = std::max(final_end, machine.eq().now());
-        if (auto* bus = machine.telemetry())
-            bus->on_layer_retired(t.id, compute_total,
-                                  end > issue_cycle ? end - issue_cycle : 0,
-                                  cand.is_lbm);
-        on_done(end);
-    }
-};
-
-}  // namespace
 
 void execute_layer(soc& machine, const camdn_features& features,
                    runtime::task& t, const mapping::mapping_candidate& cand,
                    const address_map& addrs,
                    std::function<void(cycle_t)> on_done) {
-    auto run = std::make_shared<layer_run>(machine, features, t, cand, addrs,
-                                           std::move(on_done));
-    run->start();
+    auto& engine = machine.layers();
+    engine.set_features(features);
+    // The shared_ptr makes the hook copyable (layer_engine::done_fn is a
+    // std::function); only the matching slot forwards the completion.
+    auto cb = std::make_shared<std::function<void(cycle_t)>>(std::move(on_done));
+    engine.set_on_done([cb, slot = t.id](task_id done_slot, cycle_t end) {
+        if (done_slot == slot) (*cb)(end);
+    });
+    engine.start(t, cand, addrs);
 }
 
 }  // namespace camdn::sim

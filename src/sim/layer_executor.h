@@ -1,18 +1,5 @@
-// Tile-level execution of one layer under a chosen mapping candidate.
-//
-// The executor walks the candidate's (mi, ni) tile grid with a
-// double-buffered three-phase pipeline per tile (LOAD -> COMPUTE -> STORE):
-// loads of tile i+1 overlap compute of tile i, and the loader never runs
-// more than one tile ahead of compute (two scratchpad buffers). All traffic
-// flows through the DMA engine in chunks, so concurrently running cores
-// contend realistically in the DRAM banks and cache slices.
-//
-// Path selection:
-//   * baseline policies stream everything through the transparent cache;
-//   * CaMDN policies fill pinned tensors into the model's region once and
-//     re-read them from cache, bypass non-reusable streams around the
-//     cache, keep LBM intermediates region-resident, and multicast the
-//     parameter reads of multi-core tasks.
+// One-shot convenience over the typed-event layer engine
+// (sim/layer_engine.h), which owns the tile-level execution state machine.
 #pragma once
 
 #include <functional>
@@ -27,6 +14,11 @@ namespace camdn::sim {
 /// Executes layer `t.current_layer` of `t` on `machine` using `cand`.
 /// `on_done` fires once every load, compute and store of the layer has
 /// retired, with the completion cycle.
+///
+/// Convenience for unit tests and standalone probes: each call re-wires
+/// the machine's layer engine (features + completion hook), so drive at
+/// most one call's runs at a time per machine — long-lived callers like
+/// the scheduler wire the engine once and call layer_engine::start.
 void execute_layer(soc& machine, const camdn_features& features,
                    runtime::task& t, const mapping::mapping_candidate& cand,
                    const address_map& addrs,

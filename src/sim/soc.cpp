@@ -19,6 +19,7 @@ soc::soc(const soc_config& config, policy pol)
     dram_ = std::make_unique<dram::dram_system>(config_.dram);
     cache_ = std::make_unique<cache::shared_cache>(config_.cache, *dram_);
     dma_ = std::make_unique<npu::dma_engine>(eq_, *cache_);
+    layers_ = std::make_unique<layer_engine>(*this);
 
     // Way-mask register: CaMDN partitions the transparent path down to the
     // CPU ways; baselines run the whole cache transparently.

@@ -1,5 +1,6 @@
-// The simulated SoC: event queue, DRAM, sliced shared cache, NPU cores and
-// the DMA engine, wired per soc_config and configured for a policy.
+// The simulated SoC: event queue, DRAM, sliced shared cache, NPU cores,
+// the DMA engine and the typed-event layer engine, wired per soc_config
+// and configured for a policy.
 #pragma once
 
 #include <memory>
@@ -10,6 +11,7 @@
 #include "dram/dram_system.h"
 #include "npu/dma_engine.h"
 #include "npu/npu_core.h"
+#include "sim/layer_engine.h"
 #include "sim/soc_config.h"
 
 namespace camdn::sim {
@@ -25,6 +27,9 @@ public:
     cache::shared_cache& cache() { return *cache_; }
     const cache::shared_cache& cache() const { return *cache_; }
     npu::dma_engine& dma() { return *dma_; }
+    const npu::dma_engine& dma() const { return *dma_; }
+    layer_engine& layers() { return *layers_; }
+    const layer_engine& layers() const { return *layers_; }
 
     std::vector<npu::npu_core>& cores() { return cores_; }
     const std::vector<npu::npu_core>& cores() const { return cores_; }
@@ -47,6 +52,7 @@ private:
     std::unique_ptr<dram::dram_system> dram_;
     std::unique_ptr<cache::shared_cache> cache_;
     std::unique_ptr<npu::dma_engine> dma_;
+    std::unique_ptr<layer_engine> layers_;
     std::vector<npu::npu_core> cores_;
     adapt::telemetry_bus* telemetry_ = nullptr;
 };

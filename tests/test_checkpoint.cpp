@@ -2,16 +2,20 @@
 //
 // Covers the resumable scheduler end to end:
 //   * resume equivalence — splitting a run at randomized (seeded)
-//     checkpoint boundaries, serializing, and resuming in a fresh
+//     *non-quiescent* cycles (mid-layer: tiles, DMA chunks and page
+//     negotiations in flight), serializing, and resuming in a fresh
 //     scheduler is bit-identical to the unsplit run (makespan, every
 //     completion record, cache/DRAM stats, queue delays, telemetry
 //     counters) for closed_loop (with think time), open_loop_poisson,
-//     open_loop_mmpp and tenant_churn workloads;
-//   * snapshot round-trip — encode -> decode -> re-encode is byte-equal,
-//     and malformed input (truncation, bad magic, version skew, trailing
-//     garbage, wrong configuration) is rejected with snapshot_error;
+//     open_loop_mmpp, tenant_churn and closed_loop_churn workloads;
+//   * snapshot round-trip — encode -> decode -> re-encode is byte-equal
+//     including the in-flight engine and typed-event sections, and
+//     malformed input (truncation, bad magic, version skew — legacy v1
+//     with an explicit message — trailing garbage, wrong configuration)
+//     is rejected with snapshot_error;
 //   * warm resume — a new trace segment on the warm machine keeps the
-//     clock and cache warmth;
+//     clock and cache warmth; time-sliced cluster rounds carry mid-layer
+//     state deterministically across sweep-pool widths;
 //   * the drained-run makespan fix — the cancellable bandwidth-epoch
 //     timer stops the MoCA epoch chain once the run drains, so the
 //     makespan is the last real event.
@@ -28,6 +32,7 @@
 #include "runtime/scheduler.h"
 #include "runtime/scheduler_snapshot.h"
 #include "runtime/workload.h"
+#include "serve/cluster.h"
 #include "sim/experiment.h"
 
 namespace camdn {
@@ -114,13 +119,16 @@ void expect_identical(const experiment_result& a, const experiment_result& b) {
 
 // ---- split-run driver -------------------------------------------------
 
-/// Runs `cfg` in segments: at each boundary the run pauses (when a
-/// checkpoint boundary at/after it exists before completion), the state is
-/// serialized to bytes, decoded, and resumed in a brand-new scheduler with
-/// a brand-new generator. Returns the final result; counts actual pauses.
+/// Runs `cfg` in segments: at each boundary the run pauses (when a pause
+/// point at/after it exists before completion), the state is serialized to
+/// bytes, decoded, and resumed in a brand-new scheduler with a brand-new
+/// generator. Returns the final result; counts actual pauses and — the
+/// typed-event engine's whole point — the pauses taken mid-flight, with
+/// inferences running and layers split mid-tile.
 experiment_result run_split(const experiment_config& cfg,
                             const std::vector<cycle_t>& boundaries,
-                            std::size_t* pauses = nullptr) {
+                            std::size_t* pauses = nullptr,
+                            std::size_t* midflight = nullptr) {
     auto gen = runtime::make_workload_generator(cfg);
     auto sched = std::make_unique<runtime::scheduler>(cfg, *gen);
     for (const cycle_t b : boundaries) {
@@ -128,6 +136,7 @@ experiment_result run_split(const experiment_config& cfg,
         if (pauses) ++*pauses;
         const std::vector<std::uint8_t> bytes = sched->save().encode();
         const scheduler_snapshot snap = scheduler_snapshot::decode(bytes);
+        if (midflight && !snap.running.empty()) ++*midflight;
         gen = runtime::make_workload_generator(cfg);
         sched = std::make_unique<runtime::scheduler>(cfg, *gen, snap,
                                                      resume_mode::exact);
@@ -166,11 +175,16 @@ void check_resume_equivalence(const experiment_config& cfg,
     const auto boundaries =
         seeded_boundaries(continuous.makespan, boundary_seed);
     std::size_t pauses = 0;
-    const experiment_result split = run_split(cfg, boundaries, &pauses);
-    // The workloads are tuned to quiesce between bursts, so a reasonable
-    // share of the boundaries must genuinely pause mid-run — otherwise the
-    // property degenerates to comparing two continuous runs.
+    std::size_t midflight = 0;
+    const experiment_result split =
+        run_split(cfg, boundaries, &pauses, &midflight);
+    // A reasonable share of the boundaries must genuinely pause mid-run —
+    // otherwise the property degenerates to comparing two continuous runs.
     EXPECT_GE(pauses, 3u) << "too few mid-run checkpoint boundaries";
+    // And most of those must be *non-quiescent*: the seeded cycles land
+    // inside layers, so the snapshots carry running inferences, layer-run
+    // cursors and DMA flights — the mid-layer property under test.
+    EXPECT_GE(midflight, 3u) << "too few mid-flight (non-quiescent) pauses";
     expect_identical(continuous, split);
 }
 
@@ -221,6 +235,38 @@ TEST(checkpoint, resume_equivalence_tenant_churn) {
     cfg.total_arrivals = 12;
     cfg.admission_queue_limit = 8;
     check_resume_equivalence(cfg, 404);
+}
+
+TEST(checkpoint, resume_equivalence_three_slots_mid_layer) {
+    // Three concurrent slots put three layer runs in one snapshot at once
+    // (regression: the engine-section record stride must match exactly, or
+    // multi-slot snapshots with little DMA state are rejected as
+    // truncated).
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.co_located = 3;
+    cfg.arrival_rate_per_ms = 2.0;  // saturating: all slots stay busy
+    cfg.total_arrivals = 15;
+    cfg.admission_queue_limit = runtime::unbounded_queue;
+    check_resume_equivalence(cfg, 606);
+}
+
+TEST(checkpoint, resume_equivalence_closed_loop_churn_hybrid) {
+    // The hybrid generator swaps a slot's model mid-run (CPT teardown
+    // under adaptation) while re-dispatching closed-loop with think time;
+    // mid-layer splits must still be bit-identical.
+    auto cfg = base_cfg();
+    cfg.kind = runtime::workload_kind::closed_loop_churn;
+    cfg.pol = sim::policy::camdn_adaptive;
+    cfg.workload = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+                    &model::model_by_abbr("RS."),
+                    &model::model_by_abbr("VT.")};
+    cfg.inferences_per_slot = 4;
+    cfg.think_time_ms = 1.0;
+    cfg.churn_interval_ms = 4.0;
+    cfg.churn_active_models = 2;
+    check_resume_equivalence(cfg, 505);
 }
 
 TEST(checkpoint, repeated_boundaries_round_trip_without_progress) {
@@ -275,6 +321,57 @@ TEST(checkpoint, snapshot_reencode_is_byte_identical) {
     EXPECT_FALSE(decoded.controller.empty());
     EXPECT_FALSE(decoded.workload.empty());
     EXPECT_GT(decoded.now, 0u);
+}
+
+TEST(checkpoint, mid_layer_snapshot_carries_in_flight_state) {
+    // Walk pause points until one lands with an inference mid-layer; the
+    // snapshot must then carry the running slot, a layer-run cursor or DMA
+    // flight in the engine section, and pending typed events — and still
+    // re-encode byte-identically.
+    const auto cfg = roundtrip_cfg();
+    auto gen = runtime::make_workload_generator(cfg);
+    runtime::scheduler sched(cfg, *gen);
+    scheduler_snapshot snap;
+    bool found = false;
+    for (cycle_t b = ms_to_cycles(0.5); sched.run_segment(b);
+         b += ms_to_cycles(0.25)) {
+        snap = sched.save();
+        if (!snap.running.empty()) {
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found) << "no pause point landed mid-inference";
+    EXPECT_FALSE(snap.engine.empty());
+    EXPECT_FALSE(snap.typed_events.empty());
+    const auto bytes = snap.encode();
+    EXPECT_EQ(bytes, scheduler_snapshot::decode(bytes).encode());
+
+    // The in-flight slot's busy cores are accounted: cores split between
+    // the free stack and the running records exactly.
+    std::size_t assigned = 0;
+    for (const auto& rs : snap.running) {
+        EXPECT_FALSE(rs.model.empty());
+        EXPECT_EQ(rs.cores.size(), rs.core_busy_since.size());
+        assigned += rs.cores.size();
+    }
+    EXPECT_EQ(snap.free_cores.size() + assigned, cfg.soc.npu.cores);
+}
+
+TEST(checkpoint, legacy_version1_snapshots_are_rejected_with_clear_error) {
+    const auto cfg = roundtrip_cfg();
+    auto bytes = mid_run_snapshot(cfg, ms_to_cycles(2.0)).encode();
+    // Rewrite the version field (little-endian u32 at offset 4) to 1.
+    bytes[4] = 1;
+    bytes[5] = bytes[6] = bytes[7] = 0;
+    try {
+        scheduler_snapshot::decode(bytes);
+        FAIL() << "legacy v1 snapshot accepted";
+    } catch (const snapshot_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("legacy"), std::string::npos) << what;
+    }
 }
 
 TEST(checkpoint, truncated_snapshots_are_rejected) {
@@ -523,6 +620,78 @@ TEST(checkpoint, hold_dispatch_carries_the_admission_queue) {
         EXPECT_LE(rec.arrival, 1003u);
         EXPECT_GE(rec.start, snap.now);  // served at/after the resume
     }
+}
+
+// ---- time-sliced fleet rounds (serve::run_cluster) --------------------
+
+serve::cluster_config time_sliced_cluster() {
+    serve::soc_instance_config inst;
+    inst.slots = 2;
+    inst.admission_queue_limit = 32;
+    auto cfg = serve::uniform_cluster(2, inst);
+    cfg.models = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+                  &model::model_by_abbr("RS.")};
+    cfg.arrival_rate_per_ms = 2.0;
+    cfg.total_arrivals = 48;
+    cfg.seed = 11;
+    cfg.feedback_rounds = 4;
+    cfg.round_cycles = ms_to_cycles(6.0);
+    cfg.telemetry = true;
+    cfg.threads = 1;
+    return cfg;
+}
+
+TEST(checkpoint, time_sliced_rounds_are_deterministic_across_pool_widths) {
+    auto cfg = time_sliced_cluster();
+    const auto a = serve::run_cluster(cfg);
+    cfg.threads = 4;
+    const auto b = serve::run_cluster(cfg);
+
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+    EXPECT_EQ(a.dropped_unroutable, b.dropped_unroutable);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.replacements, b.replacements);
+    ASSERT_EQ(a.per_soc.size(), b.per_soc.size());
+    for (std::size_t i = 0; i < a.per_soc.size(); ++i) {
+        EXPECT_EQ(a.per_soc[i].makespan, b.per_soc[i].makespan) << i;
+        EXPECT_EQ(a.per_soc[i].completions.size(),
+                  b.per_soc[i].completions.size())
+            << i;
+    }
+}
+
+TEST(checkpoint, time_sliced_rounds_account_for_every_arrival) {
+    // Rounds pause SoCs mid-layer, so intermediate per-SoC results hold
+    // partial work — but across all rounds every routed arrival either
+    // completes or is dropped at a full queue, exactly once.
+    const auto cfg = time_sliced_cluster();
+    const auto res = serve::run_cluster(cfg);
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    EXPECT_EQ(res.completed + res.dropped_queue + res.dropped_unroutable,
+              res.arrivals);
+    // The slicing is real: rounds beyond the first exist and carry work.
+    EXPECT_EQ(res.per_soc.size(), cfg.socs.size() * cfg.feedback_rounds);
+    // Intermediate rounds paused at their windows: some round boundary
+    // cut a SoC mid-run (its round makespan sits at the window edge while
+    // later rounds continue past it).
+    EXPECT_GT(res.makespan, cfg.round_cycles);
+}
+
+TEST(checkpoint, time_sliced_and_drain_sliced_complete_the_same_stream) {
+    auto ts = time_sliced_cluster();
+    auto ds = ts;
+    ds.round_cycles = 0;  // drain-sliced legacy rounds
+    const auto a = serve::run_cluster(ts);
+    const auto b = serve::run_cluster(ds);
+    // Same stream, same fleet: both serve every arrival (scheduling
+    // differs, so latencies may — the invariant is accounting).
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed + a.dropped_queue + a.dropped_unroutable,
+              a.arrivals);
+    EXPECT_EQ(b.completed + b.dropped_queue + b.dropped_unroutable,
+              b.arrivals);
 }
 
 // ---- drained-run makespan (cancellable bw-epoch timer) ----------------

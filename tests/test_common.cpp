@@ -187,6 +187,93 @@ TEST(event_queue, restore_now_moves_the_clock_of_an_empty_queue) {
     EXPECT_EQ(eq.now(), 1234u);
 }
 
+// ---- typed events ----
+
+TEST(event_queue, typed_events_dispatch_to_their_channel_in_seq_order) {
+    event_queue eq;
+    std::string order;
+    eq.set_handler(event_channel::dma, [&](const typed_event& ev) {
+        order += 'd';
+        order += static_cast<char>('0' + ev.a);
+    });
+    eq.set_handler(event_channel::layer,
+                   [&](const typed_event& ev) { order += 'L'; (void)ev; });
+    // Interleave closures and typed events at one cycle: the shared
+    // sequence counter orders them exactly by scheduling order.
+    eq.schedule(10, [&] { order += 'c'; });
+    eq.schedule_event(10, typed_event{0, 0, 1, 0});  // dma, a=1
+    eq.schedule_event(10, typed_event{1, 0, 0, 0});  // layer
+    eq.schedule(10, [&] { order += 'c'; });
+    eq.schedule_event(5, typed_event{0, 0, 2, 0});   // dma, earlier cycle
+    eq.run();
+    EXPECT_EQ(order, "d2cd1Lc");
+}
+
+TEST(event_queue, typed_events_round_trip_through_save_restore) {
+    event_queue eq;
+    std::string order;
+    auto wire = [&order](event_queue& q) {
+        q.set_handler(event_channel::dma, [&order](const typed_event& ev) {
+            order += 'd';
+            order += static_cast<char>('0' + ev.a);
+        });
+        q.set_handler(event_channel::sched, [&order](const typed_event& ev) {
+            order += 's';
+            order += static_cast<char>('0' + ev.b);
+        });
+    };
+    wire(eq);
+    eq.schedule_event(30, typed_event{0, 0, 1, 0});
+    eq.schedule_event(20, typed_event{2, 0, 0, 7});
+    eq.schedule_event(30, typed_event{0, 0, 2, 0});
+    EXPECT_EQ(eq.pending_typed(), 3u);
+    EXPECT_EQ(eq.pending_closures(), 0u);
+
+    snapshot_writer w;
+    eq.save_typed(w);
+    const auto bytes = w.take();
+
+    // A second save must produce identical bytes (sorted, not heap order).
+    snapshot_writer w2;
+    eq.save_typed(w2);
+    EXPECT_EQ(bytes, w2.bytes());
+
+    event_queue fresh;
+    wire(fresh);
+    fresh.restore_now(10);
+    {
+        snapshot_reader r(bytes);
+        fresh.restore_typed(r);
+        EXPECT_TRUE(r.done());
+    }
+    fresh.restore_next_seq(eq.next_seq());
+    fresh.run();
+    EXPECT_EQ(order.substr(0, 0), "");  // original queue never ran
+    EXPECT_EQ(order, "s7d1d2");
+    EXPECT_EQ(fresh.now(), 30u);
+}
+
+TEST(event_queue, typed_restore_rejects_unknown_channels) {
+    snapshot_writer w;
+    w.u64(1);       // one event
+    w.u64(10);      // when
+    w.u64(0);       // seq
+    w.u8(200);      // bogus channel
+    w.u8(0);        // kind
+    w.u64(0);       // a
+    w.u64(0);       // b
+    const auto bytes = w.take();
+    event_queue eq;
+    snapshot_reader r(bytes);
+    EXPECT_THROW(eq.restore_typed(r), snapshot_error);
+}
+
+TEST(event_queue, typed_dispatch_without_handler_throws) {
+    event_queue eq;
+    eq.schedule_event(1, typed_event{1, 0, 0, 0});  // layer: no handler
+    EXPECT_THROW(eq.run(), std::logic_error);
+}
+
 // ---- rng ----
 
 TEST(rng, deterministic_for_fixed_seed) {

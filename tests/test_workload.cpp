@@ -291,5 +291,54 @@ TEST(open_loop, works_with_every_policy) {
     }
 }
 
+// ---- closed-loop + churn hybrid ----
+
+experiment_config hybrid_cfg() {
+    experiment_config cfg;
+    cfg.pol = policy::camdn_full;  // CPT teardown path on model swaps
+    cfg.kind = runtime::workload_kind::closed_loop_churn;
+    cfg.workload = {&model::model_by_abbr("MB."), &model::model_by_abbr("EF."),
+                    &model::model_by_abbr("RS."),
+                    &model::model_by_abbr("VT.")};
+    cfg.co_located = 2;
+    cfg.inferences_per_slot = 6;
+    cfg.think_time_ms = 0.5;
+    cfg.churn_interval_ms = 4.0;
+    cfg.churn_active_models = 2;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(closed_loop_churn, completes_the_full_closed_loop_plan) {
+    const auto res = run_experiment(hybrid_cfg());
+    EXPECT_EQ(res.completions.size(), 12u);  // 2 slots x 6 inferences
+}
+
+TEST(closed_loop_churn, slots_swap_models_mid_run) {
+    const auto res = run_experiment(hybrid_cfg());
+    // The rotating window forces each slot through more than one tenant —
+    // every swap tears the previous model's CPT down under camdn_full.
+    std::set<std::string> slot0, all;
+    for (const auto& rec : res.completions) {
+        all.insert(rec.abbr);
+        if (rec.slot == 0) slot0.insert(rec.abbr);
+    }
+    EXPECT_GE(slot0.size(), 2u) << "slot 0 never changed model";
+    EXPECT_GE(all.size(), 3u) << "churn window never rotated";
+}
+
+TEST(closed_loop_churn, deterministic_and_think_time_stretches_makespan) {
+    const auto a = run_experiment(hybrid_cfg());
+    const auto b = run_experiment(hybrid_cfg());
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        EXPECT_EQ(a.completions[i].abbr, b.completions[i].abbr);
+        EXPECT_EQ(a.completions[i].end, b.completions[i].end);
+    }
+    auto slow = hybrid_cfg();
+    slow.think_time_ms = 2.0;
+    EXPECT_GT(run_experiment(slow).makespan, a.makespan);
+}
+
 }  // namespace
 }  // namespace camdn::sim

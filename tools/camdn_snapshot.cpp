@@ -1,0 +1,285 @@
+// camdn_snapshot — save/load/inspect scheduler snapshots as files.
+//
+// Snapshots were in-memory byte buffers until this tool: writing the
+// versioned encode() format to disk enables cross-process long-horizon
+// runs (pause a serving simulation in one process, resume it in another)
+// and crash recovery (periodically save, re-load after a crash). The file
+// *is* the encoded snapshot — same magic, version and fingerprints, so
+// decode rejects truncation, corruption and legacy versions exactly as
+// in-process restore does.
+//
+//   camdn_snapshot save <file> [--kind K] [--boundary CYCLES] [--seed N]
+//       runs the built-in demo scenario of K until the first pause point
+//       at/after the boundary (mid-layer: transfers may be in flight) and
+//       writes the snapshot to <file>;
+//   camdn_snapshot load <file> [--kind K] [--seed N]
+//       reconstructs the identical scenario, exact-resumes from the file
+//       and runs to completion (fingerprints must match the flags);
+//   camdn_snapshot inspect <file>
+//       prints the header, in-flight state and section sizes without
+//       simulating anything.
+//
+// Scenario kinds: closed, poisson, mmpp, churn, hybrid (closed-loop +
+// churn). The scenario is a pure function of the flags, so a file saved by
+// one process resumes bit-identically in another.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/model_zoo.h"
+#include "runtime/scheduler.h"
+#include "runtime/scheduler_snapshot.h"
+#include "runtime/workload.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using camdn::cycle_t;
+using camdn::runtime::scheduler_snapshot;
+
+struct options {
+    std::string command;
+    std::string file;
+    std::string kind = "poisson";
+    cycle_t boundary = camdn::ms_to_cycles(2.0);
+    std::uint64_t seed = 17;
+    std::uint32_t arrivals = 12;
+    std::uint32_t slots = 2;
+};
+
+void usage() {
+    std::cerr
+        << "usage: camdn_snapshot <save|load|inspect> <file>\n"
+           "         [--kind closed|poisson|mmpp|churn|hybrid]\n"
+           "         [--boundary CYCLES] [--seed N] [--arrivals N] "
+           "[--slots N]\n"
+           "save: run the demo scenario to the boundary, snapshot to file\n"
+           "load: exact-resume the scenario from file, run to completion\n"
+           "inspect: print header, in-flight state and section sizes\n";
+}
+
+bool parse(int argc, char** argv, options& opt) {
+    if (argc < 3) return false;
+    opt.command = argv[1];
+    opt.file = argv[2];
+    if ((argc - 3) % 2 != 0) return false;  // flag missing its value
+    for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string val = argv[i + 1];
+        if (flag == "--kind")
+            opt.kind = val;
+        else if (flag == "--boundary")
+            opt.boundary = std::stoull(val);
+        else if (flag == "--seed")
+            opt.seed = std::stoull(val);
+        else if (flag == "--arrivals")
+            opt.arrivals = static_cast<std::uint32_t>(std::stoul(val));
+        else if (flag == "--slots")
+            opt.slots = static_cast<std::uint32_t>(std::stoul(val));
+        else
+            return false;
+    }
+    return opt.command == "save" || opt.command == "load" ||
+           opt.command == "inspect";
+}
+
+/// The built-in demo scenario: a pure function of the flags, so save and
+/// load construct fingerprint-identical configurations across processes.
+camdn::sim::experiment_config demo_config(const options& opt) {
+    using camdn::runtime::workload_kind;
+    using camdn::sim::policy;
+    camdn::sim::experiment_config cfg;
+    cfg.workload = {&camdn::model::model_by_abbr("MB."),
+                    &camdn::model::model_by_abbr("EF.")};
+    cfg.co_located = opt.slots;
+    cfg.telemetry = true;
+    cfg.seed = opt.seed;
+    if (opt.kind == "closed") {
+        cfg.kind = workload_kind::closed_loop;
+        cfg.pol = policy::moca;
+        cfg.inferences_per_slot = opt.arrivals;
+        cfg.think_time_ms = 1.0;
+    } else if (opt.kind == "poisson") {
+        cfg.kind = workload_kind::open_loop_poisson;
+        cfg.pol = policy::camdn_full;
+        cfg.arrival_rate_per_ms = 1.0;
+        cfg.total_arrivals = opt.arrivals;
+        cfg.admission_queue_limit = 8;
+    } else if (opt.kind == "mmpp") {
+        cfg.kind = workload_kind::open_loop_mmpp;
+        cfg.pol = policy::camdn_adaptive;
+        cfg.arrival_rate_per_ms = 1.0;
+        cfg.mmpp_rate_scale = {0.25, 3.0};
+        cfg.mmpp_sojourn_ms = 3.0;
+        cfg.total_arrivals = opt.arrivals;
+        cfg.admission_queue_limit = camdn::runtime::unbounded_queue;
+    } else if (opt.kind == "churn") {
+        cfg.kind = workload_kind::tenant_churn;
+        cfg.pol = policy::camdn_full;
+        cfg.workload.push_back(&camdn::model::model_by_abbr("RS."));
+        cfg.workload.push_back(&camdn::model::model_by_abbr("VT."));
+        cfg.arrival_rate_per_ms = 0.6;
+        cfg.churn_interval_ms = 4.0;
+        cfg.churn_active_models = 2;
+        cfg.total_arrivals = opt.arrivals;
+        cfg.admission_queue_limit = 8;
+    } else if (opt.kind == "hybrid") {
+        cfg.kind = workload_kind::closed_loop_churn;
+        cfg.pol = policy::camdn_full;
+        cfg.workload.push_back(&camdn::model::model_by_abbr("RS."));
+        cfg.inferences_per_slot = opt.arrivals;
+        cfg.think_time_ms = 1.0;
+        cfg.churn_interval_ms = 4.0;
+        cfg.churn_active_models = 2;
+    } else {
+        throw std::invalid_argument("unknown scenario kind: " + opt.kind);
+    }
+    return cfg;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("short write to " + path);
+}
+
+int cmd_save(const options& opt) {
+    const auto cfg = demo_config(opt);
+    auto gen = camdn::runtime::make_workload_generator(cfg);
+    camdn::runtime::scheduler sched(cfg, *gen);
+    const bool paused = sched.run_segment(opt.boundary);
+    const scheduler_snapshot snap = sched.save();
+    const auto bytes = snap.encode();
+    write_file(opt.file, bytes);
+    std::cout << "saved " << bytes.size() << " bytes to " << opt.file
+              << (paused ? " (paused" : " (completed")
+              << " at cycle " << snap.now << ", " << snap.running.size()
+              << " inference(s) in flight, " << snap.admission_queue.size()
+              << " queued)\n";
+    return 0;
+}
+
+int cmd_load(const options& opt) {
+    const auto cfg = demo_config(opt);
+    const auto snap = scheduler_snapshot::decode(read_file(opt.file));
+    auto gen = camdn::runtime::make_workload_generator(cfg);
+    camdn::runtime::scheduler sched(cfg, *gen, snap,
+                                    camdn::runtime::resume_mode::exact);
+    const auto res = sched.run();
+    std::cout << "resumed from cycle " << snap.now << " and ran to cycle "
+              << res.makespan << ": " << res.completions.size()
+              << " completions, "
+              << res.dram_total_bytes / (1024.0 * 1024.0) << " MiB DRAM\n";
+    return 0;
+}
+
+int cmd_inspect(const options& opt) {
+    const auto bytes = read_file(opt.file);
+    const auto snap = scheduler_snapshot::decode(bytes);
+
+    std::cout << "camdn scheduler snapshot (" << bytes.size() << " bytes)\n"
+              << "  version:              " << scheduler_snapshot::version
+              << "\n"
+              << "  machine fingerprint:  0x" << std::hex
+              << snap.machine_fingerprint << "\n"
+              << "  run fingerprint:      0x" << snap.run_fingerprint
+              << std::dec << "\n"
+              << "  clock:                " << snap.now << " cycles\n"
+              << "  event seq:            " << snap.event_seq << "\n"
+              << "  slots:                " << snap.slots << "\n"
+              << "  bw timer:             "
+              << (snap.bw_timer_armed
+                      ? "armed at " + std::to_string(snap.bw_timer_when)
+                      : std::string("idle"))
+              << "\n"
+              << "  admission queue:      " << snap.admission_queue.size()
+              << " request(s)\n"
+              << "  in-flight inferences: " << snap.running.size() << "\n";
+    for (const auto& rs : snap.running) {
+        std::cout << "    slot " << rs.slot << ": " << rs.model << " layer "
+                  << rs.current_layer << ", " << rs.cores.size()
+                  << " core(s)"
+                  << (rs.neg_armed ? ", page negotiation pending" : "")
+                  << "\n";
+    }
+
+    // The engine section: layer-run cursors, then DMA flights. This
+    // mirrors the save_state layouts of sim::layer_engine and
+    // npu::dma_engine for the current snapshot version (decode above
+    // already rejected any other version); a parse failure here is
+    // reported without failing the inspect.
+    try {
+        if (!snap.engine.empty()) {
+            camdn::snapshot_reader r(snap.engine);
+            const std::uint64_t runs = r.u64();
+            for (std::uint64_t i = 0; i < runs; ++i) {
+                const std::int32_t slot = r.i32();
+                r.i32();  // candidate index
+                const std::uint64_t idx = r.u64();
+                r.u64();  // load_tile
+                const std::uint32_t loads = r.u32();
+                r.u64();  // load_latest
+                const std::uint64_t stores = r.u64();
+                r.u8();   // all_issued
+                for (int f = 0; f < 4; ++f) r.u64();  // horizons
+                std::cout << "  layer run (slot " << slot
+                          << "): tile cursor " << idx << ", " << loads
+                          << " load(s) and " << stores
+                          << " store(s) outstanding\n";
+            }
+            r.u64();  // next flight id
+            const std::uint64_t flights = r.u64();
+            std::cout << "  dma flights:          " << flights << "\n";
+        }
+        if (!snap.typed_events.empty()) {
+            camdn::snapshot_reader r(snap.typed_events);
+            const std::uint64_t n = r.u64();
+            std::cout << "  pending typed events: " << n << "\n";
+        }
+    } catch (const camdn::snapshot_error& e) {
+        std::cout << "  (engine section did not parse: " << e.what() << ")\n";
+    }
+
+    auto section = [](const char* name, const std::vector<std::uint8_t>& b) {
+        std::cout << "  section " << name << ": " << b.size() << " bytes\n";
+    };
+    section("machine     ", snap.machine);
+    section("engine      ", snap.engine);
+    section("typed_events", snap.typed_events);
+    section("telemetry   ", snap.telemetry);
+    section("controller  ", snap.controller);
+    section("workload    ", snap.workload);
+    section("results     ", snap.results);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    if (!parse(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    try {
+        if (opt.command == "save") return cmd_save(opt);
+        if (opt.command == "load") return cmd_load(opt);
+        return cmd_inspect(opt);
+    } catch (const std::exception& e) {
+        std::cerr << "camdn_snapshot: " << e.what() << "\n";
+        return 1;
+    }
+}
