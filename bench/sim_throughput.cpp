@@ -1,0 +1,309 @@
+// Raw simulator speed harness — the committed perf trajectory.
+//
+// Runs a fixed set of scenarios (single-SoC closed loop, open-loop
+// Poisson, multi-SoC fleet) and reports, per scenario: simulated cycles,
+// executed events, wall time, events/sec and simulated Mcycles/sec.
+// Mapping (the offline phase) is warmed before the timer starts, so the
+// numbers measure the event engine + machine model, not the mapper.
+//
+// Output rides the CAMDN_BENCH_JSON reporter (schema 2); each row carries
+// a "phase" tag (CAMDN_BENCH_PHASE, default "dev") so the committed
+// BENCH_sim_throughput.json holds the pre-/post-optimization trajectory:
+//   CAMDN_BENCH_PHASE=baseline CAMDN_BENCH_JSON=out.json ./sim_throughput
+//
+// Regression check (CI perf-smoke, no python needed):
+//   ./sim_throughput --check BENCH_sim_throughput.json
+// re-runs the scenarios and fails loudly when any measured events/sec
+// falls below (1 - tolerance) x the committed reference (the last
+// "optimized" row per scenario, else the last row). The tolerance is
+// generous by design — CI machines vary — and tunable via
+// CAMDN_PERF_TOLERANCE (fraction, default 0.6). REPRO_FAST=1 shrinks the
+// scenarios for smoke runs; the committed file carries both fast and full
+// rows, and the check compares against the matching variant.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "serve/cluster.h"
+#include "sim/mapping_registry.h"
+
+namespace {
+
+using namespace camdn;
+
+struct measurement {
+    std::string scenario;
+    std::uint64_t sim_cycles = 0;
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    std::uint32_t reps = 1;
+
+    double events_per_s() const {
+        return wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms * 1e-3)
+                             : 0.0;
+    }
+    double mcycles_per_s() const {
+        return wall_ms > 0.0
+                   ? static_cast<double>(sim_cycles) / (wall_ms * 1e-3) / 1e6
+                   : 0.0;
+    }
+};
+
+double now_ms() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/// Runs `body` `reps` times; returns (best wall ms, result of last run).
+/// The repeated runs double as a determinism check: every repetition must
+/// report identical simulated cycles and event counts.
+template <typename Fn>
+measurement time_scenario(const std::string& name, std::uint32_t reps,
+                          Fn body) {
+    measurement m;
+    m.scenario = name;
+    m.reps = reps;
+    for (std::uint32_t r = 0; r < reps; ++r) {
+        const double t0 = now_ms();
+        const auto [cycles, events] = body();
+        const double wall = now_ms() - t0;
+        if (r == 0) {
+            m.sim_cycles = cycles;
+            m.events = events;
+            m.wall_ms = wall;
+        } else {
+            if (cycles != m.sim_cycles || events != m.events) {
+                std::fprintf(stderr,
+                             "sim_throughput: %s is nondeterministic "
+                             "(rep %u: %llu cycles / %llu events, rep 0: "
+                             "%llu / %llu)\n",
+                             name.c_str(), r,
+                             static_cast<unsigned long long>(cycles),
+                             static_cast<unsigned long long>(events),
+                             static_cast<unsigned long long>(m.sim_cycles),
+                             static_cast<unsigned long long>(m.events));
+                std::exit(2);
+            }
+            m.wall_ms = std::min(m.wall_ms, wall);
+        }
+    }
+    return m;
+}
+
+sim::experiment_config base_experiment() {
+    sim::experiment_config cfg;
+    cfg.pol = sim::policy::camdn_full;
+    cfg.features = sim::camdn_features{};  // bypass + multicast + lbm on
+    cfg.workload = bench::zoo();
+    cfg.co_located = 8;
+    cfg.seed = 42;
+    return cfg;
+}
+
+measurement run_closed_loop(bool fast, std::uint32_t reps) {
+    auto cfg = base_experiment();
+    cfg.kind = runtime::workload_kind::closed_loop;
+    cfg.inferences_per_slot = fast ? 2 : 6;
+    return time_scenario("closed_loop", reps, [&cfg]() {
+        const auto res = sim::run_experiment(cfg);
+        return std::make_pair(res.makespan, res.events_executed);
+    });
+}
+
+measurement run_poisson(bool fast, std::uint32_t reps) {
+    auto cfg = base_experiment();
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.arrival_rate_per_ms = 4.0;
+    cfg.total_arrivals = fast ? 96 : 512;
+    cfg.admission_queue_limit = 64;
+    return time_scenario("poisson", reps, [&cfg]() {
+        const auto res = sim::run_experiment(cfg);
+        return std::make_pair(res.makespan, res.events_executed);
+    });
+}
+
+measurement run_fleet(bool fast, std::uint32_t reps) {
+    serve::cluster_config cfg = serve::uniform_cluster(4);
+    cfg.arrival_rate_per_ms = 8.0;
+    cfg.total_arrivals = fast ? 128 : 640;
+    cfg.seed = 42;
+    cfg.threads = 1;  // wall time measures one core, not the pool width
+    return time_scenario("fleet", reps, [&cfg]() {
+        const auto res = serve::run_cluster(cfg);
+        return std::make_pair(res.makespan, res.events_executed);
+    });
+}
+
+// ---- committed-baseline comparison ---------------------------------------
+//
+// The committed file is written by bench::json_reporter — a flat JSON
+// array, one object per line. The extractor below only needs to read that
+// shape back; it is not a general JSON parser.
+
+std::string get_str(const std::string& row, const std::string& key) {
+    const std::string pat = "\"" + key + "\": \"";
+    const auto at = row.find(pat);
+    if (at == std::string::npos) return "";
+    const auto from = at + pat.size();
+    const auto end = row.find('"', from);
+    return end == std::string::npos ? "" : row.substr(from, end - from);
+}
+
+double get_num(const std::string& row, const std::string& key) {
+    const std::string pat = "\"" + key + "\": ";
+    const auto at = row.find(pat);
+    if (at == std::string::npos) return 0.0;
+    return std::atof(row.c_str() + at + pat.size());
+}
+
+struct committed_row {
+    std::string scenario;
+    std::string phase;
+    std::string mode;
+    double events_per_s = 0.0;
+};
+
+std::vector<committed_row> load_committed(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "sim_throughput: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::vector<committed_row> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"bench\": \"sim_throughput\"") == std::string::npos)
+            continue;
+        committed_row r;
+        r.scenario = get_str(line, "scenario");
+        r.phase = get_str(line, "phase");
+        r.mode = get_str(line, "mode");
+        r.events_per_s = get_num(line, "events_per_s");
+        if (!r.scenario.empty() && r.events_per_s > 0.0) rows.push_back(r);
+    }
+    return rows;
+}
+
+/// Reference rate for one scenario: the last "optimized" row of the
+/// matching fast/full mode, else the last matching row of any phase.
+double reference_rate(const std::vector<committed_row>& rows,
+                      const std::string& scenario, const std::string& mode) {
+    double any = 0.0, optimized = 0.0;
+    for (const auto& r : rows) {
+        if (r.scenario != scenario || r.mode != mode) continue;
+        any = r.events_per_s;
+        if (r.phase == "optimized") optimized = r.events_per_s;
+    }
+    return optimized > 0.0 ? optimized : any;
+}
+
+double baseline_rate(const std::vector<committed_row>& rows,
+                     const std::string& scenario, const std::string& mode) {
+    for (const auto& r : rows)
+        if (r.scenario == scenario && r.mode == mode && r.phase == "baseline")
+            return r.events_per_s;
+    return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--check BENCH_sim_throughput.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const bool fast = bench::fast_mode();
+    const std::uint32_t reps = fast ? 2 : 3;
+    const char* phase_env = std::getenv("CAMDN_BENCH_PHASE");
+    const std::string phase = phase_env != nullptr ? phase_env : "dev";
+    const std::string mode = fast ? "fast" : "full";
+
+    bench::banner("Simulator raw throughput (" + mode + " scenarios, best of " +
+                  std::to_string(reps) + " reps)");
+
+    // Warm the mapping registry: the offline phase is not what this bench
+    // measures, and the first scenario must not pay for it.
+    {
+        const sim::soc_config soc{};
+        for (const auto* m : bench::zoo()) sim::mapping_for(*m, soc.mapper());
+    }
+
+    std::vector<measurement> results;
+    results.push_back(run_closed_loop(fast, reps));
+    results.push_back(run_poisson(fast, reps));
+    results.push_back(run_fleet(fast, reps));
+
+    std::printf("%-12s %14s %12s %10s %14s %12s\n", "scenario", "sim_cycles",
+                "events", "wall_ms", "events/s", "Mcycles/s");
+    for (const auto& m : results) {
+        std::printf("%-12s %14llu %12llu %10.1f %14.0f %12.1f\n",
+                    m.scenario.c_str(),
+                    static_cast<unsigned long long>(m.sim_cycles),
+                    static_cast<unsigned long long>(m.events), m.wall_ms,
+                    m.events_per_s(), m.mcycles_per_s());
+        bench::json_report(
+            "sim_throughput",
+            {bench::jstr("scenario", m.scenario), bench::jstr("phase", phase),
+             bench::jstr("mode", mode), bench::jint("reps", m.reps),
+             bench::jint("sim_cycles", m.sim_cycles),
+             bench::jint("events", m.events), bench::jnum("wall_ms", m.wall_ms),
+             bench::jnum("events_per_s", m.events_per_s()),
+             bench::jnum("mcycles_per_s", m.mcycles_per_s())});
+    }
+
+    if (check_path.empty()) return 0;
+
+    // ---- regression check against the committed trajectory ----
+    const auto rows = load_committed(check_path);
+    const char* tol_env = std::getenv("CAMDN_PERF_TOLERANCE");
+    const double tol = tol_env != nullptr ? std::atof(tol_env) : 0.6;
+    std::printf("\nPerf check vs %s (tolerance %.0f%%):\n", check_path.c_str(),
+                tol * 100.0);
+    bool ok = true;
+    for (const auto& m : results) {
+        const double ref = reference_rate(rows, m.scenario, mode);
+        if (ref <= 0.0) {
+            std::printf("  %-12s no committed %s reference — skipped\n",
+                        m.scenario.c_str(), mode.c_str());
+            continue;
+        }
+        const double floor = ref * (1.0 - tol);
+        const double measured = m.events_per_s();
+        const bool pass = measured >= floor;
+        ok = ok && pass;
+        const double base = baseline_rate(rows, m.scenario, mode);
+        std::printf(
+            "  %-12s measured %.0f ev/s vs committed %.0f (floor %.0f): %s",
+            m.scenario.c_str(), measured, ref, floor, pass ? "OK" : "FAIL");
+        if (base > 0.0)
+            std::printf("   [%.2fx over pre-optimization baseline]",
+                        measured / base);
+        std::printf("\n");
+    }
+    if (!ok) {
+        std::fprintf(stderr,
+                     "\nsim_throughput: PERF REGRESSION — measured events/sec "
+                     "fell below the committed floor (see numbers above). If "
+                     "this is a legitimate trade-off, refresh "
+                     "BENCH_sim_throughput.json and say so in the PR.\n");
+        return 1;
+    }
+    std::printf("perf check passed.\n");
+    return 0;
+}

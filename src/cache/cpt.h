@@ -63,6 +63,18 @@ private:
     cache_config config_;
     std::vector<entry> entries_;
     std::uint32_t mapped_ = 0;
+
+    // translate() runs once per NEC burst on the hot path; power-of-two
+    // geometries (every stock config) precompute shift/mask forms of its
+    // div/mod chain. Same quotients as the fallback, bit for bit.
+    bool pow2_geometry_ = false;
+    std::uint32_t page_shift_ = 0;
+    std::uint64_t page_mask_ = 0;
+    std::uint32_t slice_shift_ = 0;
+    std::uint64_t slice_mask_ = 0;
+    std::uint32_t ppw_shift_ = 0;   // pages_per_way
+    std::uint32_t ppw_mask_ = 0;
+    std::uint32_t sets_per_page_ = 0;
 };
 
 }  // namespace camdn::cache

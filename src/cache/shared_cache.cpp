@@ -5,6 +5,16 @@
 
 namespace camdn::cache {
 
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_of(std::uint64_t v) {
+    std::uint32_t s = 0;
+    while ((std::uint64_t{1} << s) < v) ++s;
+    return s;
+}
+}  // namespace
+
 shared_cache::shared_cache(const cache_config& config, dram::dram_system& dram)
     : config_(config),
       dram_(dram),
@@ -12,7 +22,14 @@ shared_cache::shared_cache(const cache_config& config, dram::dram_system& dram)
       transparent_ways_(config.ways),
       lines_(static_cast<std::size_t>(config.slices) * sets_ * config.ways),
       slice_free_(config.slices, 0),
-      pages_(config) {}
+      pages_(config) {
+    pow2_geometry_ = is_pow2(config_.slices) && is_pow2(sets_);
+    if (pow2_geometry_) {
+        slice_shift_ = log2_of(config_.slices);
+        slice_mask_ = config_.slices - 1;
+        set_mask_ = sets_ - 1;
+    }
+}
 
 void shared_cache::set_transparent_ways(std::uint32_t ways) {
     assert(ways >= 1 && ways <= config_.ways);
@@ -34,9 +51,13 @@ cycle_t shared_cache::occupy_striped(std::uint32_t start_slice,
     const std::uint32_t slices = config_.slices;
     const std::uint64_t base = nlines / slices;
     const std::uint64_t rem = nlines % slices;
+    const std::uint32_t start_mod = start_slice % slices;
     cycle_t done = arrival;
     for (std::uint32_t s = 0; s < slices; ++s) {
-        const std::uint32_t offset = (s + slices - start_slice % slices) % slices;
+        // s + slices - start_mod is in [1, 2*slices), so one conditional
+        // subtract replaces the modulo.
+        std::uint32_t offset = s + slices - start_mod;
+        if (offset >= slices) offset -= slices;
         const std::uint64_t n = base + (offset < rem ? 1 : 0);
         if (n == 0) continue;
         const cycle_t start = std::max(arrival, slice_free_[s]);
@@ -56,10 +77,14 @@ void shared_cache::bump_task(std::vector<std::uint64_t>& v, task_id task) {
 access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
                                                cycle_t arrival, task_id task) {
     const std::uint64_t line_id = paddr / line_bytes;
-    const std::uint32_t slice =
-        static_cast<std::uint32_t>(line_id % config_.slices);
-    const std::uint32_t set =
-        static_cast<std::uint32_t>((line_id / config_.slices) % sets_);
+    std::uint32_t slice, set;
+    if (pow2_geometry_) {
+        slice = static_cast<std::uint32_t>(line_id & slice_mask_);
+        set = static_cast<std::uint32_t>((line_id >> slice_shift_) & set_mask_);
+    } else {
+        slice = static_cast<std::uint32_t>(line_id % config_.slices);
+        set = static_cast<std::uint32_t>((line_id / config_.slices) % sets_);
+    }
 
     line_entry* chosen = nullptr;
     line_entry* invalid_way = nullptr;
@@ -147,14 +172,17 @@ std::uint64_t shared_cache::task_misses(task_id task) const {
 }
 
 cache_page_table& shared_cache::cpt(task_id task) {
-    auto it = cpts_.find(task);
-    if (it == cpts_.end()) {
-        it = cpts_.emplace(task, std::make_unique<cache_page_table>(config_)).first;
-    }
-    return *it->second;
+    assert(task >= 0 && "CPTs belong to real tasks");
+    const auto idx = static_cast<std::size_t>(task);
+    if (idx >= cpts_.size()) cpts_.resize(idx + 1);
+    if (!cpts_[idx]) cpts_[idx] = std::make_unique<cache_page_table>(config_);
+    return *cpts_[idx];
 }
 
-void shared_cache::destroy_cpt(task_id task) { cpts_.erase(task); }
+void shared_cache::destroy_cpt(task_id task) {
+    if (task >= 0 && static_cast<std::size_t>(task) < cpts_.size())
+        cpts_[task].reset();
+}
 
 cycle_t shared_cache::region_read(task_id task, addr_t vcaddr, cycle_t arrival) {
     ++stats_.region_reads;
@@ -356,14 +384,16 @@ void shared_cache::save_state(snapshot_writer& w) const {
     save_counter_vec(w, task_misses_);
     pages_.save_state(w);
 
-    std::vector<task_id> owners;
-    owners.reserve(cpts_.size());
-    for (const auto& [task, table] : cpts_) owners.push_back(task);
-    std::sort(owners.begin(), owners.end());
-    w.u64(owners.size());
-    for (const task_id t : owners) {
-        w.i32(t);
-        cpts_.at(t)->save_state(w);
+    // Live tables in ascending task order — the same bytes the old sorted
+    // owner walk produced.
+    std::uint64_t live = 0;
+    for (const auto& table : cpts_)
+        if (table) ++live;
+    w.u64(live);
+    for (std::size_t t = 0; t < cpts_.size(); ++t) {
+        if (!cpts_[t]) continue;
+        w.i32(static_cast<task_id>(t));
+        cpts_[t]->save_state(w);
     }
 }
 
@@ -397,8 +427,10 @@ void shared_cache::restore_state(snapshot_reader& r) {
     const std::uint64_t ncpts = r.count(12);
     for (std::uint64_t i = 0; i < ncpts; ++i) {
         const task_id t = r.i32();
+        if (t < 0) throw snapshot_error("snapshot CPT with negative task id");
         auto table = std::make_unique<cache_page_table>(config_);
         table->restore_state(r);
+        if (static_cast<std::size_t>(t) >= cpts_.size()) cpts_.resize(t + 1);
         cpts_[t] = std::move(table);
     }
 }

@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "adapt/telemetry.h"
@@ -180,12 +179,22 @@ private:
     dram::dram_system& dram_;
     std::uint32_t sets_ = 0;
     std::uint32_t transparent_ways_ = 0;
+    // Transparent lookup decodes slice/set once per line on the hot path;
+    // power-of-two geometries (every stock config) use shift/mask, which
+    // yields the same quotients as the div/mod fallback bit for bit.
+    bool pow2_geometry_ = false;
+    std::uint32_t slice_shift_ = 0;
+    std::uint64_t slice_mask_ = 0;
+    std::uint64_t set_mask_ = 0;
     std::vector<line_entry> lines_;
     std::vector<cycle_t> slice_free_;
     std::uint64_t lru_tick_ = 0;
 
     page_allocator pages_;
-    std::unordered_map<task_id, std::unique_ptr<cache_page_table>> cpts_;
+    /// Per-task CPTs, indexed by task id (small dense ints) — the hot NEC
+    /// path reaches its table with one load instead of a hash probe. Tasks
+    /// without a table hold nullptr.
+    std::vector<std::unique_ptr<cache_page_table>> cpts_;
 
     cache_stats stats_;
     adapt::telemetry_bus* telemetry_ = nullptr;

@@ -7,14 +7,42 @@
 
 namespace camdn {
 
-void event_queue::push(entry e) {
-    heap_.push_back(std::move(e));
+event_queue::event_queue()
+    : live_closures_(std::make_shared<std::int64_t>(0)) {
+    heap_.reserve(256);
+    pool_.reserve(64);
+}
+
+std::uint32_t event_queue::alloc_slot(callback fn,
+                                      std::shared_ptr<timer::state> tok) {
+    std::uint32_t slot;
+    if (free_head_ != no_slot) {
+        slot = free_head_;
+        free_head_ = pool_[slot].next_free;
+        pool_[slot].fn = std::move(fn);
+        pool_[slot].tok = std::move(tok);
+    } else {
+        slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(closure_slot{std::move(fn), std::move(tok), no_slot});
+    }
+    return slot;
+}
+
+void event_queue::release_slot(std::uint32_t slot) {
+    pool_[slot].fn = nullptr;
+    pool_[slot].tok = nullptr;
+    pool_[slot].next_free = free_head_;
+    free_head_ = slot;
+}
+
+void event_queue::push(const entry& e) {
+    heap_.push_back(e);
     std::push_heap(heap_.begin(), heap_.end(), later{});
 }
 
 event_queue::entry event_queue::pop() {
     std::pop_heap(heap_.begin(), heap_.end(), later{});
-    entry e = std::move(heap_.back());
+    const entry e = heap_.back();
     heap_.pop_back();
     return e;
 }
@@ -22,7 +50,9 @@ event_queue::entry event_queue::pop() {
 std::uint64_t event_queue::schedule(cycle_t when, callback fn) {
     if (when < now_) when = now_;
     const std::uint64_t seq = next_seq_++;
-    push(entry{when, seq, std::move(fn), nullptr});
+    push(entry{when, seq, 0, 0, alloc_slot(std::move(fn), nullptr), 0, 0,
+               false});
+    ++*live_closures_;
     return seq;
 }
 
@@ -32,7 +62,10 @@ event_queue::timer event_queue::schedule_cancellable(cycle_t when,
     auto tok = std::make_shared<timer::state>();
     tok->when = when;
     tok->seq = next_seq_++;
-    push(entry{when, tok->seq, std::move(fn), tok});
+    tok->live = live_closures_;
+    const std::uint64_t seq = tok->seq;
+    push(entry{when, seq, 0, 0, alloc_slot(std::move(fn), tok), 0, 0, false});
+    ++*live_closures_;
     return timer(std::move(tok));
 }
 
@@ -44,24 +77,21 @@ std::uint64_t event_queue::schedule_event(cycle_t when,
                                           const typed_event& ev) {
     if (when < now_) when = now_;
     const std::uint64_t seq = next_seq_++;
-    entry e{when, seq, nullptr, nullptr};
-    e.is_typed = true;
-    e.ev = ev;
-    push(std::move(e));
+    push(entry{when, seq, ev.a, ev.b, no_slot, ev.channel, ev.kind, true});
+    ++typed_count_;
     return seq;
 }
 
 void event_queue::restore_event(cycle_t when, std::uint64_t seq,
                                 const typed_event& ev) {
     if (when < now_) when = now_;
-    entry e{when, seq, nullptr, nullptr};
-    e.is_typed = true;
-    e.ev = ev;
-    push(std::move(e));
+    push(entry{when, seq, ev.a, ev.b, no_slot, ev.channel, ev.kind, true});
+    ++typed_count_;
 }
 
 void event_queue::save_typed(snapshot_writer& w) const {
     std::vector<const entry*> typed;
+    typed.reserve(typed_count_);
     for (const auto& e : heap_)
         if (e.is_typed) typed.push_back(&e);
     std::sort(typed.begin(), typed.end(), [](const entry* a, const entry* b) {
@@ -72,10 +102,10 @@ void event_queue::save_typed(snapshot_writer& w) const {
     for (const entry* e : typed) {
         w.u64(e->when);
         w.u64(e->seq);
-        w.u8(e->ev.channel);
-        w.u8(e->ev.kind);
-        w.u64(e->ev.a);
-        w.u64(e->ev.b);
+        w.u8(e->channel);
+        w.u8(e->kind);
+        w.u64(e->a);
+        w.u64(e->b);
     }
 }
 
@@ -96,24 +126,12 @@ void event_queue::restore_typed(snapshot_reader& r) {
     }
 }
 
-std::size_t event_queue::pending_typed() const {
-    std::size_t n = 0;
-    for (const auto& e : heap_)
-        if (e.is_typed) ++n;
-    return n;
-}
-
-std::size_t event_queue::pending_closures() const {
-    std::size_t n = 0;
-    for (const auto& e : heap_)
-        if (!e.is_typed && !(e.tok && e.tok->cancelled)) ++n;
-    return n;
-}
-
 void event_queue::schedule_restored(cycle_t when, std::uint64_t seq,
                                     callback fn) {
     if (when < now_) when = now_;
-    push(entry{when, seq, std::move(fn), nullptr});
+    push(entry{when, seq, 0, 0, alloc_slot(std::move(fn), nullptr), 0, 0,
+               false});
+    ++*live_closures_;
 }
 
 event_queue::timer event_queue::restore_cancellable(cycle_t when,
@@ -123,7 +141,9 @@ event_queue::timer event_queue::restore_cancellable(cycle_t when,
     auto tok = std::make_shared<timer::state>();
     tok->when = when;
     tok->seq = seq;
-    push(entry{when, seq, std::move(fn), tok});
+    tok->live = live_closures_;
+    push(entry{when, seq, 0, 0, alloc_slot(std::move(fn), tok), 0, 0, false});
+    ++*live_closures_;
     return timer(std::move(tok));
 }
 
@@ -138,8 +158,7 @@ void event_queue::restore_now(cycle_t now) {
 }
 
 void event_queue::discard_cancelled_head() {
-    while (!heap_.empty() && heap_.front().tok && heap_.front().tok->cancelled)
-        pop();
+    while (!heap_.empty() && head_cancelled()) release_slot(pop().slot);
 }
 
 cycle_t event_queue::next_time() {
@@ -150,18 +169,26 @@ cycle_t event_queue::next_time() {
 bool event_queue::step() {
     discard_cancelled_head();
     if (heap_.empty()) return false;
-    entry e = pop();
+    const entry e = pop();
     now_ = e.when;
-    if (e.tok) e.tok->fired = true;
+    ++executed_;
     if (e.is_typed) {
-        const auto& h = handlers_[e.ev.channel];
+        --typed_count_;
+        const auto& h = handlers_[e.channel];
         if (!h)
             throw std::logic_error(
                 "typed event dispatched to unregistered channel " +
-                std::to_string(e.ev.channel));
-        h(e.ev);
+                std::to_string(e.channel));
+        h(typed_event{e.channel, e.kind, e.a, e.b});
     } else {
-        e.fn();
+        // Move the closure out and recycle its slot before running: the
+        // callback may schedule new events, which may claim the slot.
+        callback fn = std::move(pool_[e.slot].fn);
+        auto tok = std::move(pool_[e.slot].tok);
+        release_slot(e.slot);
+        --*live_closures_;
+        if (tok) tok->fired = true;
+        fn();
     }
     return true;
 }

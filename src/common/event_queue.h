@@ -18,6 +18,12 @@
 //     still in flight (the structure ONNXim-style cycle-level NPU models
 //     use for their event records).
 //
+// The heap itself is the simulator's hottest data structure: tens of
+// millions of sift operations per run. Entries are therefore POD — the
+// typed-event fast lane carries its whole payload inline, and closures
+// park their std::function / timer token in a side pool (free-listed,
+// reused) so heap moves never touch an allocator or an atomic refcount.
+//
 // Three facilities support the resumable scheduler (runtime/scheduler.h):
 //   * cancellable timers — periodic chains like the MoCA bandwidth epoch
 //     arm through schedule_cancellable(); a cancelled entry is skipped
@@ -84,7 +90,12 @@ public:
         /// Prevents the pending event from running. The queue entry is
         /// discarded when reached without advancing now().
         void cancel() {
-            if (s_) s_->cancelled = true;
+            if (s_ && !s_->cancelled) {
+                s_->cancelled = true;
+                // A still-pending closure leaves the live count the moment
+                // it is cancelled, not when the dead entry surfaces.
+                if (!s_->fired && s_->live) --*s_->live;
+            }
         }
 
     private:
@@ -94,10 +105,15 @@ public:
             std::uint64_t seq = 0;
             bool cancelled = false;
             bool fired = false;
+            /// Owning queue's live-closure counter (shared so a timer held
+            /// past the queue's lifetime stays safe to cancel).
+            std::shared_ptr<std::int64_t> live;
         };
         explicit timer(std::shared_ptr<state> s) : s_(std::move(s)) {}
         std::shared_ptr<state> s_;
     };
+
+    event_queue();
 
     /// Current simulation time. Advances only inside step()/run*.
     cycle_t now() const { return now_; }
@@ -138,10 +154,14 @@ public:
     /// next_seq().
     void restore_typed(snapshot_reader& r);
 
-    std::size_t pending_typed() const;
+    /// Pending typed events (O(1): tracked incrementally).
+    std::size_t pending_typed() const { return typed_count_; }
     /// Live (uncancelled) closure events still pending — at a checkpoint
     /// every one of these must be owned by a component that re-arms it.
-    std::size_t pending_closures() const;
+    /// O(1): cancel() maintains the count instead of scanning the heap.
+    std::size_t pending_closures() const {
+        return static_cast<std::size_t>(*live_closures_);
+    }
 
     // ---- checkpoint/restore support ----
 
@@ -170,6 +190,12 @@ public:
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
 
+    /// Events executed by step()/run*() over the queue's lifetime
+    /// (cancelled entries discarded without running are not counted).
+    /// Monotonic; not serialized — a resumed queue restarts at zero, so
+    /// throughput harnesses measure the work of *this* process.
+    std::uint64_t executed_events() const { return executed_; }
+
     /// Runs the earliest live event. Returns false when no live event
     /// remains. Cancelled entries are discarded without advancing now().
     bool step();
@@ -183,13 +209,20 @@ public:
     void run_until(cycle_t until);
 
 private:
+    static constexpr std::uint32_t no_slot = UINT32_MAX;
+
+    /// Heap node: trivially copyable, 40 bytes. Typed events ride fully
+    /// inline; closures reference a side-pool slot holding the
+    /// std::function and the optional timer token.
     struct entry {
         cycle_t when;
         std::uint64_t seq;  // tie-breaker: FIFO among same-cycle events
-        callback fn;        // empty for typed events
-        std::shared_ptr<timer::state> tok;  // null for plain events
-        bool is_typed = false;
-        typed_event ev{};
+        std::uint64_t a;    // typed payload (unused for closures)
+        std::uint64_t b;
+        std::uint32_t slot;  // closure-pool index; no_slot for typed
+        std::uint8_t channel;
+        std::uint8_t kind;
+        bool is_typed;
     };
     struct later {
         bool operator()(const entry& a, const entry& b) const {
@@ -198,19 +231,43 @@ private:
         }
     };
 
-    void push(entry e);
+    /// Side-pool slot for one pending closure. Slots recycle through a
+    /// free list, so a steady-state run stops allocating entirely.
+    struct closure_slot {
+        callback fn;
+        std::shared_ptr<timer::state> tok;
+        std::uint32_t next_free = no_slot;
+    };
+
+    std::uint32_t alloc_slot(callback fn, std::shared_ptr<timer::state> tok);
+    void release_slot(std::uint32_t slot);
+
+    void push(const entry& e);
     entry pop();
 
     /// Pops cancelled entries off the head (they neither run nor advance
     /// the clock).
     void discard_cancelled_head();
+    bool head_cancelled() const {
+        const entry& e = heap_.front();
+        if (e.is_typed) return false;
+        const auto& tok = pool_[e.slot].tok;
+        return tok && tok->cancelled;
+    }
 
     /// Min-heap on (when, seq) — a plain vector managed with the std heap
     /// algorithms so checkpointing can walk the pending entries.
     std::vector<entry> heap_;
+    std::vector<closure_slot> pool_;
+    std::uint32_t free_head_ = no_slot;
     std::array<typed_handler, n_event_channels> handlers_{};
     cycle_t now_ = 0;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t typed_count_ = 0;
+    /// Live pending closures; shared with timer tokens so cancel() can
+    /// decrement without holding a queue pointer.
+    std::shared_ptr<std::int64_t> live_closures_;
 };
 
 }  // namespace camdn

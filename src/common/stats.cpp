@@ -70,9 +70,22 @@ void percentile_tracker::assign(std::vector<double> samples) {
 
 void percentile_tracker::merge(const percentile_tracker& other) {
     if (other.samples_.empty()) return;
+    if (samples_.empty()) {
+        samples_ = other.samples_;
+        sorted_ = other.sorted_;
+        return;
+    }
+    // Two-way merge of the sorted sides: O(n + m log m) instead of
+    // re-sorting the concatenation, and the result is sorted already.
+    ensure_sorted();
+    other.ensure_sorted();
+    const std::size_t mid = samples_.size();
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
-    sorted_ = false;
+    std::inplace_merge(samples_.begin(),
+                       samples_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       samples_.end());
+    sorted_ = true;
 }
 
 std::string fmt_fixed(double value, int digits) {

@@ -61,6 +61,10 @@ class percentile_tracker {
 public:
     void add(double value);
 
+    /// Pre-sizes the sample buffer (amortizes reallocation when the caller
+    /// knows roughly how many samples are coming, e.g. fleet aggregation).
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     std::uint64_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
@@ -74,7 +78,10 @@ public:
     double max() const { return quantile(1.0); }
     double mean() const;
 
-    /// Merges every sample of `other` into this tracker.
+    /// Merges every sample of `other` into this tracker. Implemented as a
+    /// sorted two-way merge (both sides sort lazily first), so the result
+    /// is immediately query-ready and stays exact — the same multiset of
+    /// samples, bit-identical quantiles.
     void merge(const percentile_tracker& other);
 
     /// Samples in ascending order (sorts lazily, like the quantile

@@ -6,15 +6,52 @@ namespace camdn::dram {
 
 namespace {
 constexpr std::uint64_t deci = 10;  // deci-cycles per cycle
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_of(std::uint64_t v) {
+    std::uint32_t s = 0;
+    while ((std::uint64_t{1} << s) < v) ++s;
+    return s;
 }
+}  // namespace
 
 dram_system::dram_system(const dram_config& config)
     : config_(config),
       banks_(static_cast<std::size_t>(config.channels) * config.banks_per_channel),
-      bus_free_(config.channels, 0) {}
+      bus_free_(config.channels, 0) {
+    precompute_decode();
+}
+
+void dram_system::precompute_decode() {
+    const std::uint64_t lines_per_row = config_.row_bytes / line_bytes;
+    pow2_geometry_ = is_pow2(config_.channels) &&
+                     is_pow2(config_.banks_per_channel) &&
+                     config_.row_bytes % line_bytes == 0 &&
+                     is_pow2(lines_per_row);
+    if (pow2_geometry_) {
+        channel_shift_ = log2_of(config_.channels);
+        channel_mask_ = config_.channels - 1;
+        bank_shift_ = log2_of(config_.banks_per_channel);
+        bank_mask_ = config_.banks_per_channel - 1;
+        row_shift_ = log2_of(lines_per_row);
+    }
+    data_slot_deci_ = config_.burst_deci_cycles() + config_.t_burst_gap * deci;
+    controller_deci_ = config_.t_controller * deci;
+}
 
 dram_system::decoded dram_system::decode(addr_t line_addr) const {
     const std::uint64_t line_id = line_addr / line_bytes;
+    if (pow2_geometry_) {
+        const std::uint32_t channel =
+            static_cast<std::uint32_t>(line_id & channel_mask_);
+        const std::uint64_t in_channel = line_id >> channel_shift_;
+        const std::uint32_t bank =
+            static_cast<std::uint32_t>(in_channel & bank_mask_);
+        const std::uint64_t in_bank = in_channel >> bank_shift_;
+        return decoded{channel, bank,
+                       static_cast<std::int64_t>(in_bank >> row_shift_)};
+    }
     const std::uint32_t channel =
         static_cast<std::uint32_t>(line_id % config_.channels);
     const std::uint64_t in_channel = line_id / config_.channels;
@@ -51,8 +88,8 @@ cycle_t dram_system::regulate(task_id task, cycle_t arrival) {
     return reg.epoch_start;
 }
 
-cycle_t dram_system::access(addr_t line_addr, bool is_write, cycle_t arrival,
-                            task_id task) {
+cycle_t dram_system::access_timed(addr_t line_addr, cycle_t arrival,
+                                  task_id task) {
     arrival = regulate(task, arrival);
 
     const decoded d = decode(line_addr);
@@ -85,23 +122,27 @@ cycle_t dram_system::access(addr_t line_addr, bool is_write, cycle_t arrival,
 
     const std::uint64_t cmd_done = start + cmd_cycles * deci;
     const std::uint64_t data_start = std::max(cmd_done, bus_free);
-    const std::uint64_t data_end =
-        data_start + config_.burst_deci_cycles() + config_.t_burst_gap * deci;
+    const std::uint64_t data_end = data_start + data_slot_deci_;
     bus_free = data_end;
     stats_.bus_busy_deci += data_end - data_start;
     // Row remains open (open-page policy); the next same-row CAS may issue
     // tCCD later even while this burst is still on the bus.
     bank.ready_deci = start + busy_cycles * deci;
 
+    const std::uint64_t done_deci = data_end + controller_deci_;
+    return (done_deci + deci - 1) / deci;
+}
+
+cycle_t dram_system::access(addr_t line_addr, bool is_write, cycle_t arrival,
+                            task_id task) {
+    const cycle_t done = access_timed(line_addr, arrival, task);
     if (is_write) ++stats_.writes; else ++stats_.reads;
     if (task >= 0) {
         if (static_cast<std::size_t>(task) >= per_task_bytes_.size())
             per_task_bytes_.resize(task + 1, 0);
         per_task_bytes_[task] += line_bytes;
     }
-
-    const std::uint64_t done_deci = data_end + config_.t_controller * deci;
-    return (done_deci + deci - 1) / deci;
+    return done;
 }
 
 cycle_t dram_system::access_burst(addr_t line_addr, std::uint64_t nlines,
@@ -110,9 +151,16 @@ cycle_t dram_system::access_burst(addr_t line_addr, std::uint64_t nlines,
     cycle_t done = arrival;
     for (std::uint64_t i = 0; i < nlines; ++i) {
         const cycle_t line_done =
-            access(line_addr + i * line_bytes, is_write, arrival, task);
+            access_timed(line_addr + i * line_bytes, arrival, task);
         if (i == 0 && first_done != nullptr) *first_done = line_done;
         done = std::max(done, line_done);
+    }
+    // Same totals the per-line bumps would have produced, paid once.
+    if (is_write) stats_.writes += nlines; else stats_.reads += nlines;
+    if (task >= 0 && nlines > 0) {
+        if (static_cast<std::size_t>(task) >= per_task_bytes_.size())
+            per_task_bytes_.resize(task + 1, 0);
+        per_task_bytes_[task] += nlines * line_bytes;
     }
     return done;
 }

@@ -103,8 +103,20 @@ private:
     };
     decoded decode(addr_t line_addr) const;
 
+    /// decode() runs once per line on the simulator's hottest path, so a
+    /// power-of-two geometry (every stock config) precomputes shift/mask
+    /// forms of its div/mod chain; non-pow2 geometries keep the exact
+    /// divide path. Same quotients either way — timing is bit-identical.
+    void precompute_decode();
+
     /// Applies per-task regulation: returns the (possibly delayed) arrival.
     cycle_t regulate(task_id task, cycle_t arrival);
+
+    /// Timing core of access(): regulation, decode, bank/bus bookkeeping.
+    /// Read/write and per-task byte counters are left to the caller, which
+    /// lets access_burst() bump them once per burst instead of per line
+    /// (is_write never affects timing).
+    cycle_t access_timed(addr_t line_addr, cycle_t arrival, task_id task);
 
     dram_config config_;
     std::vector<bank_state> banks_;        // channel * banks + bank
@@ -112,6 +124,16 @@ private:
     std::vector<regulator_state> regulators_;     // indexed by task id
     std::vector<std::uint64_t> per_task_bytes_;   // indexed by task id
     dram_stats stats_;
+
+    // Constants derived from config_ at construction (hot-path hoists).
+    bool pow2_geometry_ = false;
+    std::uint32_t channel_shift_ = 0;
+    std::uint64_t channel_mask_ = 0;
+    std::uint32_t bank_shift_ = 0;
+    std::uint64_t bank_mask_ = 0;
+    std::uint32_t row_shift_ = 0;
+    std::uint64_t data_slot_deci_ = 0;  // burst occupancy + burst gap
+    std::uint64_t controller_deci_ = 0;
 };
 
 }  // namespace camdn::dram

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <tuple>
 
 namespace camdn::mapping {
 
@@ -177,10 +179,40 @@ model_mapping map_model(const model::model& m, const mapper_config& cfg) {
             out.block_of[i] = b;
     }
 
+    // map_layer is a pure function of the layer's shape and its position in
+    // the block; models with repeated structure (transformer blocks) solve
+    // each distinct signature once and copy the table for the repeats. The
+    // signature must cover everything map_layer/finalize_candidate read:
+    // the layer's value fields plus the block-relative placement flags and
+    // the block's region extent.
+    using layer_sig =
+        std::tuple<std::uint8_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::uint64_t, std::uint64_t, std::uint64_t, bool, bool,
+                   bool, bool, bool, bool, std::uint64_t>;
+    std::map<layer_sig, std::uint32_t> solved;  // signature -> layer index
+
     out.tables.reserve(m.layers.size());
     out.layer_est.reserve(m.layers.size());
     for (std::uint32_t i = 0; i < m.layers.size(); ++i) {
-        out.tables.push_back(map_layer(m, i, out.blocks[out.block_of[i]], cfg));
+        const model::layer_block& block = out.blocks[out.block_of[i]];
+        const model::layer& l = m.layers[i];
+        const layer_sig sig{static_cast<std::uint8_t>(l.kind),
+                            l.m,
+                            l.n,
+                            l.k,
+                            l.input_bytes,
+                            l.weight_bytes,
+                            l.output_bytes,
+                            l.weight_is_intermediate,
+                            l.residual_from >= 0,
+                            residual_in_block(m, i, block),
+                            i == block.first,
+                            i == block.last,
+                            block.size() >= 2,
+                            block.size() >= 2 ? block.peak_bytes : 0};
+        const auto [it, fresh] = solved.emplace(sig, i);
+        out.tables.push_back(fresh ? map_layer(m, i, block, cfg)
+                                   : out.tables[it->second]);
         const auto& lwm = out.tables.back().lwm;
         out.layer_est.push_back(lwm[lwm.size() / 2].est_cycles);
     }

@@ -12,6 +12,7 @@ dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
       cache_(cache),
       chunk_lines_(chunk_lines == 0 ? 1 : chunk_lines),
       window_(window == 0 ? 1 : window) {
+    flights_.reserve(16);
     eq_.set_handler(event_channel::dma, [this](const typed_event& ev) {
         pump(ev.a);
     });
@@ -49,13 +50,44 @@ cycle_t dma_engine::transfer_now(const transfer_request& req, cycle_t arrival) {
     return arrival;
 }
 
+std::size_t dma_engine::find_flight(std::uint64_t id) const {
+    const auto it = std::lower_bound(
+        flights_.begin(), flights_.end(), id,
+        [](const flight& f, std::uint64_t want) { return f.id < want; });
+    if (it == flights_.end() || it->id != id)
+        throw std::logic_error("dma_engine: chunk_done for unknown flight");
+    return static_cast<std::size_t>(it - flights_.begin());
+}
+
+void dma_engine::insert_flight(flight f) {
+    // Fresh ids are monotonic, so the common case is an append; restore
+    // may replay ids out of order and inserts at the sorted position.
+    const auto it = std::lower_bound(
+        flights_.begin(), flights_.end(), f.id,
+        [](const flight& g, std::uint64_t want) { return g.id < want; });
+    if (it != flights_.end() && it->id == f.id)
+        throw snapshot_error("snapshot DMA flight id appears twice");
+    flights_.insert(it, std::move(f));
+}
+
+void dma_engine::recycle_ring(std::vector<cycle_t>&& ring) {
+    if (ring.capacity() == 0 || ring_pool_.size() >= 64) return;
+    ring.clear();
+    ring_pool_.push_back(std::move(ring));
+}
+
 std::uint64_t dma_engine::start_flight(const transfer_request& req, flight f) {
     if (telemetry_) telemetry_->on_dma_bytes(req.task, req.nlines * line_bytes);
     f.req = req;
     f.total_chunks = ceil_div(req.nlines, chunk_lines_);
     f.last_done = eq_.now();
+    if (!ring_pool_.empty()) {
+        f.out = std::move(ring_pool_.back());
+        ring_pool_.pop_back();
+    }
     const std::uint64_t id = next_flight_++;
-    flights_.emplace(id, std::move(f));
+    f.id = id;
+    flights_.push_back(std::move(f));  // monotonic id: append keeps order
     pump(id);
     return id;
 }
@@ -83,14 +115,11 @@ void dma_engine::submit(const transfer_request& req,
 }
 
 void dma_engine::pump(std::uint64_t id) {
-    auto it = flights_.find(id);
-    if (it == flights_.end())
-        throw std::logic_error("dma_engine: chunk_done for unknown flight");
-    flight& f = it->second;
+    const std::size_t at = find_flight(id);
+    flight& f = flights_[at];
 
     // Issue as long as the window has room and lines remain.
-    while (f.issued_chunks < f.total_chunks &&
-           f.outstanding.size() < window_) {
+    while (f.issued_chunks < f.total_chunks && f.outstanding() < window_) {
         const std::uint64_t lines = std::min<std::uint64_t>(
             chunk_lines_, f.req.nlines - f.issued_lines);
         transfer_request chunk = f.req;
@@ -100,16 +129,17 @@ void dma_engine::pump(std::uint64_t id) {
         const cycle_t done = transfer_now(chunk, eq_.now());
         f.issued_lines += lines;
         ++f.issued_chunks;
-        f.outstanding.push_back(done);
+        f.out.push_back(done);
         f.last_done = std::max(f.last_done, done);
     }
-    if (f.outstanding.empty()) {
+    if (f.outstanding() == 0) {
         // Everything issued and retired. Detach the flight before the
         // completion runs: the sink may submit a follow-up transfer.
         const cycle_t done = f.last_done;
         const dma_target target = f.target;
         auto legacy = std::move(f.legacy_done);
-        flights_.erase(it);
+        recycle_ring(std::move(f.out));
+        flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(at));
         if (legacy) {
             legacy(done);
         } else if (sink_) {
@@ -118,8 +148,11 @@ void dma_engine::pump(std::uint64_t id) {
         return;
     }
     // Wake when the oldest chunk retires; that frees a window slot.
-    const cycle_t next = f.outstanding.front();
-    f.outstanding.pop_front();
+    const cycle_t next = f.out[f.out_head];
+    if (++f.out_head == f.out.size()) {
+        f.out.clear();
+        f.out_head = 0;
+    }
     ++f.retired_chunks;
     eq_.schedule_event(next, typed_event{
                                  static_cast<std::uint8_t>(event_channel::dma),
@@ -129,12 +162,12 @@ void dma_engine::pump(std::uint64_t id) {
 void dma_engine::save_state(snapshot_writer& w) const {
     w.u64(next_flight_);
     w.u64(flights_.size());
-    for (const auto& [id, f] : flights_) {
+    for (const flight& f : flights_) {
         if (f.legacy_done)
             throw std::logic_error(
                 "dma_engine::save_state: a legacy closure flight is live "
                 "(test-only submit() path cannot be checkpointed)");
-        w.u64(id);
+        w.u64(f.id);
         w.u8(static_cast<std::uint8_t>(f.req.op));
         w.i32(f.req.task);
         w.u64(f.req.addr);
@@ -145,8 +178,8 @@ void dma_engine::save_state(snapshot_writer& w) const {
         w.u64(f.total_chunks);
         w.u64(f.issued_chunks);
         w.u64(f.retired_chunks);
-        w.u64(f.outstanding.size());
-        for (const cycle_t c : f.outstanding) w.u64(c);
+        w.u64(f.outstanding());
+        for (std::size_t i = f.out_head; i < f.out.size(); ++i) w.u64(f.out[i]);
         w.u64(f.last_done);
         w.u64(f.target.a);
         w.u64(f.target.b);
@@ -159,11 +192,12 @@ void dma_engine::restore_state(snapshot_reader& r) {
             "dma_engine::restore_state requires an idle engine");
     next_flight_ = r.u64();
     const std::uint64_t n = r.count(8);
+    flights_.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
-        const std::uint64_t id = r.u64();
-        if (id >= next_flight_)
-            throw snapshot_error("snapshot DMA flight id beyond the counter");
         flight f;
+        f.id = r.u64();
+        if (f.id >= next_flight_)
+            throw snapshot_error("snapshot DMA flight id beyond the counter");
         const std::uint8_t op = r.u8();
         if (op > static_cast<std::uint8_t>(transfer_request::kind::bypass_write))
             throw snapshot_error("snapshot DMA flight has unknown op");
@@ -178,8 +212,9 @@ void dma_engine::restore_state(snapshot_reader& r) {
         f.issued_chunks = r.u64();
         f.retired_chunks = r.u64();
         const std::uint64_t outstanding = r.count(8);
+        f.out.reserve(outstanding);
         for (std::uint64_t c = 0; c < outstanding; ++c)
-            f.outstanding.push_back(r.u64());
+            f.out.push_back(r.u64());
         f.last_done = r.u64();
         f.target.a = r.u64();
         f.target.b = r.u64();
@@ -187,8 +222,7 @@ void dma_engine::restore_state(snapshot_reader& r) {
             f.retired_chunks > f.issued_chunks ||
             f.issued_lines > f.req.nlines)
             throw snapshot_error("snapshot DMA flight cursor is inconsistent");
-        if (!flights_.emplace(id, std::move(f)).second)
-            throw snapshot_error("snapshot DMA flight id appears twice");
+        insert_flight(std::move(f));
     }
 }
 

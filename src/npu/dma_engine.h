@@ -16,12 +16,18 @@
 // Completions route to a single registered sink carrying the submitter's
 // opaque (a, b) token; the legacy closure submit() remains for unit tests
 // but its flights cannot be checkpointed.
+//
+// Flights live in a flat vector ordered by id: ids are handed out
+// monotonically, so appends keep the order and save_state() walks it
+// front-to-back — byte-identical to the std::map encoding it replaces,
+// with binary-search lookups and no node allocation per transfer. Each
+// flight's outstanding-chunk ring recycles through a small buffer pool, so
+// steady-state submission allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "adapt/telemetry.h"
 #include "cache/shared_cache.h"
@@ -111,16 +117,23 @@ private:
     /// In-flight bookkeeping of one submitted transfer: the request, the
     /// chunk cursor, the occupancy of the issue window and the completion
     /// target. Plain data except `legacy_done` (test-only closures).
+    /// Outstanding chunk completions live in `out[out_head..]` — a vector
+    /// consumed front-to-back whose buffer returns to the engine's ring
+    /// pool when the flight retires.
     struct flight {
+        std::uint64_t id = 0;
         transfer_request req;
         std::uint64_t issued_lines = 0;  // lines handed to the memory system
         std::uint64_t total_chunks = 0;
         std::uint64_t issued_chunks = 0;
         std::uint64_t retired_chunks = 0;
-        std::deque<cycle_t> outstanding;  // completion times of in-flight chunks
+        std::vector<cycle_t> out;
+        std::uint32_t out_head = 0;
         cycle_t last_done = 0;
         dma_target target{};
         std::function<void(cycle_t)> legacy_done;  // non-null: test flight
+
+        std::size_t outstanding() const { return out.size() - out_head; }
     };
 
     std::uint64_t start_flight(const transfer_request& req, flight f);
@@ -128,13 +141,17 @@ private:
     /// oldest outstanding chunk retires (typed chunk_done event) or
     /// completes the flight.
     void pump(std::uint64_t id);
+    std::size_t find_flight(std::uint64_t id) const;
+    void insert_flight(flight f);
+    void recycle_ring(std::vector<cycle_t>&& ring);
 
     event_queue& eq_;
     cache::shared_cache& cache_;
     std::uint64_t chunk_lines_;
     std::uint32_t window_;
     sink_fn sink_;
-    std::map<std::uint64_t, flight> flights_;
+    std::vector<flight> flights_;  // ascending id
+    std::vector<std::vector<cycle_t>> ring_pool_;
     std::uint64_t next_flight_ = 0;
     adapt::telemetry_bus* telemetry_ = nullptr;
 };

@@ -1001,6 +1001,7 @@ void scheduler::fill_result() {
     result_.cache_stats = machine_.cache().stats();
     result_.dram_stats = machine_.dram().stats();
     result_.dram_total_bytes = machine_.dram().stats().bytes();
+    result_.events_executed = machine_.eq().executed_events();
     result_.rejected_arrivals = gen_.rejected();
     if (const percentile_tracker* delays = gen_.queue_delays_ms())
         result_.queue_delay_ms = *delays;

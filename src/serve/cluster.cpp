@@ -285,6 +285,7 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     for (const auto& res : out.per_soc) {
         out.makespan = std::max(out.makespan, res.makespan);
         out.dropped_queue += res.rejected_arrivals;
+        out.events_executed += res.events_executed;
         out.completed += res.completions.size();
         out.fleet_queue_delay_ms.merge(res.queue_delay_ms);
         for (const auto& rec : res.completions) {

@@ -154,6 +154,9 @@ struct cluster_result {
 
     std::uint64_t arrivals = 0;
     std::uint64_t completed = 0;
+    /// Sum of per-SoC executed event counts (raw-speed denominator for
+    /// bench/sim_throughput's fleet scenario).
+    std::uint64_t events_executed = 0;
     std::uint64_t dropped_queue = 0;        ///< per-SoC admission drops
     std::uint64_t dropped_unroutable = 0;   ///< no SoC hosts the model
     cycle_t makespan = 0;                   ///< max per-SoC makespan

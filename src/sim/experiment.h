@@ -132,6 +132,10 @@ struct experiment_result {
     /// adaptive policy enabled the bus). Bit-identical across repeated runs
     /// and sweep-pool widths, like every other field.
     std::vector<adapt::epoch_snapshot> telemetry;
+    /// Discrete events the run's event queue executed in this process
+    /// (bench/sim_throughput's events/sec numerator). Deterministic for a
+    /// fresh run; a resumed segment counts only its own events.
+    std::uint64_t events_executed = 0;
 
     double avg_latency_ms() const;
     /// Mean latency of completions of one model ("" = all), ms.

@@ -225,13 +225,16 @@ void layer_engine::bind(layer_run& run, runtime::task& t,
 void layer_engine::start(runtime::task& t,
                          const mapping::mapping_candidate& cand,
                          const address_map& addrs) {
-    if (runs_.count(t.id))
+    if (slot_active(t.id))
         throw std::logic_error(
             "layer_engine::start: slot already has a layer in flight");
-    layer_run fresh;
-    fresh.cand_index = mapping::candidate_index(t.current_mct(), &cand);
-    auto [it, inserted] = runs_.emplace(t.id, std::move(fresh));
-    layer_run& run = it->second;
+    if (static_cast<std::size_t>(t.id) >= runs_.size())
+        runs_.resize(t.id + 1);
+    layer_run& run = runs_[t.id];
+    run = layer_run{};
+    run.active = true;
+    ++active_count_;
+    run.cand_index = mapping::candidate_index(t.current_mct(), &cand);
     bind(run, t, cand, addrs);
     run.issue_cycle = machine_.eq().now();
     run.compute_end_prev = machine_.eq().now();
@@ -240,11 +243,10 @@ void layer_engine::start(runtime::task& t,
 }
 
 layer_engine::layer_run& layer_engine::run_of(task_id slot) {
-    auto it = runs_.find(slot);
-    if (it == runs_.end())
+    if (!slot_active(slot))
         throw std::logic_error(
             "layer_engine: event for a slot with no layer in flight");
-    return it->second;
+    return runs_[slot];
 }
 
 void layer_engine::on_event(const typed_event& ev) {
@@ -350,9 +352,8 @@ void layer_engine::issue_store(layer_run& run, std::uint64_t tile) {
 }
 
 void layer_engine::maybe_finish(task_id slot) {
-    auto it = runs_.find(slot);
-    if (it == runs_.end()) return;
-    layer_run& run = it->second;
+    if (!slot_active(slot)) return;
+    layer_run& run = runs_[slot];
     if (!run.all_issued || run.pending_stores > 0) return;
     const cycle_t end = std::max(run.final_end, machine_.eq().now());
     runtime::task* t = run.t;
@@ -361,7 +362,8 @@ void layer_engine::maybe_finish(task_id slot) {
     const bool is_lbm = run.cand->is_lbm;
     // Detach before the callback: the completion may start the next layer
     // on this slot.
-    runs_.erase(it);
+    run.active = false;
+    --active_count_;
     if (auto* bus = machine_.telemetry())
         bus->on_layer_retired(t->id, compute_total,
                               end > issue ? end - issue : 0, is_lbm);
@@ -371,8 +373,11 @@ void layer_engine::maybe_finish(task_id slot) {
 // ---- checkpoint -----------------------------------------------------------
 
 void layer_engine::save_state(snapshot_writer& w) const {
-    w.u64(runs_.size());
-    for (const auto& [slot, run] : runs_) {
+    w.u64(active_count_);
+    for (std::size_t s = 0; s < runs_.size(); ++s) {
+        const layer_run& run = runs_[s];
+        if (!run.active) continue;
+        const task_id slot = static_cast<task_id>(s);
         if (run.cand_index == -2)
             throw std::logic_error(
                 "layer_engine::save_state: run's candidate is not in its "
@@ -395,7 +400,7 @@ void layer_engine::save_state(snapshot_writer& w) const {
 void layer_engine::restore_state(snapshot_reader& r,
                                  std::vector<runtime::task>& tasks,
                                  const std::vector<address_map>& addrs) {
-    if (!runs_.empty())
+    if (active_count_ != 0)
         throw std::logic_error(
             "layer_engine::restore_state requires an idle engine");
     // Per-run record: slot + cand_index (i32 each), 8 u64 cursor fields,
@@ -441,8 +446,13 @@ void layer_engine::restore_state(snapshot_reader& r,
         bind(run, t, *cand, addrs[slot]);
         if (run.idx > run.total || run.pending_stores > run.total)
             throw snapshot_error("snapshot layer run cursor is inconsistent");
-        if (!runs_.emplace(slot, std::move(run)).second)
+        if (slot_active(slot))
             throw snapshot_error("snapshot layer run slot appears twice");
+        if (static_cast<std::size_t>(slot) >= runs_.size())
+            runs_.resize(slot + 1);
+        run.active = true;
+        runs_[slot] = std::move(run);
+        ++active_count_;
     }
 }
 

@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/snapshot_io.h"
@@ -65,9 +64,12 @@ public:
     void start(runtime::task& t, const mapping::mapping_candidate& cand,
                const address_map& addrs);
 
-    bool idle() const { return runs_.empty(); }
-    std::size_t active_runs() const { return runs_.size(); }
-    bool slot_active(task_id slot) const { return runs_.count(slot) != 0; }
+    bool idle() const { return active_count_ == 0; }
+    std::size_t active_runs() const { return active_count_; }
+    bool slot_active(task_id slot) const {
+        return slot >= 0 && static_cast<std::size_t>(slot) < runs_.size() &&
+               runs_[slot].active;
+    }
 
     /// Serializes every in-flight run (slot, candidate index, tile cursor,
     /// pipeline horizons, load/store occupancy). Throws std::logic_error
@@ -93,6 +95,8 @@ private:
     /// second is derived state bind() recomputes from the task, candidate
     /// and machine, so none of it rides the snapshot.
     struct layer_run {
+        bool active = false;  ///< slot entry in use (vector slots recycle)
+
         // ---- serialized cursor ----
         std::int32_t cand_index = -2;  ///< lwm index; -1 = lbm; -2 = ad hoc
         std::uint64_t idx = 0;         ///< next tile to issue
@@ -153,7 +157,13 @@ private:
     soc& machine_;
     camdn_features feat_{};
     done_fn on_done_;
-    std::map<task_id, layer_run> runs_;
+    /// Slot-indexed run table (slots are small dense ints; grown on
+    /// demand). Entries recycle in place — `active` marks live runs — so
+    /// the per-event lookup is one bounds check and an index, and
+    /// save_state's ascending-slot walk matches the byte order of the
+    /// std::map encoding this replaces.
+    std::vector<layer_run> runs_;
+    std::size_t active_count_ = 0;
 };
 
 }  // namespace camdn::sim

@@ -1,8 +1,7 @@
 #include "sim/mapping_registry.h"
 
-#include <map>
+#include <deque>
 #include <mutex>
-#include <sstream>
 
 #include "mapping/layer_mapper.h"
 
@@ -10,22 +9,62 @@ namespace camdn::sim {
 
 namespace {
 
-std::string config_key(const model::model& m,
-                       const mapping::mapper_config& cfg) {
-    std::ostringstream key;
-    key << m.name << '|' << cfg.npu.pe_rows << 'x' << cfg.npu.pe_cols << '|'
-        << cfg.npu.scratchpad_bytes << '|' << cfg.page_bytes << '|'
-        << cfg.lbm_block_budget << '|' << cfg.lbm_max_layers << '|'
-        << cfg.est_dram_bytes_per_cycle;
-    for (auto level : cfg.usage_levels) key << ',' << level;
-    return key.str();
+/// The fields that define a registry key on the config side — exactly the
+/// set the historical string key encoded, so configs differing only in
+/// fields the mapper ignores (core count, SIMD width, cache-bandwidth
+/// estimate) keep sharing one entry.
+bool same_key_fields(const mapping::mapper_config& a,
+                     const mapping::mapper_config& b) {
+    return a.npu.pe_rows == b.npu.pe_rows && a.npu.pe_cols == b.npu.pe_cols &&
+           a.npu.scratchpad_bytes == b.npu.scratchpad_bytes &&
+           a.page_bytes == b.page_bytes &&
+           a.lbm_block_budget == b.lbm_block_budget &&
+           a.lbm_max_layers == b.lbm_max_layers &&
+           a.est_dram_bytes_per_cycle == b.est_dram_bytes_per_cycle &&
+           a.usage_levels == b.usage_levels;
 }
+
+constexpr std::uint32_t miss = UINT32_MAX;
+
+/// Interning tables + entry store. Everything behind registry_mutex.
+struct registry_state {
+    /// Accelerator: model object -> name id (models are long-lived
+    /// statics; distinct objects sharing a name collapse to one id).
+    std::unordered_map<const void*, std::uint32_t> model_ids;
+    std::unordered_map<std::string, std::uint32_t> name_ids;
+    std::vector<mapping::mapper_config> configs;
+    /// (name id << 32 | config id) -> mapping. Values live in a deque so
+    /// references stay stable for the process lifetime.
+    std::unordered_map<std::uint64_t, mapping::model_mapping*> entries;
+    std::deque<mapping::model_mapping> store;
+};
 
 std::mutex registry_mutex;
 
-std::map<std::string, mapping::model_mapping>& registry() {
-    static std::map<std::string, mapping::model_mapping> instance;
+registry_state& registry() {
+    static registry_state instance;
     return instance;
+}
+
+std::uint32_t intern_name(registry_state& reg, const model::model& m) {
+    const auto hit = reg.model_ids.find(&m);
+    if (hit != reg.model_ids.end()) return hit->second;
+    const auto [it, fresh] = reg.name_ids.emplace(
+        m.name, static_cast<std::uint32_t>(reg.name_ids.size()));
+    reg.model_ids.emplace(&m, it->second);
+    return it->second;
+}
+
+std::uint32_t intern_config(registry_state& reg,
+                            const mapping::mapper_config& cfg) {
+    for (std::uint32_t i = 0; i < reg.configs.size(); ++i)
+        if (same_key_fields(reg.configs[i], cfg)) return i;
+    reg.configs.push_back(cfg);
+    return static_cast<std::uint32_t>(reg.configs.size() - 1);
+}
+
+std::uint64_t entry_key(std::uint32_t name_id, std::uint32_t config_id) {
+    return (static_cast<std::uint64_t>(name_id) << 32) | config_id;
 }
 
 }  // namespace
@@ -35,36 +74,68 @@ const mapping::model_mapping& mapping_for(const model::model& m,
     // Sweep threads share the registry. Mapping runs outside the lock so
     // concurrent first uses of *different* models proceed in parallel; a
     // race on the same key wastes one mapping and keeps the first entry
-    // (map node references stay stable either way).
+    // (store references stay stable either way).
     auto& reg = registry();
-    const std::string key = config_key(m, cfg);
+    std::uint64_t key;
     {
         std::lock_guard<std::mutex> lock(registry_mutex);
-        auto it = reg.find(key);
-        if (it != reg.end()) return it->second;
+        key = entry_key(intern_name(reg, m), intern_config(reg, cfg));
+        const auto it = reg.entries.find(key);
+        if (it != reg.entries.end()) return *it->second;
     }
     auto mapped = mapping::map_model(m, cfg);
     std::lock_guard<std::mutex> lock(registry_mutex);
-    return reg.emplace(key, std::move(mapped)).first->second;
+    const auto it = reg.entries.find(key);
+    if (it != reg.entries.end()) return *it->second;
+    reg.store.push_back(std::move(mapped));
+    reg.entries.emplace(key, &reg.store.back());
+    return reg.store.back();
 }
 
 const mapping::model_mapping* mapping_snapshot::find(
     const model::model& m, const mapping::mapper_config& cfg) const {
-    auto it = entries_.find(config_key(m, cfg));
+    std::uint32_t name_id;
+    const auto hit = model_ids_.find(&m);
+    if (hit != model_ids_.end()) {
+        name_id = hit->second;
+    } else {
+        const auto by_name = name_ids_.find(m.name);
+        if (by_name == name_ids_.end()) return nullptr;
+        name_id = by_name->second;
+    }
+    std::uint32_t config_id = miss;
+    for (std::uint32_t i = 0; i < configs_.size(); ++i) {
+        if (same_key_fields(configs_[i], cfg)) {
+            config_id = i;
+            break;
+        }
+    }
+    if (config_id == miss) return nullptr;
+    const auto it = entries_.find(entry_key(name_id, config_id));
     return it != entries_.end() ? it->second : nullptr;
 }
 
 mapping_snapshot snapshot_mappings() {
     mapping_snapshot snap;
+    auto& reg = registry();
     std::lock_guard<std::mutex> lock(registry_mutex);
-    for (const auto& [key, mapped] : registry())
-        snap.entries_.emplace(key, &mapped);
+    snap.model_ids_ = reg.model_ids;
+    snap.name_ids_ = reg.name_ids;
+    snap.configs_ = reg.configs;
+    snap.entries_.reserve(reg.entries.size());
+    for (const auto& [key, mapped] : reg.entries)
+        snap.entries_.emplace(key, mapped);
     return snap;
 }
 
 void clear_mapping_registry() {
+    auto& reg = registry();
     std::lock_guard<std::mutex> lock(registry_mutex);
-    registry().clear();
+    reg.model_ids.clear();
+    reg.name_ids.clear();
+    reg.configs.clear();
+    reg.entries.clear();
+    reg.store.clear();
 }
 
 }  // namespace camdn::sim

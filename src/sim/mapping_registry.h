@@ -1,10 +1,18 @@
 // Memoized offline mappings: the mapping phase runs once per (model,
 // mapper-config) pair and is shared by every experiment in a process —
 // mirroring the paper's offline/online split.
+//
+// Keys are interned: model names and mapper configs each get a small
+// integer id, and the registry resolves (name id, config id) through one
+// integer-keyed hash lookup instead of formatting and comparing a
+// composite string per call — the lookup sits on the scheduler's dispatch
+// path and the cluster router's per-arrival scoring path.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "mapping/cost_model.h"
 #include "mapping/mapping.h"
@@ -18,10 +26,11 @@ const mapping::model_mapping& mapping_for(const model::model& m,
                                           const mapping::mapper_config& cfg);
 
 /// Immutable view of the registry, captured under the lock once. Lookups
-/// afterwards are lock-free, so hot paths that consult mappings at high
-/// frequency (the cluster router scoring every arrival) never contend with
-/// sweep threads populating the registry. Entries added after the snapshot
-/// are invisible — warm the keys you need via mapping_for() first.
+/// afterwards are lock-free and allocation-free, so hot paths that consult
+/// mappings at high frequency (the cluster router scoring every arrival)
+/// never contend with sweep threads populating the registry. Entries added
+/// after the snapshot are invisible — warm the keys you need via
+/// mapping_for() first.
 class mapping_snapshot {
 public:
     /// The snapshotted mapping of `m` under `cfg`, or nullptr when the
@@ -34,7 +43,11 @@ public:
 private:
     friend mapping_snapshot snapshot_mappings();
 
-    std::map<std::string, const mapping::model_mapping*> entries_;
+    /// Copies of the interning tables at capture time (see the .cpp).
+    std::unordered_map<const void*, std::uint32_t> model_ids_;
+    std::unordered_map<std::string, std::uint32_t> name_ids_;
+    std::vector<mapping::mapper_config> configs_;
+    std::unordered_map<std::uint64_t, const mapping::model_mapping*> entries_;
 };
 
 /// Captures the current registry contents (one lock acquisition).
