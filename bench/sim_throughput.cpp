@@ -31,6 +31,10 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serve/cluster.h"
 #include "sim/mapping_registry.h"
 
@@ -109,34 +113,64 @@ sim::experiment_config base_experiment() {
     return cfg;
 }
 
-measurement run_closed_loop(bool fast, std::uint32_t reps) {
-    auto cfg = base_experiment();
-    cfg.kind = runtime::workload_kind::closed_loop;
-    cfg.inferences_per_slot = fast ? 2 : 6;
-    return time_scenario("closed_loop", reps, [&cfg]() {
+/// Runs one single-SoC scenario, optionally with the full observability
+/// stack attached (trace recorder with chunk events, metrics registry,
+/// epoch JSONL sink, host profiler) — the obs_on timed body also pays for
+/// serializing the trace and metrics, since a real observed run does.
+measurement run_experiment_scenario(const std::string& name,
+                                    sim::experiment_config cfg,
+                                    std::uint32_t reps, bool obs_on) {
+    return time_scenario(name, reps, [&cfg, obs_on]() {
+        obs::trace_recorder trace;
+        obs::metrics_registry metrics;
+        obs::jsonl_sink epochs;
+        obs::profiler prof;
+        if (obs_on) {
+            trace.set_chunk_events(true);
+            cfg.obs.trace = &trace;
+            cfg.obs.metrics = &metrics;
+            cfg.obs.epochs = &epochs;
+            cfg.obs.prof = &prof;
+        }
         const auto res = sim::run_experiment(cfg);
+        if (obs_on) {
+            std::ostringstream sink;
+            obs::write_chrome_trace(sink, trace.events());
+            metrics.write_json(sink);
+            cfg.obs = {};
+        }
         return std::make_pair(res.makespan, res.events_executed);
     });
 }
 
-measurement run_poisson(bool fast, std::uint32_t reps) {
+sim::experiment_config closed_loop_config(bool fast) {
+    auto cfg = base_experiment();
+    cfg.kind = runtime::workload_kind::closed_loop;
+    cfg.inferences_per_slot = fast ? 2 : 6;
+    return cfg;
+}
+
+sim::experiment_config poisson_config(bool fast) {
     auto cfg = base_experiment();
     cfg.kind = runtime::workload_kind::open_loop_poisson;
     cfg.arrival_rate_per_ms = 4.0;
     cfg.total_arrivals = fast ? 96 : 512;
     cfg.admission_queue_limit = 64;
-    return time_scenario("poisson", reps, [&cfg]() {
-        const auto res = sim::run_experiment(cfg);
-        return std::make_pair(res.makespan, res.events_executed);
-    });
+    return cfg;
 }
 
-measurement run_fleet(bool fast, std::uint32_t reps) {
+measurement run_fleet(bool fast, std::uint32_t reps, bool obs_on = false) {
     serve::cluster_config cfg = serve::uniform_cluster(4);
     cfg.arrival_rate_per_ms = 8.0;
     cfg.total_arrivals = fast ? 128 : 640;
     cfg.seed = 42;
     cfg.threads = 1;  // wall time measures one core, not the pool width
+    if (obs_on) {
+        // File-backed outputs (cwd-relative, like the committed bench
+        // JSON), as a real observed fleet run would use.
+        cfg.trace_path = "sim_throughput_obs_trace.json";
+        cfg.metrics_jsonl_path = "sim_throughput_obs_metrics.jsonl";
+    }
     return time_scenario("fleet", reps, [&cfg]() {
         const auto res = serve::run_cluster(cfg);
         return std::make_pair(res.makespan, res.events_executed);
@@ -245,8 +279,11 @@ int main(int argc, char** argv) {
     }
 
     std::vector<measurement> results;
-    results.push_back(run_closed_loop(fast, reps));
-    results.push_back(run_poisson(fast, reps));
+    results.push_back(
+        run_experiment_scenario("closed_loop", closed_loop_config(fast), reps,
+                                false));
+    results.push_back(
+        run_experiment_scenario("poisson", poisson_config(fast), reps, false));
     results.push_back(run_fleet(fast, reps));
 
     std::printf("%-12s %14s %12s %10s %14s %12s\n", "scenario", "sim_cycles",
@@ -265,6 +302,50 @@ int main(int argc, char** argv) {
              bench::jint("events", m.events), bench::jnum("wall_ms", m.wall_ms),
              bench::jnum("events_per_s", m.events_per_s()),
              bench::jnum("mcycles_per_s", m.mcycles_per_s())});
+    }
+
+    // ---- observability overhead: obs_off vs obs_on per scenario ----
+    // obs_off is the measurement above (no observer attached); obs_on
+    // re-runs the same deterministic scenario with the full stack (trace
+    // with per-chunk events, metrics, epoch JSONL, profiler) plus export
+    // serialization. The determinism check inside time_scenario doubles as
+    // the observation-only guarantee: cycles/events must match exactly.
+    std::vector<measurement> obs_results;
+    obs_results.push_back(
+        run_experiment_scenario("closed_loop", closed_loop_config(fast), reps,
+                                true));
+    obs_results.push_back(
+        run_experiment_scenario("poisson", poisson_config(fast), reps, true));
+    obs_results.push_back(run_fleet(fast, reps, true));
+
+    std::printf("\n%-12s %14s %14s %12s\n", "scenario", "off ev/s", "on ev/s",
+                "overhead %");
+    for (std::size_t i = 0; i < obs_results.size(); ++i) {
+        const measurement& off = results[i];
+        const measurement& on = obs_results[i];
+        if (off.sim_cycles != on.sim_cycles || off.events != on.events) {
+            std::fprintf(stderr,
+                         "sim_throughput: %s with observers attached is not "
+                         "bit-identical to the bare run\n",
+                         on.scenario.c_str());
+            return 2;
+        }
+        const double overhead_pct =
+            on.events_per_s() > 0.0
+                ? 100.0 * (off.events_per_s() / on.events_per_s() - 1.0)
+                : 0.0;
+        std::printf("%-12s %14.0f %14.0f %12.1f\n", on.scenario.c_str(),
+                    off.events_per_s(), on.events_per_s(), overhead_pct);
+        bench::json_report(
+            "sim_throughput",
+            {bench::jstr("scenario", on.scenario),
+             bench::jstr("phase", "obs_on"), bench::jstr("mode", mode),
+             bench::jint("reps", on.reps),
+             bench::jint("events", on.events),
+             bench::jnum("wall_ms", on.wall_ms),
+             bench::jnum("events_per_s", on.events_per_s()),
+             bench::jnum("obs_off_events_per_s", off.events_per_s()),
+             bench::jnum("overhead_pct", overhead_pct)});
     }
 
     if (check_path.empty()) return 0;

@@ -9,6 +9,11 @@
 // model on SoCs where its pages are warm.
 //
 //   ./build/cluster_serving [arrivals]
+//
+// Observability knobs (see README "Observability"):
+//   CAMDN_TRACE=out.trace.json    write a Chrome/Perfetto trace of the
+//                                 per-tenant breakdown run
+//   CAMDN_METRICS_JSONL=out.jsonl stream per-epoch/per-round telemetry
 #include <cstdlib>
 #include <iostream>
 
@@ -72,10 +77,21 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
 
-    // Per-tenant breakdown under the affinity router.
+    // Per-tenant breakdown under the affinity router, with the
+    // observability outputs attached when the env knobs ask for them
+    // (observation only: the numbers below are identical either way).
     auto cfg = base;
     cfg.router = serve::route_policy::cache_affinity;
+    if (const char* path = std::getenv("CAMDN_TRACE")) cfg.trace_path = path;
+    if (const char* path = std::getenv("CAMDN_METRICS_JSONL"))
+        cfg.metrics_jsonl_path = path;
     const auto res = serve::run_cluster(cfg);
+    if (!cfg.trace_path.empty())
+        std::cout << "\n[obs] Chrome trace written to " << cfg.trace_path
+                  << " (load in Perfetto or chrome://tracing)\n";
+    if (!cfg.metrics_jsonl_path.empty())
+        std::cout << "[obs] telemetry JSONL streamed to "
+                  << cfg.metrics_jsonl_path << "\n";
     std::cout << "\nPer-tenant (cache_affinity):\n\n";
     table_printer tt({"tenant", "routed", "served", "dropped", "p50 (ms)",
                       "p99 (ms)"});

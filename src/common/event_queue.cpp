@@ -174,6 +174,7 @@ bool event_queue::step() {
     ++executed_;
     if (e.is_typed) {
         --typed_count_;
+        ++typed_dispatched_[e.channel];
         const auto& h = handlers_[e.channel];
         if (!h)
             throw std::logic_error(
@@ -186,6 +187,7 @@ bool event_queue::step() {
         callback fn = std::move(pool_[e.slot].fn);
         auto tok = std::move(pool_[e.slot].tok);
         release_slot(e.slot);
+        ++closures_dispatched_;
         --*live_closures_;
         if (tok) tok->fired = true;
         fn();

@@ -196,6 +196,14 @@ public:
     /// throughput harnesses measure the work of *this* process.
     std::uint64_t executed_events() const { return executed_; }
 
+    /// Dispatch breakdown of executed_events(): typed events per channel
+    /// and closure callbacks. Always counted (one array increment per
+    /// event); the observability layer exports them as metrics counters.
+    std::uint64_t typed_dispatched(event_channel ch) const {
+        return typed_dispatched_[static_cast<std::size_t>(ch)];
+    }
+    std::uint64_t closures_dispatched() const { return closures_dispatched_; }
+
     /// Runs the earliest live event. Returns false when no live event
     /// remains. Cancelled entries are discarded without advancing now().
     bool step();
@@ -264,6 +272,8 @@ private:
     cycle_t now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::array<std::uint64_t, n_event_channels> typed_dispatched_{};
+    std::uint64_t closures_dispatched_ = 0;
     std::size_t typed_count_ = 0;
     /// Live pending closures; shared with timer tokens so cancel() can
     /// decrement without holding a queue pointer.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace camdn {
 
@@ -86,6 +87,125 @@ void percentile_tracker::merge(const percentile_tracker& other) {
                        samples_.begin() + static_cast<std::ptrdiff_t>(mid),
                        samples_.end());
     sorted_ = true;
+}
+
+p2_estimator::p2_estimator(double q) : q_(q) {
+    dwant_[0] = 0.0;
+    dwant_[1] = q / 2.0;
+    dwant_[2] = q;
+    dwant_[3] = (1.0 + q) / 2.0;
+    dwant_[4] = 1.0;
+    want_[0] = 1.0;
+    want_[1] = 1.0 + 2.0 * q;
+    want_[2] = 1.0 + 4.0 * q;
+    want_[3] = 3.0 + 2.0 * q;
+    want_[4] = 5.0;
+}
+
+double p2_estimator::parabolic(int i, double d) const {
+    // Jain & Chlamtac's piecewise-parabolic height adjustment.
+    return h_[i] +
+           d / (pos_[i + 1] - pos_[i - 1]) *
+               ((pos_[i] - pos_[i - 1] + d) * (h_[i + 1] - h_[i]) /
+                    (pos_[i + 1] - pos_[i]) +
+                (pos_[i + 1] - pos_[i] - d) * (h_[i] - h_[i - 1]) /
+                    (pos_[i] - pos_[i - 1]));
+}
+
+double p2_estimator::linear(int i, double d) const {
+    const int j = i + static_cast<int>(d);
+    return h_[i] + d * (h_[j] - h_[i]) / (pos_[j] - pos_[i]);
+}
+
+void p2_estimator::add(double value) {
+    if (count_ < 5) {
+        // Warm-up: insert into the sorted marker heights.
+        std::size_t i = count_;
+        while (i > 0 && h_[i - 1] > value) {
+            h_[i] = h_[i - 1];
+            --i;
+        }
+        h_[i] = value;
+        ++count_;
+        return;
+    }
+
+    // Find the cell and clamp the extremes.
+    int k;
+    if (value < h_[0]) {
+        h_[0] = value;
+        k = 0;
+    } else if (value < h_[1]) {
+        k = 0;
+    } else if (value < h_[2]) {
+        k = 1;
+    } else if (value < h_[3]) {
+        k = 2;
+    } else if (value <= h_[4]) {
+        k = 3;
+    } else {
+        h_[4] = value;
+        k = 3;
+    }
+
+    for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+    for (int i = 0; i < 5; ++i) want_[i] += dwant_[i];
+    ++count_;
+
+    // Nudge the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = want_[i] - pos_[i];
+        if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+            (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+            const double step = d >= 0.0 ? 1.0 : -1.0;
+            const double cand = parabolic(i, step);
+            // Parabolic prediction must stay strictly between the
+            // neighbours; fall back to linear interpolation otherwise.
+            h_[i] = (h_[i - 1] < cand && cand < h_[i + 1])
+                        ? cand
+                        : linear(i, step);
+            pos_[i] += step;
+        }
+    }
+}
+
+double p2_estimator::value() const {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+        // Exact nearest-rank over the sorted warm-up buffer, matching
+        // percentile_tracker on tiny streams.
+        const double n = static_cast<double>(count_);
+        auto rank = static_cast<std::size_t>(std::ceil(q_ * n));
+        rank = std::min(std::max<std::size_t>(rank, 1),
+                        static_cast<std::size_t>(count_));
+        return h_[rank - 1];
+    }
+    return h_[2];
+}
+
+void quantile_accumulator::set_streaming(bool on) {
+    if (on == streaming_) return;
+    if (count() != 0)
+        throw std::logic_error(
+            "quantile_accumulator::set_streaming: backend switch requires "
+            "an empty accumulator");
+    streaming_ = on;
+}
+
+void quantile_accumulator::merge(const percentile_tracker& other) {
+    if (streaming_) {
+        for (const double s : other.sorted_samples()) p2_.add(s);
+    } else {
+        exact_.merge(other);
+    }
+}
+
+const percentile_tracker& quantile_accumulator::exact() const {
+    if (streaming_)
+        throw std::logic_error(
+            "quantile_accumulator::exact: streaming mode retains no "
+            "samples");
+    return exact_;
 }
 
 std::string fmt_fixed(double value, int digits) {

@@ -102,6 +102,115 @@ private:
     mutable bool sorted_ = true;
 };
 
+/// Streaming quantile estimation via the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers track the target quantile with O(1) memory,
+/// adjusting their heights by parabolic interpolation as samples arrive.
+/// Exact for the first five samples; afterwards an estimate whose error is
+/// small for smooth distributions (the accompanying tests document the
+/// observed bounds on uniform / lognormal / adversarial streams). Fully
+/// deterministic: the same sample sequence yields bit-identical estimates.
+class p2_estimator {
+public:
+    /// `q` in (0, 1): the quantile to track (0.5 = median).
+    explicit p2_estimator(double q = 0.5);
+
+    void add(double value);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double target() const { return q_; }
+
+    /// Current estimate of the target quantile. Exact (nearest-rank over
+    /// the seen samples) while fewer than five samples have arrived; 0 on
+    /// an empty estimator.
+    double value() const;
+
+private:
+    double parabolic(int i, double d) const;
+    double linear(int i, double d) const;
+
+    double q_;
+    std::uint64_t count_ = 0;
+    double h_[5] = {0, 0, 0, 0, 0};    ///< marker heights
+    double pos_[5] = {1, 2, 3, 4, 5};  ///< marker positions (1-based ranks)
+    double want_[5] = {1, 2, 3, 4, 5};  ///< desired positions
+    double dwant_[5] = {0, 0, 0, 0, 0};  ///< desired-position increments
+};
+
+/// Bundle of P² estimators for the reporting quantiles (p50/p95/p99) plus
+/// a running_stat for count/mean/min/max — the O(1)-memory drop-in for
+/// percentile_tracker summaries in long-horizon runs, and the histogram
+/// backend of the observability metrics registry (obs/metrics.h).
+class p2_quantiles {
+public:
+    p2_quantiles() : q50_(0.50), q95_(0.95), q99_(0.99) {}
+
+    void add(double value) {
+        q50_.add(value);
+        q95_.add(value);
+        q99_.add(value);
+        stat_.add(value);
+    }
+
+    std::uint64_t count() const { return stat_.count(); }
+    bool empty() const { return stat_.count() == 0; }
+    double p50() const { return q50_.value(); }
+    double p95() const { return q95_.value(); }
+    double p99() const { return q99_.value(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); }
+    double max() const { return stat_.max(); }
+
+private:
+    p2_estimator q50_, q95_, q99_;
+    running_stat stat_;
+};
+
+/// Quantile summary with a switchable backend: exact (percentile_tracker,
+/// the default — bit-identical to the historical fleet metrics) or
+/// streaming (p2_quantiles, O(1) memory for million-request runs). The
+/// query surface mirrors percentile_tracker so existing consumers compile
+/// unchanged; serve::cluster_config::streaming_quantiles selects the mode.
+class quantile_accumulator {
+public:
+    /// Switches backends. Only valid while empty (there is no way to
+    /// replay already-folded samples into the other backend).
+    void set_streaming(bool on);
+    bool streaming() const { return streaming_; }
+
+    void add(double value) {
+        if (streaming_)
+            p2_.add(value);
+        else
+            exact_.add(value);
+    }
+
+    /// Folds every sample of an exact tracker in (ascending order, so the
+    /// streaming estimate is deterministic regardless of how the tracker
+    /// was built).
+    void merge(const percentile_tracker& other);
+
+    std::uint64_t count() const {
+        return streaming_ ? p2_.count() : exact_.count();
+    }
+    bool empty() const { return count() == 0; }
+    double p50() const { return streaming_ ? p2_.p50() : exact_.p50(); }
+    double p95() const { return streaming_ ? p2_.p95() : exact_.p95(); }
+    double p99() const { return streaming_ ? p2_.p99() : exact_.p99(); }
+    double mean() const { return streaming_ ? p2_.mean() : exact_.mean(); }
+    double min() const { return streaming_ ? p2_.min() : exact_.min(); }
+    double max() const { return streaming_ ? p2_.max() : exact_.max(); }
+
+    /// Exact-mode backend access (throws std::logic_error in streaming
+    /// mode — there are no retained samples).
+    const percentile_tracker& exact() const;
+
+private:
+    bool streaming_ = false;
+    percentile_tracker exact_;
+    p2_quantiles p2_;
+};
+
 /// Formats `value` with `digits` places after the decimal point.
 std::string fmt_fixed(double value, int digits);
 

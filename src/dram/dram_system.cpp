@@ -148,6 +148,7 @@ cycle_t dram_system::access(addr_t line_addr, bool is_write, cycle_t arrival,
 cycle_t dram_system::access_burst(addr_t line_addr, std::uint64_t nlines,
                                   bool is_write, cycle_t arrival, task_id task,
                                   cycle_t* first_done) {
+    obs::profile_scope scope(prof_, obs::subsystem::dram);
     cycle_t done = arrival;
     for (std::uint64_t i = 0; i < nlines; ++i) {
         const cycle_t line_done =

@@ -19,6 +19,7 @@
 #include "common/snapshot_io.h"
 #include "common/types.h"
 #include "dram/dram_config.h"
+#include "obs/profile.h"
 
 namespace camdn::dram {
 
@@ -85,6 +86,12 @@ public:
         return horizon ? static_cast<double>(stats_.bytes()) / horizon : 0.0;
     }
 
+    /// Attaches the host-time profiler (nullptr detaches). Bursts charge
+    /// `dram`; per-line access() calls stay attributed to their caller's
+    /// scope (the transparent path issues millions of them — a scope per
+    /// line would dominate the very cost being measured).
+    void set_profiler(obs::profiler* prof) { prof_ = prof; }
+
 private:
     struct bank_state {
         std::int64_t open_row = -1;   // -1: no open row (precharged)
@@ -124,6 +131,7 @@ private:
     std::vector<regulator_state> regulators_;     // indexed by task id
     std::vector<std::uint64_t> per_task_bytes_;   // indexed by task id
     dram_stats stats_;
+    obs::profiler* prof_ = nullptr;
 
     // Constants derived from config_ at construction (hot-path hoists).
     bool pow2_geometry_ = false;

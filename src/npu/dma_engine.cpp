@@ -6,6 +6,29 @@
 
 namespace camdn::npu {
 
+namespace {
+
+const char* op_name(transfer_request::kind op) {
+    using kind = transfer_request::kind;
+    switch (op) {
+        case kind::transparent_read: return "transparent_read";
+        case kind::transparent_write: return "transparent_write";
+        case kind::region_read: return "region_read";
+        case kind::region_write: return "region_write";
+        case kind::region_fill: return "region_fill";
+        case kind::region_writeback: return "region_writeback";
+        case kind::bypass_read: return "bypass_read";
+        case kind::bypass_write: return "bypass_write";
+    }
+    return "?";
+}
+
+std::uint32_t trace_tid(task_id t) {
+    return t < 0 ? obs::trace_tid_untracked : static_cast<std::uint32_t>(t);
+}
+
+}  // namespace
+
 dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
                        std::uint64_t chunk_lines, std::uint32_t window)
     : eq_(eq),
@@ -19,6 +42,9 @@ dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
 }
 
 cycle_t dma_engine::transfer_now(const transfer_request& req, cycle_t arrival) {
+    // Host-time attribution: the synchronous transfer body is cache work
+    // (the DRAM portions re-attribute inside dram_system's bursts).
+    obs::profile_scope scope(prof_, obs::subsystem::cache);
     using kind = transfer_request::kind;
     switch (req.op) {
         case kind::transparent_read:
@@ -81,6 +107,7 @@ std::uint64_t dma_engine::start_flight(const transfer_request& req, flight f) {
     f.req = req;
     f.total_chunks = ceil_div(req.nlines, chunk_lines_);
     f.last_done = eq_.now();
+    f.issue = eq_.now();
     if (!ring_pool_.empty()) {
         f.out = std::move(ring_pool_.back());
         ring_pool_.pop_back();
@@ -115,6 +142,7 @@ void dma_engine::submit(const transfer_request& req,
 }
 
 void dma_engine::pump(std::uint64_t id) {
+    obs::profile_scope scope(prof_, obs::subsystem::dma);
     const std::size_t at = find_flight(id);
     flight& f = flights_[at];
 
@@ -127,6 +155,11 @@ void dma_engine::pump(std::uint64_t id) {
         chunk.dram_addr = f.req.dram_addr + f.issued_lines * line_bytes;
         chunk.nlines = lines;
         const cycle_t done = transfer_now(chunk, eq_.now());
+        // The chunk's service window is known synchronously, so its trace
+        // event is recordable at issue.
+        if (trace_ != nullptr && trace_->chunk_events())
+            trace_->complete_arg("dma_chunk", "dma", trace_tid(f.req.task),
+                                 eq_.now(), done, lines * line_bytes);
         f.issued_lines += lines;
         ++f.issued_chunks;
         f.out.push_back(done);
@@ -137,6 +170,10 @@ void dma_engine::pump(std::uint64_t id) {
         // completion runs: the sink may submit a follow-up transfer.
         const cycle_t done = f.last_done;
         const dma_target target = f.target;
+        if (trace_ != nullptr)
+            trace_->complete_arg(op_name(f.req.op), "dma",
+                                 trace_tid(f.req.task), f.issue, done,
+                                 f.req.nlines * line_bytes);
         auto legacy = std::move(f.legacy_done);
         recycle_ring(std::move(f.out));
         flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(at));
@@ -216,6 +253,9 @@ void dma_engine::restore_state(snapshot_reader& r) {
         for (std::uint64_t c = 0; c < outstanding; ++c)
             f.out.push_back(r.u64());
         f.last_done = r.u64();
+        // Not serialized: a restored flight's trace span re-anchors at the
+        // restore clock (the pre-pause portion belongs to the old process).
+        f.issue = eq_.now();
         f.target.a = r.u64();
         f.target.b = r.u64();
         if (f.issued_chunks > f.total_chunks ||

@@ -34,6 +34,8 @@
 #include "common/event_queue.h"
 #include "common/snapshot_io.h"
 #include "common/types.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace camdn::npu {
 
@@ -113,6 +115,15 @@ public:
     /// transfers are attributed to their task at issue time.
     void set_telemetry(adapt::telemetry_bus* bus) { telemetry_ = bus; }
 
+    /// Attaches the trace recorder (nullptr detaches): one duration event
+    /// per flight (issue to final chunk), plus per-chunk events when the
+    /// recorder asks for them. Observation only — never schedules events.
+    void set_trace(obs::trace_recorder* trace) { trace_ = trace; }
+    /// Attaches the host-time profiler (nullptr detaches): the chunk pump
+    /// charges `dma`, the synchronous transfer path charges `cache` (with
+    /// DRAM bursts re-attributed inside dram_system).
+    void set_profiler(obs::profiler* prof) { prof_ = prof; }
+
 private:
     /// In-flight bookkeeping of one submitted transfer: the request, the
     /// chunk cursor, the occupancy of the issue window and the completion
@@ -130,6 +141,10 @@ private:
         std::vector<cycle_t> out;
         std::uint32_t out_head = 0;
         cycle_t last_done = 0;
+        /// Submission cycle — trace-event bookkeeping only, NOT serialized
+        /// (snapshot bytes are unchanged; a restored flight re-anchors at
+        /// the restore clock).
+        cycle_t issue = 0;
         dma_target target{};
         std::function<void(cycle_t)> legacy_done;  // non-null: test flight
 
@@ -154,6 +169,8 @@ private:
     std::vector<std::vector<cycle_t>> ring_pool_;
     std::uint64_t next_flight_ = 0;
     adapt::telemetry_bus* telemetry_ = nullptr;
+    obs::trace_recorder* trace_ = nullptr;
+    obs::profiler* prof_ = nullptr;
 };
 
 }  // namespace camdn::npu

@@ -1,0 +1,65 @@
+#include "obs/jsonl.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace camdn::obs {
+
+void jsonl_sink::row(const std::string& json) {
+    ++rows_;
+    if (out_ != nullptr) {
+        *out_ << json << '\n';
+        out_->flush();
+    } else {
+        buffered_.push_back(json);
+    }
+}
+
+void jsonl_sink::drain_to(jsonl_sink& dst) {
+    for (auto& r : buffered_) dst.row(std::move(r));
+    rows_ -= buffered_.size();
+    buffered_.clear();
+}
+
+void jsonl_sink::drain_to(std::ostream& out) {
+    for (const auto& r : buffered_) out << r << '\n';
+    rows_ -= buffered_.size();
+    buffered_.clear();
+}
+
+std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e) {
+    std::uint64_t completions = 0, layers = 0, dma_bytes = 0, hits = 0,
+                  misses = 0, wait = 0, timeouts = 0;
+    for (const auto& t : e.tasks) {
+        completions += t.completions;
+        layers += t.layers_retired;
+        dma_bytes += t.dma_bytes;
+        hits += t.cache_hits;
+        misses += t.cache_misses;
+        wait += t.page_wait_cycles;
+        timeouts += t.page_timeouts;
+    }
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"type\":\"epoch\",\"soc\":%u,\"epoch\":%llu,\"start_ms\":%.6f,"
+        "\"end_ms\":%.6f,\"active_slots\":%u,\"completions\":%llu,"
+        "\"layers\":%llu,\"dma_bytes\":%llu,\"cache_hits\":%llu,"
+        "\"cache_misses\":%llu,\"page_wait_cycles\":%llu,"
+        "\"page_timeouts\":%llu,\"dram_bytes\":%llu,"
+        "\"bw_utilization\":%.6f,\"idle_pages\":%u}",
+        soc, static_cast<unsigned long long>(e.index), cycles_to_ms(e.start),
+        cycles_to_ms(e.end), e.active_slots,
+        static_cast<unsigned long long>(completions),
+        static_cast<unsigned long long>(layers),
+        static_cast<unsigned long long>(dma_bytes),
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        static_cast<unsigned long long>(wait),
+        static_cast<unsigned long long>(timeouts),
+        static_cast<unsigned long long>(e.dram_bytes), e.bw_utilization,
+        e.idle_pages);
+    return buf;
+}
+
+}  // namespace camdn::obs

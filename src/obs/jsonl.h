@@ -1,0 +1,61 @@
+// Streaming JSONL sinks for per-epoch and per-round telemetry.
+//
+// A sink accepts one JSON object per row. In streaming mode (constructed
+// on an ostream) rows hit the stream as they are produced — the scheduler
+// emits an epoch row at every telemetry cut, so telemetry leaves the
+// process *during* the run instead of as an end-of-run rollup. In buffered
+// mode (default) rows accumulate in memory; fleet runs give every SoC of a
+// round its own buffered sink and drain them in round-major fleet order at
+// the round barrier, so the merged stream is deterministic across
+// sweep-pool widths even though the SoC simulations ran concurrently.
+//
+// Row schema (all fields simulation facts, bit-identical across runs):
+//   {"type":"epoch","soc":S,"epoch":I,"start_ms":..,"end_ms":..,
+//    "active_slots":..,"completions":..,"layers":..,"dma_bytes":..,
+//    "cache_hits":..,"cache_misses":..,"page_wait_cycles":..,
+//    "page_timeouts":..,"dram_bytes":..,"bw_utilization":..,
+//    "idle_pages":..}
+//   {"type":"fleet_round","round":R,...}   (serve/cluster.cpp)
+//   {"type":"metrics",...}                 (final registry dump)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "adapt/telemetry.h"
+
+namespace camdn::obs {
+
+class jsonl_sink {
+public:
+    /// Buffered sink: rows accumulate until drained.
+    jsonl_sink() = default;
+    /// Streaming sink: rows are written (with trailing newline) and
+    /// flushed immediately. `out` is borrowed, not owned.
+    explicit jsonl_sink(std::ostream* out) : out_(out) {}
+
+    /// Appends one row (a complete JSON object, no trailing newline).
+    void row(const std::string& json);
+
+    std::uint64_t rows() const { return rows_; }
+    const std::vector<std::string>& buffered() const { return buffered_; }
+
+    /// Moves every buffered row into `dst` in order (deterministic fleet
+    /// merge), leaving this sink empty. Row counts transfer.
+    void drain_to(jsonl_sink& dst);
+    /// Writes every buffered row to `out` and clears the buffer.
+    void drain_to(std::ostream& out);
+
+private:
+    std::ostream* out_ = nullptr;
+    std::uint64_t rows_ = 0;
+    std::vector<std::string> buffered_;
+};
+
+/// Formats one telemetry epoch snapshot as an "epoch" JSONL row
+/// (per-slot counters aggregated to epoch totals). Deterministic bytes.
+std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e);
+
+}  // namespace camdn::obs

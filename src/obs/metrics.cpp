@@ -1,0 +1,58 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace camdn::obs {
+
+namespace {
+
+/// 12 significant digits with %g's trailing-zero trimming — compact,
+/// precise enough for metric reporting and deterministic across runs.
+void put_num(std::ostream& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out << buf;
+}
+
+}  // namespace
+
+void metrics_registry::write_json(std::ostream& out) const {
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : counters_) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << name << "\":" << v;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : gauges_) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << name << "\":";
+        put_num(out, v);
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : hists_) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << name << "\":{\"count\":" << h.count() << ",\"mean\":";
+        put_num(out, h.mean());
+        out << ",\"p50\":";
+        put_num(out, h.p50());
+        out << ",\"p95\":";
+        put_num(out, h.p95());
+        out << ",\"p99\":";
+        put_num(out, h.p99());
+        out << ",\"min\":";
+        put_num(out, h.min());
+        out << ",\"max\":";
+        put_num(out, h.max());
+        out << "}";
+    }
+    out << "}}";
+}
+
+}  // namespace camdn::obs

@@ -1,0 +1,45 @@
+// The run observer: the bundle of nullable observability hooks a run
+// carries (sim::experiment_config::obs).
+//
+// All pointers default to null — the zero-overhead-off property: with no
+// observer attached every hook in the machine is a single null check, and
+// a run's results, goldens and snapshot bytes are bit-identical to a build
+// without the observability layer. The pointers are borrowed (the caller
+// owns the recorder/registry/sink/profiler and outlives the run), mirroring
+// the telemetry_bus* pattern. None of these fields enter the scheduler's
+// machine/run fingerprints, so snapshots taken with and without observers
+// attached are interchangeable.
+#pragma once
+
+#include <cstdint>
+
+namespace camdn::obs {
+
+class trace_recorder;
+class metrics_registry;
+class jsonl_sink;
+class profiler;
+
+struct run_observer {
+    trace_recorder* trace = nullptr;     ///< Chrome-trace event recorder
+    metrics_registry* metrics = nullptr; ///< counters/gauges/P² histograms
+    jsonl_sink* epochs = nullptr;        ///< per-epoch telemetry rows
+    profiler* prof = nullptr;            ///< host wall-time attribution
+
+    /// Emit every Nth epoch row (sampling interval; 0 behaves as 1).
+    std::uint32_t epoch_sample_every = 1;
+    /// SoC index: the trace pid and the "soc" field of JSONL rows.
+    std::uint32_t soc_index = 0;
+
+    bool enabled() const {
+        return trace != nullptr || metrics != nullptr || epochs != nullptr ||
+               prof != nullptr;
+    }
+    /// True when the scheduler must run the telemetry bus to feed this
+    /// observer (epoch rows and epoch-paced metrics both consume cuts).
+    bool wants_epochs() const {
+        return epochs != nullptr || metrics != nullptr;
+    }
+};
+
+}  // namespace camdn::obs

@@ -1,0 +1,33 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace camdn::obs {
+
+const char* subsystem_name(subsystem s) {
+    switch (s) {
+        case subsystem::sched: return "sched";
+        case subsystem::dma: return "dma";
+        case subsystem::cache: return "cache";
+        case subsystem::dram: return "dram";
+        case subsystem::layer: return "layer";
+        case subsystem::other: return "other";
+    }
+    return "?";
+}
+
+void profiler::write_json(std::ostream& out) const {
+    out << "{";
+    for (std::size_t i = 0; i < n_subsystems; ++i) {
+        if (i) out << ",";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "\"%s\":%.6f",
+                      subsystem_name(static_cast<subsystem>(i)),
+                      static_cast<double>(ns_[i]) * 1e-9);
+        out << buf;
+    }
+    out << "}";
+}
+
+}  // namespace camdn::obs

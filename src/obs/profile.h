@@ -1,0 +1,101 @@
+// Host wall-time profiling scopes, attributed per subsystem.
+//
+// Answers "where does the simulator's own CPU time go" — the data the
+// raw-speed program (bench/sim_throughput) needs to pick its next
+// optimization target without an external profiler. Attribution is
+// exclusive and stack-shaped: profile_scope(p, subsystem::dma) charges
+// elapsed host time to `dma` until the scope ends or a nested scope
+// switches to another subsystem (a DRAM burst inside a DMA chunk charges
+// `dram`, not both). Scopes sit at burst/chunk/event granularity, not per
+// line, so the overhead when profiling is on stays modest; when off every
+// hook is a single null check.
+//
+// Wall-clock readings are inherently nondeterministic, so profiler output
+// must never flow into deterministic artifacts (traces, JSONL telemetry,
+// snapshots) — it is reported separately (sim_throughput's obs_on phase,
+// ad-hoc dumps).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace camdn::obs {
+
+/// The simulator subsystems host time is attributed to.
+enum class subsystem : std::uint8_t {
+    sched = 0,  ///< runtime::scheduler dispatch / negotiation / epochs
+    dma = 1,    ///< npu::dma_engine chunk pump
+    cache = 2,  ///< cache::shared_cache bursts (via dma transfer paths)
+    dram = 3,   ///< dram::dram_system burst timing
+    layer = 4,  ///< sim::layer_engine tile pipeline
+    other = 5,  ///< everything outside an explicit scope
+};
+inline constexpr std::size_t n_subsystems = 6;
+
+const char* subsystem_name(subsystem s);
+
+class profiler {
+public:
+    profiler() : mark_(clock::now()) { ns_.fill(0); }
+
+    /// Switches attribution to `s`, charging the elapsed interval to the
+    /// previously active subsystem. Returns the previous subsystem so a
+    /// scope can restore it (stack discipline).
+    subsystem enter(subsystem s) {
+        const subsystem prev = current_;
+        charge();
+        current_ = s;
+        return prev;
+    }
+    void leave(subsystem prev) {
+        charge();
+        current_ = prev;
+    }
+
+    double seconds(subsystem s) const {
+        return static_cast<double>(ns_[static_cast<std::size_t>(s)]) * 1e-9;
+    }
+    double total_seconds() const {
+        double t = 0.0;
+        for (const auto n : ns_) t += static_cast<double>(n) * 1e-9;
+        return t;
+    }
+
+    /// {"sched":seconds,...} — every subsystem, fixed order.
+    void write_json(std::ostream& out) const;
+
+private:
+    using clock = std::chrono::steady_clock;
+    void charge() {
+        const clock::time_point now = clock::now();
+        ns_[static_cast<std::size_t>(current_)] +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark_)
+                .count();
+        mark_ = now;
+    }
+
+    std::array<std::int64_t, n_subsystems> ns_{};
+    subsystem current_ = subsystem::other;
+    clock::time_point mark_;
+};
+
+/// RAII attribution scope; a null profiler makes it a no-op.
+class profile_scope {
+public:
+    profile_scope(profiler* p, subsystem s) : p_(p) {
+        if (p_ != nullptr) prev_ = p_->enter(s);
+    }
+    ~profile_scope() {
+        if (p_ != nullptr) p_->leave(prev_);
+    }
+    profile_scope(const profile_scope&) = delete;
+    profile_scope& operator=(const profile_scope&) = delete;
+
+private:
+    profiler* p_;
+    subsystem prev_ = subsystem::other;
+};
+
+}  // namespace camdn::obs

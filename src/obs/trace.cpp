@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace camdn::obs {
+
+trace_recorder::trace_recorder(std::uint32_t pid, std::size_t max_events)
+    : pid_(pid), max_events_(max_events == 0 ? 1 : max_events) {
+    events_.reserve(256);
+}
+
+const char* trace_recorder::intern(const std::string& name) {
+    const auto it = interned_.find(name);
+    if (it != interned_.end()) return it->second;
+    strings_.push_back(name);
+    const char* p = strings_.back().c_str();
+    interned_.emplace(name, p);
+    return p;
+}
+
+void trace_recorder::absorb(const trace_recorder& src) {
+    for (const trace_event& e : src.events_) {
+        trace_event copy = e;
+        copy.name = intern(e.name);
+        copy.cat = intern(e.cat);
+        push(copy);
+    }
+    dropped_ += src.dropped_;
+}
+
+std::vector<trace_event> sorted_for_export(std::vector<trace_event> events) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const trace_event& a, const trace_event& b) {
+                         if (a.pid != b.pid) return a.pid < b.pid;
+                         if (a.tid != b.tid) return a.tid < b.tid;
+                         return a.ts < b.ts;
+                     });
+    return events;
+}
+
+namespace {
+
+/// Cycles of the 1 GHz simulation clock -> microseconds with fixed three
+/// decimal places (cycle precision), deterministic across platforms.
+void put_us(std::ostream& out, cycle_t cycles) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(cycles / 1000),
+                  static_cast<unsigned long long>(cycles % 1000));
+    out << buf;
+}
+
+void put_json_string(std::ostream& out, const char* s) {
+    out << '"';
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\')
+            out << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out << esc;
+        } else
+            out << c;
+    }
+    out << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(
+    std::ostream& out, const std::vector<trace_event>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& process_names) {
+    const std::vector<trace_event> sorted = sorted_for_export(events);
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first) out << ",\n";
+        first = false;
+    };
+
+    // Metadata: name every process and thread that appears.
+    std::map<std::uint32_t, std::string> pname;
+    for (const auto& [pid, name] : process_names) pname[pid] = name;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> threads;
+    for (const trace_event& e : sorted) {
+        auto& t = threads[e.pid];
+        if (std::find(t.begin(), t.end(), e.tid) == t.end()) t.push_back(e.tid);
+        if (!pname.count(e.pid))
+            pname[e.pid] = "soc" + std::to_string(e.pid);
+    }
+    for (const auto& [pid, name] : pname) {
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":" << pid
+            << ",\"name\":\"process_name\",\"args\":{\"name\":";
+        put_json_string(out, name.c_str());
+        out << "}}";
+    }
+    for (const auto& [pid, tids] : threads) {
+        for (const std::uint32_t tid : tids) {
+            sep();
+            const std::string tname = tid == trace_tid_untracked
+                                          ? "untracked"
+                                          : "slot " + std::to_string(tid);
+            out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+                << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+            put_json_string(out, tname.c_str());
+            out << "}}";
+        }
+    }
+
+    for (const trace_event& e : sorted) {
+        sep();
+        out << "{\"ph\":\"" << e.phase << "\",\"name\":";
+        put_json_string(out, e.name);
+        out << ",\"cat\":";
+        put_json_string(out, e.cat);
+        out << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"ts\":";
+        put_us(out, e.ts);
+        if (e.phase == 'X') {
+            out << ",\"dur\":";
+            put_us(out, e.dur);
+        }
+        if (e.has_arg) out << ",\"args\":{\"v\":" << e.arg << "}";
+        out << "}";
+    }
+    out << "]}\n";
+}
+
+}  // namespace camdn::obs

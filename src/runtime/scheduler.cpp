@@ -5,6 +5,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
 #include "sim/mapping_registry.h"
 
 namespace camdn::runtime {
@@ -55,11 +57,15 @@ scheduler::scheduler(const sim::experiment_config& cfg, workload_generator& gen)
       gen_(gen),
       machine_(cfg.soc, cfg.pol),
       bw_(machine_.dram()) {
-    telemetry_on_ = cfg_.telemetry || adaptive();
+    // The observer's epoch consumers ride the telemetry bus; turning it on
+    // for them is observation only (epoch cuts are lazy — see
+    // maybe_cut_epoch), so results stay bit-identical to a bare run.
+    telemetry_on_ = cfg_.telemetry || adaptive() || cfg_.obs.wants_epochs();
     if (telemetry_on_) {
         bus_.reset(cfg_.co_located);
         machine_.set_telemetry(&bus_);
     }
+    if (cfg_.obs.enabled()) machine_.set_observer(cfg_.obs);
     if (adaptive()) {
         page_share_.assign(cfg_.co_located,
                            machine_.cache().pages().total_pages() /
@@ -567,7 +573,34 @@ void scheduler::cut_epoch() {
     s.peak_bytes_per_cycle = machine_.dram().config().peak_bytes_per_cycle();
     s.idle_pages = machine_.cache().pages().idle_pages();
     const auto& snap = bus_.cut(machine_.eq().now(), s);
+    observe_epoch(snap);
     if (ctl_) apply_action(ctl_->on_epoch(snap));
+}
+
+void scheduler::observe_epoch(const adapt::epoch_snapshot& snap) {
+    const obs::run_observer& o = cfg_.obs;
+    if (!o.wants_epochs()) return;
+    const std::uint32_t every =
+        o.epoch_sample_every == 0 ? 1 : o.epoch_sample_every;
+    if (o.epochs != nullptr && snap.index % every == 0)
+        o.epochs->row(obs::epoch_row_json(o.soc_index, snap));
+    if (o.metrics != nullptr) {
+        obs::metrics_registry& m = *o.metrics;
+        m.add("sim.epochs_cut");
+        m.add("sim.dram_bytes", snap.dram_bytes);
+        m.add("sim.dram_throttled", snap.dram_throttled);
+        m.add("sim.page_wait_cycles", snap.total_page_wait());
+        m.add("sim.page_timeouts", snap.total_timeouts());
+        for (const auto& t : snap.tasks) {
+            m.add("sim.layers_retired", t.layers_retired);
+            m.add("sim.cache_hits", t.cache_hits);
+            m.add("sim.cache_misses", t.cache_misses);
+            m.add("sim.dma_bytes", t.dma_bytes);
+        }
+        m.histogram("sim.epoch_bw_utilization").add(snap.bw_utilization);
+        m.gauge_set("sim.idle_pages", snap.idle_pages);
+        m.gauge_set("sim.active_slots", snap.active_slots);
+    }
 }
 
 void scheduler::maybe_cut_epoch() {
@@ -596,6 +629,7 @@ task_id scheduler::pick_free_slot() const {
 }
 
 void scheduler::try_dispatch() {
+    obs::profile_scope scope(cfg_.obs.prof, obs::subsystem::sched);
     if (machine_.eq().now() >= dispatch_hold_after_) return;
     while (!dispatch_queue_.empty() && !free_cores_.empty()) {
         // First dispatchable item in FIFO order: a request pinned to a
@@ -754,6 +788,9 @@ void scheduler::negotiate_pages(task& t, allocation_decision d) {
                 // Timeout: fall back to the next-smaller candidate.
                 if (telemetry_on_)
                     bus_.on_page_timeout(t.id, d.candidate->is_lbm);
+                if (auto* tr = cfg_.obs.trace)
+                    tr->instant("page_timeout", "sched",
+                                static_cast<std::uint32_t>(t.id), now);
                 negotiate_pages(
                     t, alg_.downgrade(t, d.candidate->pages_needed, now));
                 return;
@@ -761,6 +798,9 @@ void scheduler::negotiate_pages(task& t, allocation_decision d) {
             const cycle_t retry =
                 std::min(d.timeout, now + cfg_.page_retry_interval);
             if (telemetry_on_) bus_.on_page_wait(t.id, retry - now);
+            if (auto* tr = cfg_.obs.trace)
+                tr->complete("page_wait", "sched",
+                             static_cast<std::uint32_t>(t.id), now, retry);
             // The retry is a typed event: the decision's payload lands in
             // the slot's pending_negotiation record so a mid-wait
             // checkpoint can rebuild it.
@@ -824,6 +864,7 @@ void scheduler::remap_cpt(task& t) {
 }
 
 void scheduler::on_page_retry(task_id slot) {
+    obs::profile_scope scope(cfg_.obs.prof, obs::subsystem::sched);
     auto& neg = neg_[slot];
     if (!neg.armed) return;  // superseded (defensive; retries arm 1:1)
     neg.armed = false;
@@ -841,6 +882,7 @@ void scheduler::run_layer(task& t, const mapping::mapping_candidate& cand) {
 }
 
 void scheduler::end_layer(task& t, cycle_t end) {
+    obs::profile_scope scope(cfg_.obs.prof, obs::subsystem::sched);
     maybe_cut_epoch();
     t.t_next = end;  // reallocating right now
 
@@ -863,6 +905,19 @@ void scheduler::end_layer(task& t, cycle_t end) {
 
 void scheduler::end_inference(task& t, cycle_t end) {
     if (telemetry_on_) bus_.on_completion(t.id, end, t.deadline);
+    if (auto* tr = cfg_.obs.trace)
+        tr->complete_arg(tr->intern(t.mdl->abbr), "inference",
+                         static_cast<std::uint32_t>(t.id), t.started, end,
+                         static_cast<std::uint64_t>(t.cores.size()));
+    if (auto* m = cfg_.obs.metrics) {
+        m->add("sched.completions");
+        m->histogram("sched.latency_ms")
+            .add(cycles_to_ms(end - t.arrival));
+        m->histogram("sched.queue_delay_ms")
+            .add(cycles_to_ms(t.started - t.arrival));
+        if (t.deadline != never && end > t.deadline)
+            m->add("sched.deadline_misses");
+    }
     if (sim::is_camdn(cfg_.pol)) {
         machine_.cache().pages().release_all(t.id);
         t.p_alloc = 0;
@@ -1010,6 +1065,16 @@ void scheduler::fill_result() {
         // exactly one exported snapshot.
         if (bus_.open_epoch_active()) cut_epoch();
         result_.telemetry = bus_.history();
+    }
+    if (auto* m = cfg_.obs.metrics) {
+        // set(), not add(): fill_result runs once per segment_result call
+        // and these are run totals, not deltas.
+        const auto& eq = machine_.eq();
+        m->set("eq.events_executed", eq.executed_events());
+        m->set("eq.dispatch.dma", eq.typed_dispatched(event_channel::dma));
+        m->set("eq.dispatch.layer", eq.typed_dispatched(event_channel::layer));
+        m->set("eq.dispatch.sched", eq.typed_dispatched(event_channel::sched));
+        m->set("eq.dispatch.closure", eq.closures_dispatched());
     }
 }
 

@@ -166,6 +166,9 @@ private:
     /// included).
     void maybe_cut_epoch();
     void cut_epoch();
+    /// Feeds a freshly cut epoch to the run observer (JSONL row, metrics).
+    /// Observation only — never touches simulated state.
+    void observe_epoch(const adapt::epoch_snapshot& snap);
     void apply_action(const adapt::control_action& a);
     void update_done();
 

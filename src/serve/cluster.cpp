@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/rng.h"
 #include "model/model_zoo.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/qos.h"
 #include "runtime/scheduler_snapshot.h"
 #include "serve/placement.h"
@@ -145,6 +151,41 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     cluster_result out;
     out.resident_models = placements.back()->resident;
 
+    // Quantile backend selection must precede the first sample; tenant
+    // entries are pre-created so the on-demand map lookups below never
+    // construct an exact-mode tracker in a streaming-mode run.
+    if (cfg.streaming_quantiles) {
+        out.fleet_latency_ms.set_streaming(true);
+        out.fleet_queue_delay_ms.set_streaming(true);
+    }
+    for (const auto* m : cfg.models) {
+        auto& tenant = out.tenants[m->abbr];
+        if (cfg.streaming_quantiles) {
+            tenant.latency_ms.set_streaming(true);
+            tenant.queue_delay_ms.set_streaming(true);
+        }
+    }
+
+    // Observability outputs. The JSONL file streams during the run (rows
+    // land at every round barrier); the trace file is written once at the
+    // end (valid JSON needs the closing bracket).
+    const bool trace_on = !cfg.trace_path.empty();
+    const bool jsonl_on = !cfg.metrics_jsonl_path.empty();
+    std::unique_ptr<obs::trace_recorder> master_trace;
+    if (trace_on)
+        master_trace = std::make_unique<obs::trace_recorder>(
+            static_cast<std::uint32_t>(S));
+    std::ofstream jsonl_out;
+    if (jsonl_on) {
+        jsonl_out.open(cfg.metrics_jsonl_path);
+        if (!jsonl_out)
+            throw std::runtime_error(
+                "run_cluster: cannot open metrics JSONL path " +
+                cfg.metrics_jsonl_path);
+    }
+    obs::metrics_registry fleet_metrics;
+    cycle_t prev_round_end = 0;
+
     // Phase 2+3, per round: route the round's slice of the shared stream,
     // simulate each SoC's trace on the sweep pool, then (feedback only)
     // fold the round's telemetry rollups into router weights and possibly
@@ -196,6 +237,13 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             round_routed[stream[i].model] += 1;
         }
 
+        // Per-(round, SoC) observability buffers: each SoC's thread writes
+        // only its own recorder/sink, and the barrier below folds them in
+        // fleet order — deterministic across sweep-pool widths.
+        std::vector<std::unique_ptr<obs::trace_recorder>> round_traces(
+            trace_on ? S : 0);
+        std::vector<obs::jsonl_sink> round_epochs(jsonl_on ? S : 0);
+
         std::vector<sim::experiment_config> ecs(S);
         for (std::size_t s = 0; s < S; ++s) {
             auto& ec = ecs[s];
@@ -208,6 +256,14 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             ec.workload = cfg.models;
             ec.seed = soc_seed(cfg.seed, s);
             ec.telemetry = cfg.telemetry || fb_on;
+            ec.obs.soc_index = static_cast<std::uint32_t>(s);
+            ec.obs.epoch_sample_every = cfg.epoch_sample_every;
+            if (trace_on) {
+                round_traces[s] = std::make_unique<obs::trace_recorder>(
+                    static_cast<std::uint32_t>(s));
+                ec.obs.trace = round_traces[s].get();
+            }
+            if (jsonl_on) ec.obs.epochs = &round_epochs[s];
         }
         // Warm-carry rounds resume every SoC from its previous round's
         // snapshot: cache warmth, DRAM timing, per-slot counters and the
@@ -237,6 +293,47 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         } else {
             round_res = sim::run_sweep(ecs, cfg.threads);
         }
+
+        // Round barrier: fold this round's observability output in fleet
+        // order, then flush the JSONL stream so telemetry leaves the
+        // process while later rounds still run.
+        cycle_t round_end = prev_round_end;
+        std::uint64_t round_completed = 0, round_events = 0, round_drops = 0;
+        for (const auto& res : round_res) {
+            round_end = std::max(round_end, res.makespan);
+            round_completed += res.completions.size();
+            round_events += res.events_executed;
+            round_drops += res.rejected_arrivals;
+        }
+        if (trace_on) {
+            for (const auto& rec : round_traces) master_trace->absorb(*rec);
+            std::ostringstream name;
+            name << "round " << round;
+            master_trace->complete(master_trace->intern(name.str()), "fleet",
+                                   0, prev_round_end, round_end);
+        }
+        if (jsonl_on) {
+            for (auto& sink : round_epochs) sink.drain_to(jsonl_out);
+            char buf[224];
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"type\":\"fleet_round\",\"round\":%u,\"completions\":%llu,"
+                "\"events\":%llu,\"dropped\":%llu,\"end_ms\":%.6f}",
+                round,
+                static_cast<unsigned long long>(round_completed),
+                static_cast<unsigned long long>(round_events),
+                static_cast<unsigned long long>(round_drops),
+                cycles_to_ms(round_end));
+            jsonl_out << buf << '\n';
+            jsonl_out.flush();
+            fleet_metrics.add("fleet.rounds");
+            fleet_metrics.add("fleet.completions", round_completed);
+            fleet_metrics.add("fleet.events_executed", round_events);
+            fleet_metrics.add("fleet.dropped_queue", round_drops);
+            fleet_metrics.histogram("fleet.round_end_ms")
+                .add(cycles_to_ms(round_end));
+        }
+        prev_round_end = round_end;
 
         if (fb_on && round + 1 < rounds) {
             std::vector<adapt::soc_rollup> rollups;
@@ -303,6 +400,23 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     for (auto& [abbr, tenant] : out.tenants)
         tenant.dropped = tenant.routed - tenant.completed;
     if (fb_on) out.route_weights = fb.weights();
+
+    if (jsonl_on) {
+        std::ostringstream payload;
+        fleet_metrics.write_json(payload);
+        jsonl_out << "{\"type\":\"metrics\",\"payload\":" << payload.str()
+                  << "}\n";
+        jsonl_out.flush();
+    }
+    if (trace_on) {
+        std::ofstream tf(cfg.trace_path);
+        if (!tf)
+            throw std::runtime_error("run_cluster: cannot open trace path " +
+                                     cfg.trace_path);
+        obs::write_chrome_trace(
+            tf, master_trace->events(),
+            {{static_cast<std::uint32_t>(S), "fleet"}});
+    }
     return out;
 }
 

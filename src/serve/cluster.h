@@ -123,6 +123,25 @@ struct cluster_config {
     /// Sweep-pool width for the per-SoC simulations (0 = hardware
     /// concurrency, 1 = inline). Never changes results.
     unsigned threads = 0;
+
+    // ---- observability (src/obs) ----
+    /// Streaming P² backend for the fleet/per-tenant latency percentiles
+    /// (O(1) memory instead of every sample). Default exact, so historical
+    /// results and goldens are bit-identical; bench/fleet_scaling reports
+    /// both to quantify the estimator error.
+    bool streaming_quantiles = false;
+    /// Chrome trace-event JSON output path ("" = off). Per-SoC recorders
+    /// are folded deterministically at each round barrier and the file is
+    /// written once at the end of the run (valid JSON needs the closing
+    /// bracket). Load in Perfetto / chrome://tracing.
+    std::string trace_path;
+    /// Telemetry JSONL output path ("" = off). Per-epoch rows (buffered
+    /// per SoC, merged round-major at each barrier) and one fleet_round
+    /// row per round stream to the file *during* the run; a final
+    /// "metrics" row dumps the fleet metrics registry.
+    std::string metrics_jsonl_path;
+    /// Emit every Nth epoch JSONL row (0 behaves as 1).
+    std::uint32_t epoch_sample_every = 1;
 };
 
 /// Convenience: a homogeneous fleet of `n` identical instances.
@@ -140,8 +159,8 @@ struct tenant_metrics {
     std::uint64_t routed = 0;     ///< arrivals assigned to some SoC
     std::uint64_t completed = 0;
     std::uint64_t dropped = 0;    ///< refused at a full per-SoC queue
-    percentile_tracker latency_ms;
-    percentile_tracker queue_delay_ms;
+    quantile_accumulator latency_ms;
+    quantile_accumulator queue_delay_ms;
 };
 
 struct cluster_result {
@@ -161,8 +180,11 @@ struct cluster_result {
     std::uint64_t dropped_unroutable = 0;   ///< no SoC hosts the model
     cycle_t makespan = 0;                   ///< max per-SoC makespan
 
-    percentile_tracker fleet_latency_ms;
-    percentile_tracker fleet_queue_delay_ms;
+    /// Fleet-wide latency/queue-delay summaries. Exact by default;
+    /// cluster_config::streaming_quantiles switches them (and the
+    /// per-tenant trackers) to the O(1)-memory P² backend.
+    quantile_accumulator fleet_latency_ms;
+    quantile_accumulator fleet_queue_delay_ms;
     /// Per-tenant metrics keyed by model abbreviation.
     std::map<std::string, tenant_metrics> tenants;
 

@@ -24,6 +24,7 @@
 #include "common/types.h"
 #include "dram/dram_system.h"
 #include "model/model.h"
+#include "obs/observer.h"
 #include "runtime/workload.h"
 #include "sim/soc_config.h"
 
@@ -100,6 +101,14 @@ struct experiment_config {
     cycle_t page_retry_interval = 2'000;
     /// Bandwidth reallocation epoch for MoCA/AuRORA.
     cycle_t bw_epoch = 50'000;
+
+    // ---- observability (src/obs) ----
+    /// Nullable observer hooks (trace recorder, metrics registry, epoch
+    /// JSONL sink, host profiler). Borrowed pointers — the caller owns them
+    /// and outlives the run. Never fingerprinted: snapshots taken with and
+    /// without observers are interchangeable, and a run with the default
+    /// (all-null) observer is bit-identical to one without the obs layer.
+    obs::run_observer obs{};
 };
 
 struct inference_record {

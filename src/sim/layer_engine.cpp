@@ -250,6 +250,7 @@ layer_engine::layer_run& layer_engine::run_of(task_id slot) {
 }
 
 void layer_engine::on_event(const typed_event& ev) {
+    obs::profile_scope scope(prof_, obs::subsystem::layer);
     const task_id slot = static_cast<task_id>(ev.a);
     switch (ev.kind) {
         case kind_tile_gate:
@@ -265,6 +266,7 @@ void layer_engine::on_event(const typed_event& ev) {
 
 void layer_engine::on_transfer_done(const npu::dma_target& target,
                                     cycle_t done) {
+    obs::profile_scope scope(prof_, obs::subsystem::layer);
     const task_id slot = static_cast<task_id>(target.a);
     layer_run& run = run_of(slot);
     if (target.b & store_bit) {
@@ -367,6 +369,11 @@ void layer_engine::maybe_finish(task_id slot) {
     if (auto* bus = machine_.telemetry())
         bus->on_layer_retired(t->id, compute_total,
                               end > issue ? end - issue : 0, is_lbm);
+    if (trace_ != nullptr)
+        trace_->complete_arg(trace_->intern(t->mdl->abbr),
+                             is_lbm ? "layer.lbm" : "layer",
+                             static_cast<std::uint32_t>(t->id), issue, end,
+                             t->current_layer);
     if (on_done_) on_done_(t->id, end);
 }
 

@@ -84,6 +84,13 @@ public:
     void restore_state(snapshot_reader& r, std::vector<runtime::task>& tasks,
                        const std::vector<address_map>& addrs);
 
+    /// Attaches the trace recorder (nullptr detaches): one duration event
+    /// per retired layer, spanning issue to final store, on the slot's tid.
+    void set_trace(obs::trace_recorder* trace) { trace_ = trace; }
+    /// Attaches the host-time profiler (nullptr detaches): tile-gate and
+    /// DMA-completion processing charge `layer`.
+    void set_profiler(obs::profiler* prof) { prof_ = prof; }
+
 private:
     // Typed layer events: a = slot; store_due carries the tile in b.
     static constexpr std::uint8_t kind_tile_gate = 0;
@@ -164,6 +171,8 @@ private:
     /// std::map encoding this replaces.
     std::vector<layer_run> runs_;
     std::size_t active_count_ = 0;
+    obs::trace_recorder* trace_ = nullptr;
+    obs::profiler* prof_ = nullptr;
 };
 
 }  // namespace camdn::sim

@@ -11,6 +11,9 @@
 #include "dram/dram_system.h"
 #include "npu/dma_engine.h"
 #include "npu/npu_core.h"
+#include "obs/observer.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/layer_engine.h"
 #include "sim/soc_config.h"
 
@@ -44,6 +47,18 @@ public:
         dma_->set_telemetry(bus);
     }
     adapt::telemetry_bus* telemetry() const { return telemetry_; }
+
+    /// Fans the run observer's hooks out to the instrumented components:
+    /// the trace recorder to the DMA and layer engines, the profiler to the
+    /// DMA engine, layer engine and DRAM. Null pointers detach. Observation
+    /// only — attaching an observer never changes simulated behavior.
+    void set_observer(const obs::run_observer& o) {
+        dma_->set_trace(o.trace);
+        dma_->set_profiler(o.prof);
+        layers_->set_trace(o.trace);
+        layers_->set_profiler(o.prof);
+        dram_->set_profiler(o.prof);
+    }
 
 private:
     soc_config config_;

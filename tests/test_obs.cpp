@@ -1,0 +1,608 @@
+// Tests of the observability layer (src/obs) and its common/stats
+// backends:
+//   * P² streaming quantiles — accuracy against the exact tracker on
+//     uniform / lognormal / adversarial streams (with the error bounds
+//     the header promises), small-n exactness, determinism;
+//   * quantile_accumulator — backend switch rules, merge semantics,
+//     exact() access guard;
+//   * trace recorder — Chrome trace JSON validity (mini validator),
+//     per-(pid, tid) timestamp ordering, interning, absorb, drop cap;
+//   * zero-overhead-off — a run with every observer attached is
+//     bit-identical (results AND snapshot bytes) to a bare run;
+//   * cluster determinism — trace and JSONL files byte-identical across
+//     sweep-pool widths;
+//   * metrics registry and profiler basics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/model_zoo.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "runtime/scheduler.h"
+#include "runtime/workload.h"
+#include "serve/cluster.h"
+#include "sim/experiment.h"
+
+namespace camdn {
+namespace {
+
+// ---- mini JSON validator ----------------------------------------------
+// Recursive-descent structural check: enough to prove the exported trace
+// and registry dumps are well-formed JSON without a third-party parser.
+
+struct json_checker {
+    const std::string& s;
+    std::size_t i = 0;
+
+    void ws() {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                                s[i] == '\r'))
+            ++i;
+    }
+    bool eat(char c) {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+    bool string() {
+        ws();
+        if (i >= s.size() || s[i] != '"') return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size()) return false;
+            }
+            ++i;
+        }
+        return eat('"') || (s[i - 1] == '"' && true);
+    }
+    bool number() {
+        ws();
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-') ++i;
+        while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                                s[i] == '+' || s[i] == '-'))
+            ++i;
+        return i > start;
+    }
+    bool literal(const char* lit) {
+        ws();
+        const std::size_t n = std::string(lit).size();
+        if (s.compare(i, n, lit) == 0) {
+            i += n;
+            return true;
+        }
+        return false;
+    }
+    bool value() {
+        ws();
+        if (i >= s.size()) return false;
+        switch (s[i]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+    bool object() {
+        if (!eat('{')) return false;
+        if (eat('}')) return true;
+        do {
+            if (!string() || !eat(':') || !value()) return false;
+        } while (eat(','));
+        return eat('}');
+    }
+    bool array() {
+        if (!eat('[')) return false;
+        if (eat(']')) return true;
+        do {
+            if (!value()) return false;
+        } while (eat(','));
+        return eat(']');
+    }
+};
+
+bool valid_json(const std::string& text) {
+    json_checker c{text};
+    if (!c.value()) return false;
+    c.ws();
+    return c.i == text.size();
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// ---- P² streaming quantiles -------------------------------------------
+
+/// Max |P² - exact| / range over the reporting quantiles.
+double worst_rel_err(const p2_quantiles& p2, const percentile_tracker& ex) {
+    const double range = ex.max() - ex.min();
+    if (range == 0.0) return 0.0;
+    double worst = 0.0;
+    worst = std::max(worst, std::abs(p2.p50() - ex.p50()) / range);
+    worst = std::max(worst, std::abs(p2.p95() - ex.p95()) / range);
+    worst = std::max(worst, std::abs(p2.p99() - ex.p99()) / range);
+    return worst;
+}
+
+TEST(p2, uniform_stream_tracks_exact_quantiles) {
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    p2_quantiles p2;
+    percentile_tracker exact;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = u(rng);
+        p2.add(v);
+        exact.add(v);
+    }
+    // Uniform is the friendly case: everything lands within 1% of range.
+    EXPECT_LT(worst_rel_err(p2, exact), 0.01);
+    EXPECT_EQ(p2.count(), exact.count());
+    EXPECT_DOUBLE_EQ(p2.min(), exact.min());
+    EXPECT_DOUBLE_EQ(p2.max(), exact.max());
+}
+
+TEST(p2, lognormal_stream_tracks_exact_quantiles) {
+    std::mt19937_64 rng(11);
+    std::lognormal_distribution<double> ln(0.0, 1.0);
+    p2_quantiles p2;
+    percentile_tracker exact;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = ln(rng);
+        p2.add(v);
+        exact.add(v);
+    }
+    // Heavy tail stretches the range; 2% of range still bounds the error,
+    // and the body quantiles stay within 5% relative.
+    EXPECT_LT(worst_rel_err(p2, exact), 0.02);
+    EXPECT_LT(std::abs(p2.p50() - exact.p50()) / exact.p50(), 0.05);
+    EXPECT_LT(std::abs(p2.p95() - exact.p95()) / exact.p95(), 0.05);
+}
+
+TEST(p2, adversarial_sorted_and_alternating_streams_stay_bounded) {
+    // Monotone ascending: the worst case for marker-based estimators.
+    {
+        p2_quantiles p2;
+        percentile_tracker exact;
+        for (int i = 0; i < 10000; ++i) {
+            p2.add(static_cast<double>(i));
+            exact.add(static_cast<double>(i));
+        }
+        EXPECT_LT(worst_rel_err(p2, exact), 0.12);
+    }
+    // Alternating extremes (bimodal): P²'s genuine worst case — the
+    // parabolic marker update assumes a locally smooth density, so the
+    // median marker settles between the modes while the exact median sits
+    // on one of them. Observed error is 1/3 of range; estimates still
+    // never leave [min, max].
+    {
+        p2_quantiles p2;
+        percentile_tracker exact;
+        for (int i = 0; i < 10000; ++i) {
+            const double v = (i % 2 == 0) ? 1.0 : 1000.0;
+            p2.add(v);
+            exact.add(v);
+        }
+        EXPECT_LT(worst_rel_err(p2, exact), 0.4);
+        EXPECT_GE(p2.p50(), exact.min());
+        EXPECT_LE(p2.p50(), exact.max());
+    }
+}
+
+TEST(p2, exact_below_five_samples) {
+    // The estimator promises nearest-rank exactness until five samples.
+    p2_estimator median(0.5);
+    EXPECT_EQ(median.value(), 0.0);  // empty
+    const double vals[4] = {9.0, 1.0, 5.0, 3.0};
+    percentile_tracker exact;
+    for (int n = 0; n < 4; ++n) {
+        median.add(vals[n]);
+        exact.add(vals[n]);
+        EXPECT_DOUBLE_EQ(median.value(), exact.quantile(0.5))
+            << "after " << n + 1 << " samples";
+    }
+}
+
+TEST(p2, deterministic_for_identical_streams) {
+    std::mt19937_64 rng_a(3), rng_b(3);
+    std::lognormal_distribution<double> ln(0.0, 0.5);
+    p2_quantiles a, b;
+    for (int i = 0; i < 5000; ++i) a.add(ln(rng_a));
+    for (int i = 0; i < 5000; ++i) b.add(ln(rng_b));
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.p95(), b.p95());
+    EXPECT_EQ(a.p99(), b.p99());
+}
+
+// ---- quantile_accumulator ---------------------------------------------
+
+TEST(quantile_accumulator, exact_mode_matches_percentile_tracker) {
+    quantile_accumulator acc;  // exact by default
+    percentile_tracker ref;
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<double> u(0.0, 10.0);
+    for (int i = 0; i < 500; ++i) {
+        const double v = u(rng);
+        acc.add(v);
+        ref.add(v);
+    }
+    EXPECT_FALSE(acc.streaming());
+    EXPECT_DOUBLE_EQ(acc.p50(), ref.p50());
+    EXPECT_DOUBLE_EQ(acc.p95(), ref.p95());
+    EXPECT_DOUBLE_EQ(acc.p99(), ref.p99());
+    EXPECT_EQ(acc.exact().count(), ref.count());
+}
+
+TEST(quantile_accumulator, backend_switch_only_while_empty) {
+    quantile_accumulator acc;
+    acc.set_streaming(true);   // empty: fine
+    acc.set_streaming(false);  // back again: fine
+    acc.add(1.0);
+    EXPECT_NO_THROW(acc.set_streaming(false));  // no-op switch is allowed
+    EXPECT_THROW(acc.set_streaming(true), std::logic_error);
+}
+
+TEST(quantile_accumulator, exact_access_throws_in_streaming_mode) {
+    quantile_accumulator acc;
+    acc.set_streaming(true);
+    acc.add(1.0);
+    EXPECT_THROW(acc.exact(), std::logic_error);
+}
+
+TEST(quantile_accumulator, merge_feeds_streaming_backend_in_sorted_order) {
+    // Build the same multiset through two differently-ordered trackers;
+    // the streaming merge sorts first, so both accumulators agree exactly.
+    percentile_tracker fwd, rev;
+    for (int i = 0; i < 100; ++i) fwd.add(static_cast<double>(i));
+    for (int i = 99; i >= 0; --i) rev.add(static_cast<double>(i));
+    quantile_accumulator a, b;
+    a.set_streaming(true);
+    b.set_streaming(true);
+    a.merge(fwd);
+    b.merge(rev);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.p95(), b.p95());
+    EXPECT_EQ(a.p99(), b.p99());
+}
+
+// ---- trace recorder ---------------------------------------------------
+
+TEST(trace, export_is_valid_json_and_per_thread_ordered) {
+    obs::trace_recorder rec(2);
+    // Record deliberately out of timestamp order across two tids.
+    rec.complete("conv1", "layer", 1, 500, 900);
+    rec.complete("conv0", "layer", 0, 100, 400);
+    rec.complete_arg("weights", "dma", 1, 50, 450, 4096);
+    rec.instant("page_timeout", "sched", 0, 50);
+    rec.complete("conv2", "layer", 0, 450, 800);
+
+    const auto sorted = obs::sorted_for_export(rec.events());
+    ASSERT_EQ(sorted.size(), 5u);
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        const auto& p = sorted[i - 1];
+        const auto& e = sorted[i];
+        const bool same_lane = p.pid == e.pid && p.tid == e.tid;
+        if (same_lane) EXPECT_LE(p.ts, e.ts) << "event " << i;
+    }
+
+    std::ostringstream out;
+    obs::write_chrome_trace(out, rec.events(), {{2u, "test soc"}});
+    const std::string text = out.str();
+    EXPECT_TRUE(valid_json(text)) << text.substr(0, 200);
+    // All five events plus metadata made it out.
+    EXPECT_NE(text.find("\"conv1\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("test soc"), std::string::npos);
+    // 1 GHz clock: 500 cycles -> 0.5 us.
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(trace, intern_returns_stable_pointers_and_absorb_reinterns) {
+    obs::trace_recorder rec(0);
+    const char* a = rec.intern(std::string("RS."));
+    const char* b = rec.intern(std::string("RS."));
+    EXPECT_EQ(a, b);  // same string, same pointer
+    rec.complete_arg(a, "inference", 3, 0, 100, 1);
+
+    obs::trace_recorder master(7);
+    master.absorb(rec);
+    ASSERT_EQ(master.size(), 1u);
+    // Events keep their recording pid (per-SoC lanes survive the fold)...
+    EXPECT_EQ(master.events()[0].pid, 0u);
+    // ...and the name was re-interned into the master's storage.
+    EXPECT_STREQ(master.events()[0].name, "RS.");
+    EXPECT_NE(master.events()[0].name, a);
+}
+
+TEST(trace, event_cap_counts_drops_instead_of_growing) {
+    obs::trace_recorder rec(0, 3);
+    for (int i = 0; i < 10; ++i)
+        rec.complete("e", "cat", 0, i, i + 1);
+    EXPECT_EQ(rec.size(), 3u);
+    EXPECT_EQ(rec.dropped(), 7u);
+}
+
+// ---- metrics registry -------------------------------------------------
+
+TEST(metrics, registry_roundtrip_and_deterministic_json) {
+    obs::metrics_registry m;
+    m.add("sched.completions");
+    m.add("sched.completions", 4);
+    m.set("eq.events_executed", 1234);
+    m.gauge_set("sim.idle_pages", 17.0);
+    for (int i = 1; i <= 100; ++i)
+        m.histogram("sched.latency_ms").add(static_cast<double>(i));
+
+    EXPECT_EQ(m.counter("sched.completions"), 5u);
+    EXPECT_EQ(m.counter("eq.events_executed"), 1234u);
+    EXPECT_EQ(m.counter("missing"), 0u);
+    EXPECT_DOUBLE_EQ(m.gauge("sim.idle_pages"), 17.0);
+    ASSERT_NE(m.find_histogram("sched.latency_ms"), nullptr);
+    EXPECT_EQ(m.find_histogram("sched.latency_ms")->count(), 100u);
+    EXPECT_EQ(m.find_histogram("missing"), nullptr);
+
+    std::ostringstream a, b;
+    m.write_json(a);
+    m.write_json(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_TRUE(valid_json(a.str())) << a.str().substr(0, 200);
+}
+
+// ---- jsonl sink -------------------------------------------------------
+
+TEST(jsonl, buffered_drain_preserves_order_and_streaming_writes_through) {
+    obs::jsonl_sink buf;
+    buf.row("{\"a\":1}");
+    buf.row("{\"a\":2}");
+    obs::jsonl_sink dst;
+    buf.drain_to(dst);
+    EXPECT_EQ(buf.rows(), 0u);
+    ASSERT_EQ(dst.buffered().size(), 2u);
+    EXPECT_EQ(dst.buffered()[0], "{\"a\":1}");
+
+    std::ostringstream out;
+    obs::jsonl_sink stream(&out);
+    stream.row("{\"b\":1}");
+    EXPECT_EQ(out.str(), "{\"b\":1}\n");
+    EXPECT_TRUE(stream.buffered().empty());
+}
+
+// ---- profiler ---------------------------------------------------------
+
+TEST(profiler, scopes_are_null_safe_and_attribute_exclusively) {
+    { obs::profile_scope null_scope(nullptr, obs::subsystem::dma); }  // no-op
+
+    obs::profiler prof;
+    {
+        obs::profile_scope outer(&prof, obs::subsystem::dma);
+        { obs::profile_scope inner(&prof, obs::subsystem::dram); }
+    }
+    // Attribution is exclusive: per-subsystem times sum to the total.
+    double sum = 0.0;
+    for (std::size_t s = 0; s < obs::n_subsystems; ++s)
+        sum += prof.seconds(static_cast<obs::subsystem>(s));
+    EXPECT_NEAR(sum, prof.total_seconds(), 1e-9);
+    EXPECT_GE(prof.seconds(obs::subsystem::dram), 0.0);
+}
+
+// ---- zero-overhead-off: observed run == bare run ----------------------
+
+sim::experiment_config observed_cfg() {
+    sim::experiment_config cfg;
+    cfg.pol = sim::policy::camdn_adaptive;
+    cfg.workload = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.co_located = 4;
+    cfg.kind = runtime::workload_kind::open_loop_poisson;
+    cfg.arrival_rate_per_ms = 0.8;
+    cfg.total_arrivals = 8;
+    cfg.admission_queue_limit = 8;
+    cfg.seed = 23;
+    return cfg;
+}
+
+void expect_identical(const sim::experiment_result& a,
+                      const sim::experiment_result& b) {
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    for (std::size_t i = 0; i < a.completions.size(); ++i) {
+        EXPECT_EQ(a.completions[i].end, b.completions[i].end);
+        EXPECT_EQ(a.completions[i].abbr, b.completions[i].abbr);
+        EXPECT_EQ(a.completions[i].dram_bytes, b.completions[i].dram_bytes);
+    }
+}
+
+TEST(zero_overhead_off, observed_run_results_are_bit_identical) {
+    const auto bare = sim::run_experiment(observed_cfg());
+
+    obs::trace_recorder trace(0);
+    trace.set_chunk_events(true);  // max granularity, still observation-only
+    obs::metrics_registry metrics;
+    obs::jsonl_sink epochs;
+    obs::profiler prof;
+    auto cfg = observed_cfg();
+    cfg.obs.trace = &trace;
+    cfg.obs.metrics = &metrics;
+    cfg.obs.epochs = &epochs;
+    cfg.obs.prof = &prof;
+    const auto observed = sim::run_experiment(cfg);
+
+    expect_identical(bare, observed);
+    // The observers actually saw the run.
+    EXPECT_GT(trace.size(), 0u);
+    EXPECT_GT(metrics.counter("sched.completions"), 0u);
+    EXPECT_GT(metrics.counter("eq.events_executed"), 0u);
+    EXPECT_GT(epochs.rows(), 0u);
+    ASSERT_NE(metrics.find_histogram("sched.latency_ms"), nullptr);
+    EXPECT_EQ(metrics.find_histogram("sched.latency_ms")->count(),
+              bare.completions.size());
+}
+
+TEST(zero_overhead_off, snapshot_bytes_are_bit_identical) {
+    // Pause both runs at the same mid-run boundary: the snapshot of the
+    // observed machine must be byte-equal to the bare machine's (observers
+    // are never fingerprinted or serialized).
+    const auto cfg = observed_cfg();
+    const cycle_t boundary = ms_to_cycles(2.0);
+
+    auto gen_bare = runtime::make_workload_generator(cfg);
+    runtime::scheduler bare(cfg, *gen_bare);
+    ASSERT_TRUE(bare.run_segment(boundary));
+
+    obs::trace_recorder trace(0);
+    obs::metrics_registry metrics;
+    auto ocfg = cfg;
+    ocfg.obs.trace = &trace;
+    ocfg.obs.metrics = &metrics;
+    auto gen_obs = runtime::make_workload_generator(ocfg);
+    runtime::scheduler observed(ocfg, *gen_obs);
+    ASSERT_TRUE(observed.run_segment(boundary));
+
+    EXPECT_EQ(bare.save().encode(), observed.save().encode());
+}
+
+TEST(zero_overhead_off, epoch_sampling_thins_rows_without_changing_the_run) {
+    auto every1 = observed_cfg();
+    obs::jsonl_sink rows1;
+    every1.obs.epochs = &rows1;
+    every1.obs.epoch_sample_every = 1;
+    const auto a = sim::run_experiment(every1);
+
+    auto every4 = observed_cfg();
+    obs::jsonl_sink rows4;
+    every4.obs.epochs = &rows4;
+    every4.obs.epoch_sample_every = 4;
+    const auto b = sim::run_experiment(every4);
+
+    expect_identical(a, b);
+    EXPECT_GT(rows1.rows(), rows4.rows());
+    EXPECT_GE(rows4.rows(), (rows1.rows() + 3) / 4);
+}
+
+// ---- cluster observability --------------------------------------------
+
+serve::cluster_config small_fleet() {
+    serve::soc_instance_config inst;
+    inst.slots = 2;
+    inst.admission_queue_limit = 8;
+    serve::cluster_config cfg = serve::uniform_cluster(2, inst);
+    cfg.models = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.arrival_rate_per_ms = 2.0;
+    cfg.total_arrivals = 24;
+    cfg.feedback_rounds = 2;
+    return cfg;
+}
+
+TEST(cluster_obs, trace_and_jsonl_identical_across_pool_widths) {
+    const std::string t1 = "test_obs_trace_w1.json";
+    const std::string t4 = "test_obs_trace_w4.json";
+    const std::string j1 = "test_obs_epochs_w1.jsonl";
+    const std::string j4 = "test_obs_epochs_w4.jsonl";
+
+    auto cfg = small_fleet();
+    cfg.trace_path = t1;
+    cfg.metrics_jsonl_path = j1;
+    cfg.threads = 1;
+    const auto a = serve::run_cluster(cfg);
+    cfg.trace_path = t4;
+    cfg.metrics_jsonl_path = j4;
+    cfg.threads = 4;
+    const auto b = serve::run_cluster(cfg);
+
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+
+    const std::string trace1 = slurp(t1), trace4 = slurp(t4);
+    const std::string rows1 = slurp(j1), rows4 = slurp(j4);
+    ASSERT_FALSE(trace1.empty());
+    ASSERT_FALSE(rows1.empty());
+    EXPECT_EQ(trace1, trace4);
+    EXPECT_EQ(rows1, rows4);
+    EXPECT_TRUE(valid_json(trace1)) << trace1.substr(0, 200);
+    // Every JSONL row is itself valid JSON; fleet_round and metrics rows
+    // are present alongside the epoch rows.
+    std::istringstream lines(rows1);
+    std::string line;
+    bool saw_epoch = false, saw_round = false, saw_metrics = false;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(valid_json(line)) << line.substr(0, 200);
+        saw_epoch |= line.find("\"type\":\"epoch\"") != std::string::npos;
+        saw_round |= line.find("\"type\":\"fleet_round\"") != std::string::npos;
+        saw_metrics |= line.find("\"type\":\"metrics\"") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_epoch);
+    EXPECT_TRUE(saw_round);
+    EXPECT_TRUE(saw_metrics);
+
+    for (const auto& p : {t1, t4, j1, j4}) std::remove(p.c_str());
+}
+
+TEST(cluster_obs, observed_cluster_run_matches_bare_run) {
+    const auto bare = serve::run_cluster(small_fleet());
+
+    auto cfg = small_fleet();
+    cfg.trace_path = "test_obs_cluster_trace.json";
+    cfg.metrics_jsonl_path = "test_obs_cluster_epochs.jsonl";
+    const auto observed = serve::run_cluster(cfg);
+
+    EXPECT_EQ(bare.completed, observed.completed);
+    EXPECT_EQ(bare.makespan, observed.makespan);
+    EXPECT_EQ(bare.events_executed, observed.events_executed);
+    EXPECT_EQ(bare.dropped_queue, observed.dropped_queue);
+    EXPECT_EQ(bare.fleet_latency_ms.count(), observed.fleet_latency_ms.count());
+    EXPECT_DOUBLE_EQ(bare.fleet_latency_ms.p99(),
+                     observed.fleet_latency_ms.p99());
+
+    std::remove(cfg.trace_path.c_str());
+    std::remove(cfg.metrics_jsonl_path.c_str());
+}
+
+TEST(cluster_obs, streaming_quantiles_change_memory_not_the_run) {
+    const auto exact = serve::run_cluster(small_fleet());
+    auto cfg = small_fleet();
+    cfg.streaming_quantiles = true;
+    const auto p2 = serve::run_cluster(cfg);
+
+    // Same simulation either way...
+    EXPECT_EQ(exact.completed, p2.completed);
+    EXPECT_EQ(exact.makespan, p2.makespan);
+    EXPECT_EQ(exact.fleet_latency_ms.count(), p2.fleet_latency_ms.count());
+    EXPECT_FALSE(exact.fleet_latency_ms.streaming());
+    EXPECT_TRUE(p2.fleet_latency_ms.streaming());
+    // ...and the streamed estimates stay inside the sample range (the
+    // handful of completions here is far too small for a tight P² bound —
+    // bench/fleet_scaling quantifies the error at realistic counts).
+    EXPECT_DOUBLE_EQ(p2.fleet_latency_ms.min(), exact.fleet_latency_ms.min());
+    EXPECT_DOUBLE_EQ(p2.fleet_latency_ms.max(), exact.fleet_latency_ms.max());
+    EXPECT_GE(p2.fleet_latency_ms.p50(), exact.fleet_latency_ms.min());
+    EXPECT_LE(p2.fleet_latency_ms.p50(), exact.fleet_latency_ms.max());
+    EXPECT_THROW(p2.fleet_latency_ms.exact(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace camdn

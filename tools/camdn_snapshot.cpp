@@ -253,6 +253,68 @@ int cmd_inspect(const options& opt) {
         std::cout << "  (engine section did not parse: " << e.what() << ")\n";
     }
 
+    // Telemetry summary: epoch count, open-epoch state and the counter
+    // totals across the recorded history (mirrors adapt::telemetry_bus::
+    // save_state for the current snapshot version).
+    try {
+        if (!snap.telemetry.empty()) {
+            camdn::snapshot_reader r(snap.telemetry);
+            const std::uint64_t epoch_start = r.u64();
+            const std::uint64_t slots = r.u64();
+            // Open-epoch counters: layers retired / completions accumulated
+            // since the last cut tell whether the epoch has content.
+            std::uint64_t open_layers = 0, open_completions = 0;
+            for (std::uint64_t s = 0; s < slots; ++s) {
+                std::uint64_t c[15];
+                for (auto& v : c) v = r.u64();
+                r.i64();  // slack_cycles
+                open_layers += c[5];
+                open_completions += c[12];
+            }
+            const std::uint64_t epochs = r.u64();
+            std::uint64_t layers = 0, completions = 0, dma_bytes = 0;
+            std::uint64_t hits = 0, misses = 0, waits = 0, timeouts = 0;
+            std::uint64_t dram_bytes = 0;
+            for (std::uint64_t e = 0; e < epochs; ++e) {
+                r.u64();  // index
+                r.u64();  // start
+                r.u64();  // end
+                const std::uint64_t n = r.u64();
+                for (std::uint64_t s = 0; s < n; ++s) {
+                    std::uint64_t c[15];
+                    for (auto& v : c) v = r.u64();
+                    r.i64();  // slack_cycles
+                    hits += c[0];
+                    misses += c[1];
+                    dma_bytes += c[4];
+                    layers += c[5];
+                    waits += c[9];
+                    timeouts += c[10];
+                    completions += c[12];
+                }
+                dram_bytes += r.u64();
+                r.u64();  // dram_throttled
+                r.d();    // bw_utilization
+                r.u32();  // idle_pages
+                r.u32();  // active_slots
+            }
+            std::cout << "  telemetry epochs:     " << epochs
+                      << " (open epoch since cycle " << epoch_start << ": "
+                      << open_layers << " layer(s), " << open_completions
+                      << " completion(s))\n"
+                      << "  telemetry totals:     " << layers << " layers, "
+                      << completions << " completions, "
+                      << dma_bytes / (1024.0 * 1024.0) << " MiB DMA, "
+                      << dram_bytes / (1024.0 * 1024.0) << " MiB DRAM\n"
+                      << "                        cache " << hits << " hit(s) / "
+                      << misses << " miss(es), page-wait " << waits
+                      << " cycle(s), " << timeouts << " timeout(s)\n";
+        }
+    } catch (const camdn::snapshot_error& e) {
+        std::cout << "  (telemetry section did not parse: " << e.what()
+                  << ")\n";
+    }
+
     auto section = [](const char* name, const std::vector<std::uint8_t>& b) {
         std::cout << "  section " << name << ": " << b.size() << " bytes\n";
     };
