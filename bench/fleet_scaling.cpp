@@ -126,5 +126,53 @@ int main() {
     std::cout << "\nP² keeps five markers per quantile (O(1) memory)\n"
                  "instead of every sample; the error column is what that\n"
                  "buys on this run's latency distribution.\n";
+
+    // Blame table: the same largest grid point with latency attribution
+    // on — which stall component dominates each tenant's latency and
+    // which co-tenant it mostly waited behind (row max of the
+    // interference matrix, self excluded; dma_stall blames "self").
+    bench::banner("Per-tenant blame: top stall component + top interferer");
+    cfg.streaming_quantiles = false;
+    cfg.attribution = true;
+    const auto blamed = serve::run_cluster(cfg);
+
+    table_printer b({"tenant", "served", "stall (ms)", "stall frac",
+                     "top stall component", "top interferer"});
+    for (const auto& [name, tm] : blamed.tenants) {
+        if (tm.attribution_completed == 0) continue;
+        const auto& c = tm.attribution;
+        const std::uint64_t stall = c.stall_sum();
+        std::string interferer = "-";
+        std::uint64_t worst = 0;
+        const auto row = blamed.interference.find(name);
+        if (row != blamed.interference.end()) {
+            for (const auto& [holder, cycles] : row->second) {
+                if (cycles > worst) {
+                    worst = cycles;
+                    interferer = holder == name ? "self" : holder;
+                }
+            }
+        }
+        b.add_row({name, std::to_string(tm.attribution_completed),
+                   fmt_fixed(cycles_to_ms(stall), 2),
+                   fmt_fixed(tm.attribution_latency_cycles != 0
+                                 ? static_cast<double>(stall) /
+                                       tm.attribution_latency_cycles
+                                 : 0.0,
+                             3),
+                   obs::top_stall_component(c), interferer});
+        bench::json_report(
+            "fleet_scaling",
+            {bench::jstr("phase", "blame"), bench::jstr("tenant", name),
+             bench::jint("served", tm.attribution_completed),
+             bench::jint("stall_cycles", stall),
+             bench::jint("latency_cycles", tm.attribution_latency_cycles),
+             bench::jstr("top_stall", obs::top_stall_component(c)),
+             bench::jstr("top_interferer", interferer)});
+    }
+    b.print(std::cout);
+    std::cout << "\nAttribution decomposes each tenant's latency into six\n"
+                 "exclusive components (bit-exact sum); the interferer\n"
+                 "column is who held the resource during those stalls.\n";
     return 0;
 }

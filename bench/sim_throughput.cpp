@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "obs/attribution.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -115,8 +116,9 @@ sim::experiment_config base_experiment() {
 
 /// Runs one single-SoC scenario, optionally with the full observability
 /// stack attached (trace recorder with chunk events, metrics registry,
-/// epoch JSONL sink, host profiler) — the obs_on timed body also pays for
-/// serializing the trace and metrics, since a real observed run does.
+/// epoch JSONL sink, host profiler, latency attributor) — the obs_on
+/// timed body also pays for serializing the trace, metrics and
+/// attribution row, since a real observed run does.
 measurement run_experiment_scenario(const std::string& name,
                                     sim::experiment_config cfg,
                                     std::uint32_t reps, bool obs_on) {
@@ -125,18 +127,21 @@ measurement run_experiment_scenario(const std::string& name,
         obs::metrics_registry metrics;
         obs::jsonl_sink epochs;
         obs::profiler prof;
+        obs::latency_attributor attr;
         if (obs_on) {
             trace.set_chunk_events(true);
             cfg.obs.trace = &trace;
             cfg.obs.metrics = &metrics;
             cfg.obs.epochs = &epochs;
             cfg.obs.prof = &prof;
+            cfg.obs.attr = &attr;
         }
         const auto res = sim::run_experiment(cfg);
         if (obs_on) {
             std::ostringstream sink;
             obs::write_chrome_trace(sink, trace.events());
             metrics.write_json(sink);
+            sink << attr.jsonl_row(0, 0);
             cfg.obs = {};
         }
         return std::make_pair(res.makespan, res.events_executed);
@@ -170,6 +175,7 @@ measurement run_fleet(bool fast, std::uint32_t reps, bool obs_on = false) {
         // JSON), as a real observed fleet run would use.
         cfg.trace_path = "sim_throughput_obs_trace.json";
         cfg.metrics_jsonl_path = "sim_throughput_obs_metrics.jsonl";
+        cfg.attribution = true;  // implied by the paths; explicit anyway
     }
     return time_scenario("fleet", reps, [&cfg]() {
         const auto res = serve::run_cluster(cfg);

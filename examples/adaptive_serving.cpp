@@ -10,6 +10,11 @@
 // the router and sustained SLA violation re-plans placement.
 //
 //   ./build/adaptive_serving            (REPRO_FAST=1 shrinks everything)
+//
+// Observability: CAMDN_TRACE=<path> writes a Chrome trace of the Part-3
+// fleet run, CAMDN_METRICS_JSONL=<path> streams its telemetry/attribution
+// rows (both optional; results are bit-identical either way).
+#include <cstdlib>
 #include <iostream>
 
 #include "bench/harness.h"
@@ -120,6 +125,14 @@ int main() {
     fleet.arrival_rate_per_ms = 6.0;
     fleet.total_arrivals = bench::fast_mode() ? 64 : 192;
     fleet.feedback_rounds = 4;
+    if (const char* path = std::getenv("CAMDN_TRACE")) {
+        fleet.trace_path = path;
+        std::cout << "[obs] writing Chrome trace to " << path << "\n";
+    }
+    if (const char* path = std::getenv("CAMDN_METRICS_JSONL")) {
+        fleet.metrics_jsonl_path = path;
+        std::cout << "[obs] streaming metrics JSONL to " << path << "\n";
+    }
     const auto res = serve::run_cluster(fleet);
 
     std::cout << "served " << res.completed << "/" << res.arrivals

@@ -5,10 +5,21 @@
 // dropped arrivals. A second part replays an explicit bursty trace.
 //
 //   ./build/open_loop_serving [rate_per_ms]   (default sweep 1/2/4 per ms)
+//
+// Observability: CAMDN_TRACE=<path> writes a Chrome trace of the burst
+// replay, CAMDN_METRICS_JSONL=<path> streams its epoch/attribution rows
+// plus a final metrics dump (camdn_report-consumable). Both optional;
+// results are bit-identical either way.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/harness.h"
+#include "obs/attribution.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace camdn;
 
@@ -72,7 +83,42 @@ int main(int argc, char** argv) {
         burst.trace.push_back(
             {ms_to_cycles(2.0), &model::model_by_abbr("MB.")});
     }
+
+    // Optional observability on the burst replay (observation only: the
+    // table below is bit-identical with or without these attached).
+    const char* trace_path = std::getenv("CAMDN_TRACE");
+    const char* jsonl_path = std::getenv("CAMDN_METRICS_JSONL");
+    obs::trace_recorder trace(0);
+    obs::metrics_registry metrics;
+    obs::latency_attributor attr;
+    std::ofstream jsonl_out;
+    obs::jsonl_sink epochs(&jsonl_out);
+    if (trace_path != nullptr) {
+        burst.obs.trace = &trace;
+        std::cout << "[obs] writing Chrome trace to " << trace_path << "\n";
+    }
+    if (jsonl_path != nullptr) {
+        jsonl_out.open(jsonl_path);
+        burst.obs.metrics = &metrics;
+        burst.obs.epochs = &epochs;
+        std::cout << "[obs] streaming metrics JSONL to " << jsonl_path
+                  << "\n";
+    }
+    if (trace_path != nullptr || jsonl_path != nullptr) burst.obs.attr = &attr;
+
     const auto res = sim::run_experiment(burst);
+
+    if (trace_path != nullptr) {
+        std::ofstream tf(trace_path);
+        obs::write_chrome_trace(tf, trace.events());
+    }
+    if (jsonl_path != nullptr) {
+        jsonl_out << attr.jsonl_row(0, 0) << "\n";
+        std::ostringstream payload;
+        metrics.write_json(payload);
+        jsonl_out << "{\"type\":\"metrics\",\"payload\":" << payload.str()
+                  << "}\n";
+    }
 
     table_printer bt({"arrival (ms)", "start (ms)", "end (ms)",
                       "queue delay (ms)"});

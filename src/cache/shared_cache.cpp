@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attribution.h"
+
 namespace camdn::cache {
 
 namespace {
@@ -36,15 +38,22 @@ void shared_cache::set_transparent_ways(std::uint32_t ways) {
     transparent_ways_ = ways;
 }
 
-cycle_t shared_cache::occupy_slice(std::uint32_t slice, cycle_t arrival) {
+cycle_t shared_cache::occupy_slice(std::uint32_t slice, cycle_t arrival,
+                                   task_id task) {
     cycle_t start = std::max(arrival, slice_free_[slice]);
+    if (attr_ != nullptr) {
+        if (start > arrival)
+            attr_->on_cache_wait(task, slice_user_[slice], start - arrival);
+        slice_user_[slice] = task;
+    }
     slice_free_[slice] = start + 1;
     ++stats_.slice_busy_cycles;
     return start + 1;
 }
 
 cycle_t shared_cache::occupy_striped(std::uint32_t start_slice,
-                                     std::uint64_t nlines, cycle_t arrival) {
+                                     std::uint64_t nlines, cycle_t arrival,
+                                     task_id task) {
     // Consecutive lines visit slices round-robin beginning at start_slice,
     // so slice s serves floor(n/slices) lines plus one if its offset from
     // start_slice is below n mod slices.
@@ -61,11 +70,29 @@ cycle_t shared_cache::occupy_striped(std::uint32_t start_slice,
         const std::uint64_t n = base + (offset < rem ? 1 : 0);
         if (n == 0) continue;
         const cycle_t start = std::max(arrival, slice_free_[s]);
+        if (attr_ != nullptr) {
+            if (start > arrival)
+                attr_->on_cache_wait(task, slice_user_[s], start - arrival);
+            slice_user_[s] = task;
+        }
         slice_free_[s] = start + n;
         stats_.slice_busy_cycles += n;
         done = std::max(done, slice_free_[s]);
     }
     return done;
+}
+
+void shared_cache::set_attribution(obs::latency_attributor* attr) {
+    attr_ = attr;
+    if (attr_ != nullptr) {
+        slice_user_.assign(config_.slices, no_task);
+        // Raw penalty of a transparent read miss over the hit it displaced:
+        // the isolated DRAM line service plus fill/NoC hops. DRAM *waits*
+        // inside the miss are charged by the DRAM hooks — this constant
+        // deliberately excludes them to avoid double counting.
+        miss_penalty_cycles_ = dram_.isolated_line_service_cycles() +
+                               config_.fill_latency + config_.noc_latency;
+    }
 }
 
 void shared_cache::bump_task(std::vector<std::uint64_t>& v, task_id task) {
@@ -102,7 +129,7 @@ access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
         }
     }
 
-    const cycle_t service = occupy_slice(slice, arrival);
+    const cycle_t service = occupy_slice(slice, arrival, task);
 
     if (chosen != nullptr) {  // hit
         ++stats_.hits;
@@ -118,6 +145,14 @@ access_result shared_cache::transparent_access(addr_t paddr, bool is_write,
     bump_task(task_misses_, task);
     if (telemetry_) telemetry_->on_cache_access(task, false);
     line_entry& victim = invalid_way != nullptr ? *invalid_way : *lru_way;
+    if (attr_ != nullptr && !is_write) {
+        // Blame the fill on whoever's line the requester lost: with an
+        // invalid way free the miss is cold (self-inflicted); otherwise the
+        // victim's owner displaced the requester's working set.
+        const task_id holder =
+            victim.valid && victim.owner != task ? victim.owner : task;
+        attr_->on_cache_wait(task, holder, miss_penalty_cycles_);
+    }
     if (victim.valid) {
         ++stats_.evictions;
         if (victim.owner != task) ++stats_.inter_task_evictions;
@@ -187,13 +222,13 @@ void shared_cache::destroy_cpt(task_id task) {
 cycle_t shared_cache::region_read(task_id task, addr_t vcaddr, cycle_t arrival) {
     ++stats_.region_reads;
     const pcaddr p = cpt(task).translate(vcaddr);
-    return occupy_slice(p.slice, arrival) + config_.hit_latency;
+    return occupy_slice(p.slice, arrival, task) + config_.hit_latency;
 }
 
 cycle_t shared_cache::region_write(task_id task, addr_t vcaddr, cycle_t arrival) {
     ++stats_.region_writes;
     const pcaddr p = cpt(task).translate(vcaddr);
-    return occupy_slice(p.slice, arrival) + config_.noc_latency;
+    return occupy_slice(p.slice, arrival, task) + config_.noc_latency;
 }
 
 cycle_t shared_cache::region_fill(task_id task, addr_t vcaddr, addr_t dram_addr,
@@ -201,7 +236,7 @@ cycle_t shared_cache::region_fill(task_id task, addr_t vcaddr, addr_t dram_addr,
     ++stats_.region_fills;
     const pcaddr p = cpt(task).translate(vcaddr);
     const cycle_t dram_done = dram_.access(dram_addr, false, arrival, task);
-    const cycle_t slot = occupy_slice(p.slice, dram_done);
+    const cycle_t slot = occupy_slice(p.slice, dram_done, task);
     return slot + config_.fill_latency;
 }
 
@@ -209,7 +244,7 @@ cycle_t shared_cache::region_writeback(task_id task, addr_t vcaddr,
                                        addr_t dram_addr, cycle_t arrival) {
     ++stats_.region_writebacks;
     const pcaddr p = cpt(task).translate(vcaddr);
-    const cycle_t slot = occupy_slice(p.slice, arrival);
+    const cycle_t slot = occupy_slice(p.slice, arrival, task);
     return dram_.access(dram_addr, true, slot, task);
 }
 
@@ -230,7 +265,7 @@ cycle_t shared_cache::multicast_read(task_id task, addr_t vcaddr,
     ++stats_.multicast_reads;
     if (group_size > 1) stats_.multicast_combined += group_size - 1;
     const pcaddr p = cpt(task).translate(vcaddr);
-    return occupy_slice(p.slice, arrival) + config_.hit_latency;
+    return occupy_slice(p.slice, arrival, task) + config_.hit_latency;
 }
 
 cycle_t shared_cache::multicast_bypass_read(addr_t dram_addr, cycle_t arrival,
@@ -249,7 +284,8 @@ cycle_t shared_cache::region_read_burst(task_id task, addr_t vcaddr,
     if (group_size > 1) stats_.multicast_combined += (group_size - 1) * nlines;
     if (telemetry_) telemetry_->on_region_lines(task, nlines);
     const pcaddr first = cpt(task).translate(vcaddr);
-    return occupy_striped(first.slice, nlines, arrival) + config_.hit_latency;
+    return occupy_striped(first.slice, nlines, arrival, task) +
+           config_.hit_latency;
 }
 
 cycle_t shared_cache::region_write_burst(task_id task, addr_t vcaddr,
@@ -258,7 +294,8 @@ cycle_t shared_cache::region_write_burst(task_id task, addr_t vcaddr,
     stats_.region_writes += nlines;
     if (telemetry_) telemetry_->on_region_lines(task, nlines);
     const pcaddr first = cpt(task).translate(vcaddr);
-    return occupy_striped(first.slice, nlines, arrival) + config_.noc_latency;
+    return occupy_striped(first.slice, nlines, arrival, task) +
+           config_.noc_latency;
 }
 
 cycle_t shared_cache::region_fill_burst(task_id task, addr_t vcaddr,
@@ -270,7 +307,8 @@ cycle_t shared_cache::region_fill_burst(task_id task, addr_t vcaddr,
     const pcaddr first = cpt(task).translate(vcaddr);
     const cycle_t dram_done =
         dram_.access_burst(dram_addr, nlines, false, arrival, task);
-    const cycle_t slices_done = occupy_striped(first.slice, nlines, arrival);
+    const cycle_t slices_done =
+        occupy_striped(first.slice, nlines, arrival, task);
     return std::max(dram_done, slices_done) + config_.fill_latency;
 }
 
@@ -281,7 +319,8 @@ cycle_t shared_cache::region_writeback_burst(task_id task, addr_t vcaddr,
     if (nlines == 0) return arrival;
     stats_.region_writebacks += nlines;
     const pcaddr first = cpt(task).translate(vcaddr);
-    const cycle_t slices_done = occupy_striped(first.slice, nlines, arrival);
+    const cycle_t slices_done =
+        occupy_striped(first.slice, nlines, arrival, task);
     return dram_.access_burst(dram_addr, nlines, true, slices_done, task);
 }
 

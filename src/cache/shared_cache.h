@@ -30,6 +30,10 @@
 #include "common/types.h"
 #include "dram/dram_system.h"
 
+namespace camdn::obs {
+class latency_attributor;
+}
+
 namespace camdn::cache {
 
 struct cache_stats {
@@ -139,6 +143,12 @@ public:
     /// null check when telemetry is off).
     void set_telemetry(adapt::telemetry_bus* bus) { telemetry_ = bus; }
 
+    /// Attaches the latency attributor (nullptr detaches): slice-occupancy
+    /// waits are charged against each slice's previous user and
+    /// transparent read misses against the evicted line's owner.
+    /// Observation only — the side tables never enter snapshot bytes.
+    void set_attribution(obs::latency_attributor* attr);
+
     /// Drops every transparent line (used between experiment repetitions).
     void invalidate_all();
 
@@ -166,12 +176,14 @@ private:
     }
 
     /// Reserves one service slot on `slice` at or after `arrival`; returns
-    /// the cycle the slot completes.
-    cycle_t occupy_slice(std::uint32_t slice, cycle_t arrival);
+    /// the cycle the slot completes. `task` is the requester, for
+    /// attribution only (no_task = untracked) — timing ignores it.
+    cycle_t occupy_slice(std::uint32_t slice, cycle_t arrival,
+                         task_id task = no_task);
 
     /// Reserves `nlines` striped service slots starting at `start_slice`.
     cycle_t occupy_striped(std::uint32_t start_slice, std::uint64_t nlines,
-                           cycle_t arrival);
+                           cycle_t arrival, task_id task = no_task);
 
     void bump_task(std::vector<std::uint64_t>& v, task_id task);
 
@@ -200,6 +212,11 @@ private:
     adapt::telemetry_bus* telemetry_ = nullptr;
     std::vector<std::uint64_t> task_hits_;
     std::vector<std::uint64_t> task_misses_;
+
+    // Attribution side tables (observation only, never serialized).
+    obs::latency_attributor* attr_ = nullptr;
+    std::vector<task_id> slice_user_;  // last occupant per slice
+    cycle_t miss_penalty_cycles_ = 0;  // isolated fill cost of a read miss
 };
 
 }  // namespace camdn::cache

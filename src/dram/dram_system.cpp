@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attribution.h"
+
 namespace camdn::dram {
 
 namespace {
@@ -90,16 +92,23 @@ cycle_t dram_system::regulate(task_id task, cycle_t arrival) {
 
 cycle_t dram_system::access_timed(addr_t line_addr, cycle_t arrival,
                                   task_id task) {
-    arrival = regulate(task, arrival);
+    const cycle_t reg_arrival = regulate(task, arrival);
+    if (attr_ != nullptr && reg_arrival > arrival)
+        attr_->on_dram_wait(task, task, reg_arrival - arrival);
+    arrival = reg_arrival;
 
     const decoded d = decode(line_addr);
-    bank_state& bank = banks_[static_cast<std::size_t>(d.channel) *
-                                  config_.banks_per_channel +
-                              d.bank];
+    const std::size_t bank_idx =
+        static_cast<std::size_t>(d.channel) * config_.banks_per_channel +
+        d.bank;
+    bank_state& bank = banks_[bank_idx];
     std::uint64_t& bus_free = bus_free_[d.channel];
 
     const std::uint64_t arrival_deci = arrival * deci;
     const std::uint64_t start = std::max(arrival_deci, bank.ready_deci);
+    if (attr_ != nullptr && start > arrival_deci)
+        attr_->on_dram_wait(task, bank_user_[bank_idx],
+                            (start - arrival_deci + deci - 1) / deci);
 
     // Latency of this access (visible to the requester) and occupancy of
     // the bank (what the *next* access to this bank waits for). Row hits
@@ -122,6 +131,13 @@ cycle_t dram_system::access_timed(addr_t line_addr, cycle_t arrival,
 
     const std::uint64_t cmd_done = start + cmd_cycles * deci;
     const std::uint64_t data_start = std::max(cmd_done, bus_free);
+    if (attr_ != nullptr) {
+        if (data_start > cmd_done)
+            attr_->on_dram_wait(task, bus_user_[d.channel],
+                                (data_start - cmd_done + deci - 1) / deci);
+        bank_user_[bank_idx] = task;
+        bus_user_[d.channel] = task;
+    }
     const std::uint64_t data_end = data_start + data_slot_deci_;
     bus_free = data_end;
     stats_.bus_busy_deci += data_end - data_start;
@@ -174,6 +190,14 @@ void dram_system::set_task_share(task_id task, double fraction) {
 }
 
 void dram_system::clear_task_shares() { regulators_.clear(); }
+
+void dram_system::set_attribution(obs::latency_attributor* attr) {
+    attr_ = attr;
+    if (attr_ != nullptr) {
+        bank_user_.assign(banks_.size(), no_task);
+        bus_user_.assign(bus_free_.size(), no_task);
+    }
+}
 
 std::uint64_t dram_system::task_bytes(task_id task) const {
     if (task < 0 || static_cast<std::size_t>(task) >= per_task_bytes_.size())

@@ -21,6 +21,10 @@
 #include "dram/dram_config.h"
 #include "obs/profile.h"
 
+namespace camdn::obs {
+class latency_attributor;
+}
+
 namespace camdn::dram {
 
 struct dram_stats {
@@ -92,6 +96,20 @@ public:
     /// line would dominate the very cost being measured).
     void set_profiler(obs::profiler* prof) { prof_ = prof; }
 
+    /// Attaches the latency attributor (nullptr detaches): per-access bank
+    /// / bus / regulation waits are charged to the requesting task against
+    /// the resource's previous user. Observation only — the holder side
+    /// tables live outside the timing state and are never serialized, so
+    /// attached runs stay bit-identical in results and snapshot bytes.
+    void set_attribution(obs::latency_attributor* attr);
+
+    /// Contention-free service cycles of one line (row-hit CAS + data slot
+    /// + controller) — the cache's transparent-miss penalty constant.
+    cycle_t isolated_line_service_cycles() const {
+        return (config_.t_cl * 10 + data_slot_deci_ + controller_deci_ + 9) /
+               10;
+    }
+
 private:
     struct bank_state {
         std::int64_t open_row = -1;   // -1: no open row (precharged)
@@ -132,6 +150,12 @@ private:
     std::vector<std::uint64_t> per_task_bytes_;   // indexed by task id
     dram_stats stats_;
     obs::profiler* prof_ = nullptr;
+
+    // Attribution side tables (observation only, never serialized): the
+    // task that last occupied each bank / channel bus, for blame charging.
+    obs::latency_attributor* attr_ = nullptr;
+    std::vector<task_id> bank_user_;  // channel * banks + bank
+    std::vector<task_id> bus_user_;   // per channel
 
     // Constants derived from config_ at construction (hot-path hoists).
     bool pow2_geometry_ = false;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/attribution.h"
+
 namespace camdn::npu {
 
 namespace {
@@ -186,6 +188,9 @@ void dma_engine::pump(std::uint64_t id) {
     }
     // Wake when the oldest chunk retires; that frees a window slot.
     const cycle_t next = f.out[f.out_head];
+    if (attr_ != nullptr && f.issued_chunks < f.total_chunks &&
+        next > eq_.now())
+        attr_->on_dma_window_wait(f.req.task, next - eq_.now());
     if (++f.out_head == f.out.size()) {
         f.out.clear();
         f.out_head = 0;

@@ -37,6 +37,10 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 
+namespace camdn::obs {
+class latency_attributor;
+}
+
 namespace camdn::npu {
 
 /// One logical tensor transfer of a tile.
@@ -123,6 +127,11 @@ public:
     /// charges `dma`, the synchronous transfer path charges `cache` (with
     /// DRAM bursts re-attributed inside dram_system).
     void set_profiler(obs::profiler* prof) { prof_ = prof; }
+    /// Attaches the latency attributor (nullptr detaches): flights report
+    /// the cycles their issue loop spent gated on a full chunk window (a
+    /// diagnostic counter; the memory-side waits inside each chunk are
+    /// charged by the cache/DRAM hooks).
+    void set_attribution(obs::latency_attributor* attr) { attr_ = attr; }
 
 private:
     /// In-flight bookkeeping of one submitted transfer: the request, the
@@ -171,6 +180,7 @@ private:
     adapt::telemetry_bus* telemetry_ = nullptr;
     obs::trace_recorder* trace_ = nullptr;
     obs::profiler* prof_ = nullptr;
+    obs::latency_attributor* attr_ = nullptr;
 };
 
 }  // namespace camdn::npu

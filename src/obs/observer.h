@@ -19,12 +19,16 @@ class trace_recorder;
 class metrics_registry;
 class jsonl_sink;
 class profiler;
+class latency_attributor;
 
 struct run_observer {
     trace_recorder* trace = nullptr;     ///< Chrome-trace event recorder
     metrics_registry* metrics = nullptr; ///< counters/gauges/P² histograms
     jsonl_sink* epochs = nullptr;        ///< per-epoch telemetry rows
     profiler* prof = nullptr;            ///< host wall-time attribution
+    /// Per-request latency attribution + interference matrix
+    /// (obs/attribution.h).
+    latency_attributor* attr = nullptr;
 
     /// Emit every Nth epoch row (sampling interval; 0 behaves as 1).
     std::uint32_t epoch_sample_every = 1;
@@ -33,12 +37,14 @@ struct run_observer {
 
     bool enabled() const {
         return trace != nullptr || metrics != nullptr || epochs != nullptr ||
-               prof != nullptr;
+               prof != nullptr || attr != nullptr;
     }
     /// True when the scheduler must run the telemetry bus to feed this
-    /// observer (epoch rows and epoch-paced metrics both consume cuts).
+    /// observer (epoch rows, epoch-paced metrics, and the attribution
+    /// counter tracks sampled into the trace all consume cuts).
     bool wants_epochs() const {
-        return epochs != nullptr || metrics != nullptr;
+        return epochs != nullptr || metrics != nullptr ||
+               (attr != nullptr && trace != nullptr);
     }
 };
 

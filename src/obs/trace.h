@@ -83,6 +83,13 @@ public:
                  cycle_t at) {
         push(trace_event{name, cat, at, 0, 0, pid_, tid, 'i', false});
     }
+    /// Records a counter ('C') sample: the cumulative value of `name` at
+    /// `at` cycles. Chrome/Perfetto render these as per-pid counter tracks
+    /// (the attribution layer emits one track per latency component).
+    void counter(const char* name, std::uint32_t tid, cycle_t at,
+                 std::uint64_t value) {
+        push(trace_event{name, "counter", at, 0, value, pid_, tid, 'C', true});
+    }
 
     /// Interns a dynamic name (model abbreviation) and returns a pointer
     /// that stays valid for the recorder's lifetime.

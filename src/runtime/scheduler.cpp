@@ -5,6 +5,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "obs/attribution.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "sim/mapping_registry.h"
@@ -601,6 +602,23 @@ void scheduler::observe_epoch(const adapt::epoch_snapshot& snap) {
         m.gauge_set("sim.idle_pages", snap.idle_pages);
         m.gauge_set("sim.active_slots", snap.active_slots);
     }
+    if (o.attr != nullptr) {
+        if (o.epochs != nullptr && snap.index % every == 0)
+            o.epochs->row(o.attr->jsonl_row(o.soc_index, snap.index));
+        if (o.trace != nullptr) {
+            // One counter track per latency component: cumulative cycles
+            // sampled at each epoch cut.
+            const cycle_t at = machine_.eq().now();
+            const obs::attribution_components tot = o.attr->totals();
+            o.trace->counter("attr.queue_wait", 0, at, tot.queue_wait);
+            o.trace->counter("attr.page_wait", 0, at, tot.page_wait);
+            o.trace->counter("attr.dma_stall", 0, at, tot.dma_stall);
+            o.trace->counter("attr.dram_contention", 0, at,
+                             tot.dram_contention);
+            o.trace->counter("attr.cache_penalty", 0, at, tot.cache_penalty);
+            o.trace->counter("attr.compute", 0, at, tot.compute);
+        }
+    }
 }
 
 void scheduler::maybe_cut_epoch() {
@@ -658,6 +676,7 @@ void scheduler::try_dispatch() {
         // Re-key the slot's parameter addresses to the dispatched model
         // (FNV-1a of the name keeps runs reproducible across processes).
         addrs_[slot] = sim::address_map(slot, model_salt(mdl->name));
+        if (auto* at = cfg_.obs.attr) at->on_dispatch(slot, mdl->abbr);
         t.arrival = arrival;
         // The deadline anchors at arrival — the same reference the SLA
         // metrics use — so queue delay consumes slack. Closed-loop slots
@@ -706,6 +725,8 @@ void scheduler::try_dispatch() {
 
 void scheduler::begin_inference(task& t) {
     t.started = machine_.eq().now();
+    if (auto* at = cfg_.obs.attr)
+        at->on_inference_start(t.id, t.arrival, t.started);
     neg_[t.id] = {};
     t.dram_bytes_mark = machine_.dram().task_bytes(t.id);
     t.lbm_enabled = false;
@@ -801,6 +822,16 @@ void scheduler::negotiate_pages(task& t, allocation_decision d) {
             if (auto* tr = cfg_.obs.trace)
                 tr->complete("page_wait", "sched",
                              static_cast<std::uint32_t>(t.id), now, retry);
+            if (auto* at = cfg_.obs.attr) {
+                // Who holds the pages this wait is gated on: the co-located
+                // slots' current allocations apportion the blame.
+                held_pages_.resize(cfg_.co_located);
+                for (std::uint32_t s = 0; s < cfg_.co_located; ++s)
+                    held_pages_[s] = machine_.cache().pages().allocated(
+                        static_cast<task_id>(s));
+                at->on_page_wait(t.id, retry - now, held_pages_.data(),
+                                 held_pages_.size());
+            }
             // The retry is a typed event: the decision's payload lands in
             // the slot's pending_negotiation record so a mid-wait
             // checkpoint can rebuild it.
@@ -918,6 +949,7 @@ void scheduler::end_inference(task& t, cycle_t end) {
         if (t.deadline != never && end > t.deadline)
             m->add("sched.deadline_misses");
     }
+    if (auto* at = cfg_.obs.attr) at->on_inference_end(t.id, end);
     if (sim::is_camdn(cfg_.pol)) {
         machine_.cache().pages().release_all(t.id);
         t.p_alloc = 0;
@@ -1076,6 +1108,8 @@ void scheduler::fill_result() {
         m->set("eq.dispatch.sched", eq.typed_dispatched(event_channel::sched));
         m->set("eq.dispatch.closure", eq.closures_dispatched());
     }
+    if (cfg_.obs.attr != nullptr && cfg_.obs.metrics != nullptr)
+        cfg_.obs.attr->export_metrics(*cfg_.obs.metrics);
 }
 
 void scheduler::finalize() {

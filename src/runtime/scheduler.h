@@ -210,6 +210,9 @@ private:
 
     std::vector<npu_id> free_cores_;
     std::deque<work_item> dispatch_queue_;
+    /// Scratch buffer for the attribution page-wait hook (per-slot page
+    /// holdings at the wait instant); reused to avoid per-wait allocation.
+    std::vector<std::uint32_t> held_pages_;
 
     // ---- telemetry + adaptive control (src/adapt) ----
     bool telemetry_on_ = false;

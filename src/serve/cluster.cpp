@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "model/model_zoo.h"
+#include "obs/attribution.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -184,6 +185,14 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
                 cfg.metrics_jsonl_path);
     }
     obs::metrics_registry fleet_metrics;
+    // Attribution rides along whenever any exporter wants it; the fleet
+    // master folds per-(round, SoC) attributors at each barrier.
+    const bool attr_on = cfg.attribution || trace_on || jsonl_on;
+    std::unique_ptr<obs::latency_attributor> fleet_attr;
+    if (attr_on) {
+        fleet_attr = std::make_unique<obs::latency_attributor>();
+        fleet_attr->set_keep_records(false);
+    }
     cycle_t prev_round_end = 0;
 
     // Phase 2+3, per round: route the round's slice of the shared stream,
@@ -243,6 +252,8 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         std::vector<std::unique_ptr<obs::trace_recorder>> round_traces(
             trace_on ? S : 0);
         std::vector<obs::jsonl_sink> round_epochs(jsonl_on ? S : 0);
+        std::vector<std::unique_ptr<obs::latency_attributor>> round_attrs(
+            attr_on ? S : 0);
 
         std::vector<sim::experiment_config> ecs(S);
         for (std::size_t s = 0; s < S; ++s) {
@@ -264,6 +275,11 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
                 ec.obs.trace = round_traces[s].get();
             }
             if (jsonl_on) ec.obs.epochs = &round_epochs[s];
+            if (attr_on) {
+                round_attrs[s] = std::make_unique<obs::latency_attributor>();
+                round_attrs[s]->set_keep_records(false);
+                ec.obs.attr = round_attrs[s].get();
+            }
         }
         // Warm-carry rounds resume every SoC from its previous round's
         // snapshot: cache warmth, DRAM timing, per-slot counters and the
@@ -312,8 +328,33 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             master_trace->complete(master_trace->intern(name.str()), "fleet",
                                    0, prev_round_end, round_end);
         }
+        if (attr_on) {
+            for (const auto& a : round_attrs) fleet_attr->absorb(*a);
+            if (trace_on) {
+                // Fleet-lane counter tracks: cumulative attribution sampled
+                // at every round barrier.
+                const obs::attribution_components tot = fleet_attr->totals();
+                master_trace->counter("attr.queue_wait", 0, round_end,
+                                      tot.queue_wait);
+                master_trace->counter("attr.page_wait", 0, round_end,
+                                      tot.page_wait);
+                master_trace->counter("attr.dma_stall", 0, round_end,
+                                      tot.dma_stall);
+                master_trace->counter("attr.dram_contention", 0, round_end,
+                                      tot.dram_contention);
+                master_trace->counter("attr.cache_penalty", 0, round_end,
+                                      tot.cache_penalty);
+                master_trace->counter("attr.compute", 0, round_end,
+                                      tot.compute);
+            }
+        }
         if (jsonl_on) {
             for (auto& sink : round_epochs) sink.drain_to(jsonl_out);
+            // Cumulative fleet attribution at the barrier, on the fleet
+            // lane (soc == S), keyed by round.
+            jsonl_out << fleet_attr->jsonl_row(static_cast<std::uint32_t>(S),
+                                               round)
+                      << '\n';
             char buf[224];
             std::snprintf(
                 buf, sizeof buf,
@@ -400,6 +441,27 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     for (auto& [abbr, tenant] : out.tenants)
         tenant.dropped = tenant.routed - tenant.completed;
     if (fb_on) out.route_weights = fb.weights();
+
+    if (attr_on) {
+        // Roll the fleet attribution into the result and the metrics
+        // registry (tenant names are model abbreviations, matching
+        // out.tenants' keys).
+        const auto& names = fleet_attr->tenant_names();
+        const auto& tens = fleet_attr->tenants();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            auto& tm = out.tenants[names[i]];
+            tm.attribution_completed = tens[i].completed;
+            tm.attribution_latency_cycles = tens[i].latency_cycles;
+            tm.attribution = tens[i].comp;
+            for (std::size_t j = 0; j < names.size(); ++j) {
+                const std::uint64_t v = fleet_attr->interference(
+                    static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(j));
+                if (v != 0) out.interference[names[i]][names[j]] = v;
+            }
+        }
+        fleet_attr->export_metrics(fleet_metrics);
+    }
 
     if (jsonl_on) {
         std::ostringstream payload;

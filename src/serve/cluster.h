@@ -25,6 +25,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "model/model.h"
+#include "obs/attribution.h"
 #include "sim/experiment.h"
 
 namespace camdn::serve {
@@ -142,6 +143,13 @@ struct cluster_config {
     std::string metrics_jsonl_path;
     /// Emit every Nth epoch JSONL row (0 behaves as 1).
     std::uint32_t epoch_sample_every = 1;
+    /// Per-request latency attribution and the cross-tenant interference
+    /// matrix (obs/attribution.h): per-(round, SoC) attributors fold into
+    /// a fleet master at each barrier, filling tenant_metrics::attribution
+    /// and cluster_result::interference. Implied by trace_path or
+    /// metrics_jsonl_path (both exporters consume it). Observation only —
+    /// results are bit-identical either way.
+    bool attribution = false;
 };
 
 /// Convenience: a homogeneous fleet of `n` identical instances.
@@ -161,6 +169,14 @@ struct tenant_metrics {
     std::uint64_t dropped = 0;    ///< refused at a full per-SoC queue
     quantile_accumulator latency_ms;
     quantile_accumulator queue_delay_ms;
+
+    /// Latency-attribution rollup across the tenant's attributed
+    /// completions (zeros unless attribution ran — see
+    /// cluster_config::attribution). attribution.sum() equals
+    /// attribution_latency_cycles bit-exactly.
+    std::uint64_t attribution_completed = 0;
+    std::uint64_t attribution_latency_cycles = 0;
+    obs::attribution_components attribution;
 };
 
 struct cluster_result {
@@ -187,6 +203,10 @@ struct cluster_result {
     quantile_accumulator fleet_queue_delay_ms;
     /// Per-tenant metrics keyed by model abbreviation.
     std::map<std::string, tenant_metrics> tenants;
+    /// Cross-tenant interference: interference[i][j] = cycles tenant i
+    /// lost while tenant j held the contended resource (non-zero entries
+    /// only; empty unless attribution ran).
+    std::map<std::string, std::map<std::string, std::uint64_t>> interference;
 
     /// Completions within qos_scale * Table-I target.
     std::uint64_t deadline_met = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/attribution.h"
 #include "sim/soc.h"
 
 namespace camdn::sim {
@@ -369,6 +370,9 @@ void layer_engine::maybe_finish(task_id slot) {
     if (auto* bus = machine_.telemetry())
         bus->on_layer_retired(t->id, compute_total,
                               end > issue ? end - issue : 0, is_lbm);
+    if (attr_ != nullptr)
+        attr_->on_layer_retired(t->id, end > issue ? end - issue : 0,
+                                compute_total);
     if (trace_ != nullptr)
         trace_->complete_arg(trace_->intern(t->mdl->abbr),
                              is_lbm ? "layer.lbm" : "layer",

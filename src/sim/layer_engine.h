@@ -38,6 +38,10 @@
 #include "sim/address_map.h"
 #include "sim/soc_config.h"
 
+namespace camdn::obs {
+class latency_attributor;
+}
+
 namespace camdn::sim {
 
 class soc;
@@ -90,6 +94,10 @@ public:
     /// Attaches the host-time profiler (nullptr detaches): tile-gate and
     /// DMA-completion processing charge `layer`.
     void set_profiler(obs::profiler* prof) { prof_ = prof; }
+    /// Attaches the latency attributor (nullptr detaches): every retired
+    /// layer reports its wall span and pure-compute cycles, the per-layer
+    /// split the six-component decomposition is built on.
+    void set_attribution(obs::latency_attributor* attr) { attr_ = attr; }
 
 private:
     // Typed layer events: a = slot; store_due carries the tile in b.
@@ -173,6 +181,7 @@ private:
     std::size_t active_count_ = 0;
     obs::trace_recorder* trace_ = nullptr;
     obs::profiler* prof_ = nullptr;
+    obs::latency_attributor* attr_ = nullptr;
 };
 
 }  // namespace camdn::sim

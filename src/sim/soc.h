@@ -50,14 +50,20 @@ public:
 
     /// Fans the run observer's hooks out to the instrumented components:
     /// the trace recorder to the DMA and layer engines, the profiler to the
-    /// DMA engine, layer engine and DRAM. Null pointers detach. Observation
-    /// only — attaching an observer never changes simulated behavior.
+    /// DMA engine, layer engine and DRAM, the latency attributor to every
+    /// wait-charging component (DRAM, cache, DMA, layer engine). Null
+    /// pointers detach. Observation only — attaching an observer never
+    /// changes simulated behavior.
     void set_observer(const obs::run_observer& o) {
         dma_->set_trace(o.trace);
         dma_->set_profiler(o.prof);
         layers_->set_trace(o.trace);
         layers_->set_profiler(o.prof);
         dram_->set_profiler(o.prof);
+        dram_->set_attribution(o.attr);
+        cache_->set_attribution(o.attr);
+        dma_->set_attribution(o.attr);
+        layers_->set_attribution(o.attr);
     }
 
 private:

@@ -1,0 +1,414 @@
+// camdn_report — attribution summaries and run-to-run diffs of camdn
+// metrics dumps.
+//
+// Loads one or two run dumps and either prints a latency-attribution
+// summary (component taxonomy, per-tenant blame, interference matrix) or
+// diffs every shared numeric metric between a baseline and a candidate
+// run with configurable regression thresholds:
+//
+//   camdn_report <dump>
+//       prints the attribution summary of one dump;
+//   camdn_report --diff <baseline> <candidate>
+//             [--rel-threshold R] [--abs-threshold A] [--all]
+//       compares every numeric metric the two dumps share, classifies
+//       each delta by a direction heuristic (latency/wait/stall/misses up
+//       = worse, completions/hits/throughput down = worse) and exits
+//       non-zero when any regression exceeds both thresholds.
+//
+// Accepted dump formats (auto-detected):
+//   * a metrics_registry JSON dump ({"counters":{...},...});
+//   * a metrics JSONL stream (serve::run_cluster's metrics_jsonl_path):
+//     the final {"type":"metrics"} row supplies the registry and the last
+//     {"type":"attribution"} row the cumulative fleet attribution;
+//   * camdn_snapshot inspect --json output (any JSON object works — every
+//     numeric leaf flattens to a dotted-path metric).
+//
+// The flattener is the contract: {"counters":{"attr.RS..compute_cycles":5}}
+// becomes counters.attr.RS..compute_cycles = 5, so new exporter fields
+// appear in diffs without tool changes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON value parser ----------------------------------------
+
+struct json_parser {
+    const std::string& s;
+    std::size_t i = 0;
+    bool ok = true;
+
+    void ws() {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                                s[i] == '\r'))
+            ++i;
+    }
+    bool eat(char c) {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+    std::string string() {
+        std::string out;
+        ws();
+        if (i >= s.size() || s[i] != '"') {
+            ok = false;
+            return out;
+        }
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) ++i;
+            out += s[i++];
+        }
+        if (!eat('"') && i > 0 && s[i - 1] != '"') ok = false;
+        return out;
+    }
+    /// Parses one value; numeric leaves land in `out` under `path`.
+    void value(const std::string& path, std::map<std::string, double>& out) {
+        ws();
+        if (!ok || i >= s.size()) {
+            ok = false;
+            return;
+        }
+        switch (s[i]) {
+            case '{': {
+                ++i;
+                if (eat('}')) return;
+                do {
+                    const std::string key = string();
+                    if (!ok || !eat(':')) {
+                        ok = false;
+                        return;
+                    }
+                    value(path.empty() ? key : path + "." + key, out);
+                } while (ok && eat(','));
+                if (!eat('}')) ok = false;
+                return;
+            }
+            case '[': {
+                ++i;
+                if (eat(']')) return;
+                std::size_t idx = 0;
+                do {
+                    value(path + "[" + std::to_string(idx++) + "]", out);
+                } while (ok && eat(','));
+                if (!eat(']')) ok = false;
+                return;
+            }
+            case '"':
+                string();
+                return;
+            case 't':
+                if (s.compare(i, 4, "true") == 0) {
+                    i += 4;
+                    out[path] = 1.0;
+                } else {
+                    ok = false;
+                }
+                return;
+            case 'f':
+                if (s.compare(i, 5, "false") == 0) {
+                    i += 5;
+                    out[path] = 0.0;
+                } else {
+                    ok = false;
+                }
+                return;
+            case 'n':
+                if (s.compare(i, 4, "null") == 0)
+                    i += 4;
+                else
+                    ok = false;
+                return;
+            default: {
+                const std::size_t start = i;
+                if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+                while (i < s.size() &&
+                       (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                        s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                        s[i] == '+' || s[i] == '-'))
+                    ++i;
+                if (i == start) {
+                    ok = false;
+                    return;
+                }
+                out[path] = std::strtod(s.c_str() + start, nullptr);
+                return;
+            }
+        }
+    }
+};
+
+/// Flattens one JSON text into dotted-path numeric leaves under `prefix`.
+bool flatten(const std::string& text, const std::string& prefix,
+             std::map<std::string, double>& out) {
+    json_parser p{text};
+    p.value(prefix, out);
+    p.ws();
+    return p.ok && p.i == text.size();
+}
+
+/// Loads a dump file: whole-file JSON, or a JSONL stream whose final
+/// "metrics" row supplies the registry and whose last "attribution" row
+/// the cumulative fleet attribution.
+bool load_dump(const std::string& path, std::map<std::string, double>& out) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "camdn_report: cannot open " << path << "\n";
+        return false;
+    }
+    std::ostringstream whole;
+    whole << in.rdbuf();
+    const std::string text = whole.str();
+    if (flatten(text, "", out)) return true;
+
+    // JSONL: keep the last row of each interesting type.
+    out.clear();
+    std::istringstream lines(text);
+    std::string line, metrics_row, attribution_row;
+    std::size_t parsed = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        if (line.find("\"type\":\"metrics\"") != std::string::npos)
+            metrics_row = line;
+        else if (line.find("\"type\":\"attribution\"") != std::string::npos)
+            attribution_row = line;
+        ++parsed;
+    }
+    if (parsed == 0) {
+        std::cerr << "camdn_report: " << path << " is neither JSON nor JSONL\n";
+        return false;
+    }
+    bool any = false;
+    if (!metrics_row.empty()) {
+        std::map<std::string, double> row;
+        if (flatten(metrics_row, "", row)) {
+            // Strip the "payload." wrapper: the registry dump's own
+            // counters./gauges./histograms. paths are the metric names.
+            for (const auto& [k, v] : row) {
+                const std::string want = "payload.";
+                if (k.compare(0, want.size(), want) == 0)
+                    out[k.substr(want.size())] = v;
+            }
+            any = true;
+        }
+    }
+    if (!attribution_row.empty() &&
+        flatten(attribution_row, "attribution", out))
+        any = true;
+    if (!any)
+        std::cerr << "camdn_report: no metrics or attribution rows in "
+                  << path << "\n";
+    return any;
+}
+
+// ---- summary ----------------------------------------------------------
+
+const char* component_names[6] = {"queue_wait",      "page_wait",
+                                  "dma_stall",       "dram_contention",
+                                  "cache_penalty",   "compute"};
+
+double get(const std::map<std::string, double>& m, const std::string& k) {
+    const auto it = m.find(k);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+void print_summary(const std::map<std::string, double>& m) {
+    // Component totals come from either exporter: the metrics registry's
+    // attr.total.* counters or a JSONL attribution row.
+    double totals[6] = {};
+    bool have = false;
+    for (int c = 0; c < 6; ++c) {
+        const std::string name = component_names[c];
+        double v = get(m, "counters.attr.total." + name + "_cycles");
+        if (v == 0.0) v = get(m, "attribution." + name);
+        totals[c] = v;
+        have |= v != 0.0;
+    }
+    if (have) {
+        double sum = 0.0;
+        for (const double v : totals) sum += v;
+        std::printf("latency attribution (cycles)\n");
+        std::printf("  %-16s %16s %7s\n", "component", "cycles", "share");
+        for (int c = 0; c < 6; ++c)
+            std::printf("  %-16s %16.0f %6.1f%%\n", component_names[c],
+                        totals[c], sum > 0 ? 100.0 * totals[c] / sum : 0.0);
+        std::printf("  %-16s %16.0f\n", "total", sum);
+    } else {
+        std::printf("no attribution totals in this dump\n");
+    }
+
+    // Per-tenant rollup and interference matrix from the registry keys
+    // (attr.<tenant>.completed / attr.interference.<victim>.<holder>).
+    std::map<std::string, double> tenants;
+    std::vector<std::pair<std::string, double>> interference;
+    for (const auto& [k, v] : m) {
+        const std::string tpre = "counters.attr.";
+        if (k.compare(0, tpre.size(), tpre) != 0) continue;
+        const std::string rest = k.substr(tpre.size());
+        const std::size_t dot = rest.rfind('.');
+        if (dot == std::string::npos) continue;
+        const std::string field = rest.substr(dot + 1);
+        const std::string owner = rest.substr(0, dot);
+        if (owner == "total" || owner.empty()) continue;
+        if (owner.compare(0, 13, "interference.") == 0) {
+            if (v != 0.0) interference.push_back({owner.substr(13), v});
+        } else if (field == "completed") {
+            tenants[owner] = v;
+        }
+    }
+    if (!tenants.empty()) {
+        std::printf("\nper-tenant attribution\n");
+        std::printf("  %-8s %10s %16s %-16s\n", "tenant", "completed",
+                    "latency_cycles", "top stall");
+        for (const auto& [tenant, completed] : tenants) {
+            const std::string base = "counters.attr." + tenant + ".";
+            double worst = 0.0;
+            const char* top = "none";
+            for (int c = 1; c < 5; ++c) {  // the four blameable components
+                const double v = get(
+                    m, base + std::string(component_names[c]) + "_cycles");
+                if (v > worst) {
+                    worst = v;
+                    top = component_names[c];
+                }
+            }
+            std::printf("  %-8s %10.0f %16.0f %-16s\n", tenant.c_str(),
+                        completed, get(m, base + "latency_cycles"), top);
+        }
+    }
+    if (!interference.empty()) {
+        std::printf("\ninterference (victim.holder -> cycles)\n");
+        for (const auto& [pair, v] : interference)
+            std::printf("  %-24s %16.0f\n", pair.c_str(), v);
+    }
+}
+
+// ---- diff -------------------------------------------------------------
+
+enum class direction { higher_is_worse, lower_is_worse, neutral };
+
+bool contains_any(const std::string& key,
+                  std::initializer_list<const char*> words) {
+    for (const char* w : words)
+        if (key.find(w) != std::string::npos) return true;
+    return false;
+}
+
+/// Which way a metric regresses. Lower-is-worse words win ties ("cache
+/// hits" must not be read as a wait metric).
+direction direction_of(const std::string& key) {
+    if (contains_any(key, {"completions", "completed", "hit", "throughput",
+                           "deadline_met", "rounds"}))
+        return direction::lower_is_worse;
+    if (contains_any(key, {"latency", "wait", "stall", "contention",
+                           "penalty", "miss", "timeout", "dropped",
+                           "throttled", "eviction", "queue_delay"}))
+        return direction::higher_is_worse;
+    return direction::neutral;
+}
+
+int run_diff(const std::string& base_path, const std::string& cand_path,
+             double rel_threshold, double abs_threshold, bool show_all) {
+    std::map<std::string, double> base, cand;
+    if (!load_dump(base_path, base) || !load_dump(cand_path, cand)) return 2;
+
+    std::size_t shared = 0, changed = 0, regressions = 0;
+    std::printf("%-52s %14s %14s %9s\n", "metric", "baseline", "candidate",
+                "delta");
+    for (const auto& [key, b] : base) {
+        const auto it = cand.find(key);
+        if (it == cand.end()) continue;
+        ++shared;
+        const double c = it->second;
+        const double delta = c - b;
+        if (delta == 0.0 && !show_all) continue;
+        if (delta != 0.0) ++changed;
+
+        const direction dir = direction_of(key);
+        const bool worse = (dir == direction::higher_is_worse && delta > 0) ||
+                           (dir == direction::lower_is_worse && delta < 0);
+        const double rel =
+            b != 0.0 ? std::fabs(delta) / std::fabs(b)
+                     : (delta != 0.0 ? std::numeric_limits<double>::infinity()
+                                     : 0.0);
+        const bool regression = worse && std::fabs(delta) > abs_threshold &&
+                                rel > rel_threshold;
+        if (regression) ++regressions;
+        if (delta != 0.0 || show_all)
+            std::printf("%-52s %14.4g %14.4g %+8.2f%% %s\n", key.c_str(), b, c,
+                        b != 0.0 ? 100.0 * delta / b : 0.0,
+                        regression ? "REGRESSION"
+                                   : (worse ? "worse" : ""));
+    }
+    std::printf("\n%zu shared metrics, %zu changed, %zu regressions "
+                "(rel > %.3g and abs > %.3g)\n",
+                shared, changed, regressions, rel_threshold, abs_threshold);
+    if (shared == 0) {
+        std::cerr << "camdn_report: the dumps share no metrics\n";
+        return 2;
+    }
+    return regressions > 0 ? 1 : 0;
+}
+
+void usage() {
+    std::cerr
+        << "usage: camdn_report <dump>\n"
+           "       camdn_report --diff <baseline> <candidate>\n"
+           "           [--rel-threshold R] [--abs-threshold A] [--all]\n"
+           "dump formats: metrics registry JSON, cluster metrics JSONL,\n"
+           "camdn_snapshot inspect --json\n"
+           "exit status: 0 ok, 1 regression found, 2 usage/load error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string first = argv[1];
+    if (first == "--diff") {
+        if (argc < 4) {
+            usage();
+            return 2;
+        }
+        double rel = 0.05, abs = 0.0;
+        bool all = false;
+        for (int i = 4; i < argc; ++i) {
+            const std::string flag = argv[i];
+            if (flag == "--all") {
+                all = true;
+            } else if (flag == "--rel-threshold" && i + 1 < argc) {
+                rel = std::strtod(argv[++i], nullptr);
+            } else if (flag == "--abs-threshold" && i + 1 < argc) {
+                abs = std::strtod(argv[++i], nullptr);
+            } else {
+                usage();
+                return 2;
+            }
+        }
+        return run_diff(argv[2], argv[3], rel, abs, all);
+    }
+    if (first == "--help" || first == "-h") {
+        usage();
+        return 0;
+    }
+    std::map<std::string, double> dump;
+    if (!load_dump(first, dump)) return 2;
+    print_summary(dump);
+    return 0;
+}

@@ -15,9 +15,11 @@
 //   camdn_snapshot load <file> [--kind K] [--seed N]
 //       reconstructs the identical scenario, exact-resumes from the file
 //       and runs to completion (fingerprints must match the flags);
-//   camdn_snapshot inspect <file>
+//   camdn_snapshot inspect <file> [--json]
 //       prints the header, in-flight state and section sizes without
-//       simulating anything.
+//       simulating anything; --json emits one machine-readable JSON
+//       object instead (numeric leaves flatten into camdn_report
+//       metrics, so snapshots diff like any other run dump).
 //
 // Scenario kinds: closed, poisson, mmpp, churn, hybrid (closed-loop +
 // churn). The scenario is a pure function of the flags, so a file saved by
@@ -48,6 +50,7 @@ struct options {
     std::uint64_t seed = 17;
     std::uint32_t arrivals = 12;
     std::uint32_t slots = 2;
+    bool json = false;  ///< inspect: machine-readable output
 };
 
 void usage() {
@@ -55,19 +58,25 @@ void usage() {
         << "usage: camdn_snapshot <save|load|inspect> <file>\n"
            "         [--kind closed|poisson|mmpp|churn|hybrid]\n"
            "         [--boundary CYCLES] [--seed N] [--arrivals N] "
-           "[--slots N]\n"
+           "[--slots N] [--json]\n"
            "save: run the demo scenario to the boundary, snapshot to file\n"
            "load: exact-resume the scenario from file, run to completion\n"
-           "inspect: print header, in-flight state and section sizes\n";
+           "inspect: print header, in-flight state and section sizes\n"
+           "         (--json: one JSON object for camdn_report)\n";
 }
 
 bool parse(int argc, char** argv, options& opt) {
     if (argc < 3) return false;
     opt.command = argv[1];
     opt.file = argv[2];
-    if ((argc - 3) % 2 != 0) return false;  // flag missing its value
-    for (int i = 3; i + 1 < argc; i += 2) {
+    for (int i = 3; i < argc; i += 2) {
         const std::string flag = argv[i];
+        if (flag == "--json") {  // valueless
+            opt.json = true;
+            i -= 1;
+            continue;
+        }
+        if (i + 1 >= argc) return false;  // flag missing its value
         const std::string val = argv[i + 1];
         if (flag == "--kind")
             opt.kind = val;
@@ -186,9 +195,137 @@ int cmd_load(const options& opt) {
     return 0;
 }
 
+/// Machine-readable inspect: one JSON object whose numeric leaves flatten
+/// into camdn_report metrics (so two snapshots diff like two run dumps).
+/// Mirrors the text report's fields; section parse failures degrade to
+/// omitting that group rather than failing the inspect.
+int cmd_inspect_json(const std::vector<std::uint8_t>& bytes,
+                     const scheduler_snapshot& snap) {
+    std::ostream& o = std::cout;
+    o << "{\"snapshot\":{"
+      << "\"bytes\":" << bytes.size()
+      << ",\"version\":" << scheduler_snapshot::version
+      << ",\"machine_fingerprint\":\"0x" << std::hex
+      << snap.machine_fingerprint << "\""
+      << ",\"run_fingerprint\":\"0x" << snap.run_fingerprint << "\""
+      << std::dec
+      << ",\"clock\":" << snap.now
+      << ",\"event_seq\":" << snap.event_seq
+      << ",\"slots\":" << snap.slots
+      << ",\"bw_timer_armed\":" << (snap.bw_timer_armed ? 1 : 0)
+      << ",\"admission_queue\":" << snap.admission_queue.size()
+      << ",\"in_flight\":" << snap.running.size() << "}";
+
+    o << ",\"running\":[";
+    for (std::size_t i = 0; i < snap.running.size(); ++i) {
+        const auto& rs = snap.running[i];
+        o << (i ? "," : "") << "{\"slot\":" << rs.slot << ",\"model\":\""
+          << rs.model << "\",\"layer\":" << rs.current_layer
+          << ",\"cores\":" << rs.cores.size()
+          << ",\"negotiating\":" << (rs.neg_armed ? 1 : 0) << "}";
+    }
+    o << "]";
+
+    try {
+        std::uint64_t runs = 0, flights = 0, typed = 0;
+        if (!snap.engine.empty()) {
+            camdn::snapshot_reader r(snap.engine);
+            runs = r.u64();
+            for (std::uint64_t i = 0; i < runs; ++i) {
+                r.i32();
+                r.i32();
+                r.u64();
+                r.u64();
+                r.u32();
+                r.u64();
+                r.u64();
+                r.u8();
+                for (int f = 0; f < 4; ++f) r.u64();
+            }
+            r.u64();  // next flight id
+            flights = r.u64();
+        }
+        if (!snap.typed_events.empty()) {
+            camdn::snapshot_reader r(snap.typed_events);
+            typed = r.u64();
+        }
+        o << ",\"engine\":{\"layer_runs\":" << runs
+          << ",\"dma_flights\":" << flights
+          << ",\"pending_typed_events\":" << typed << "}";
+    } catch (const camdn::snapshot_error&) {
+    }
+
+    try {
+        if (!snap.telemetry.empty()) {
+            camdn::snapshot_reader r(snap.telemetry);
+            const std::uint64_t epoch_start = r.u64();
+            const std::uint64_t slots = r.u64();
+            std::uint64_t open_layers = 0, open_completions = 0;
+            for (std::uint64_t s = 0; s < slots; ++s) {
+                std::uint64_t c[15];
+                for (auto& v : c) v = r.u64();
+                r.i64();
+                open_layers += c[5];
+                open_completions += c[12];
+            }
+            const std::uint64_t epochs = r.u64();
+            std::uint64_t layers = 0, completions = 0, dma_bytes = 0;
+            std::uint64_t hits = 0, misses = 0, waits = 0, timeouts = 0;
+            std::uint64_t dram_bytes = 0;
+            for (std::uint64_t e = 0; e < epochs; ++e) {
+                r.u64();
+                r.u64();
+                r.u64();
+                const std::uint64_t n = r.u64();
+                for (std::uint64_t s = 0; s < n; ++s) {
+                    std::uint64_t c[15];
+                    for (auto& v : c) v = r.u64();
+                    r.i64();
+                    hits += c[0];
+                    misses += c[1];
+                    dma_bytes += c[4];
+                    layers += c[5];
+                    waits += c[9];
+                    timeouts += c[10];
+                    completions += c[12];
+                }
+                dram_bytes += r.u64();
+                r.u64();
+                r.d();
+                r.u32();
+                r.u32();
+            }
+            o << ",\"telemetry\":{\"epochs\":" << epochs
+              << ",\"open_epoch_start\":" << epoch_start
+              << ",\"open_layers\":" << open_layers
+              << ",\"open_completions\":" << open_completions
+              << ",\"layers\":" << layers
+              << ",\"completions\":" << completions
+              << ",\"dma_bytes\":" << dma_bytes
+              << ",\"dram_bytes\":" << dram_bytes
+              << ",\"cache_hits\":" << hits
+              << ",\"cache_misses\":" << misses
+              << ",\"page_wait_cycles\":" << waits
+              << ",\"page_timeouts\":" << timeouts << "}";
+        }
+    } catch (const camdn::snapshot_error&) {
+    }
+
+    o << ",\"sections\":{"
+      << "\"machine\":" << snap.machine.size()
+      << ",\"engine\":" << snap.engine.size()
+      << ",\"typed_events\":" << snap.typed_events.size()
+      << ",\"telemetry\":" << snap.telemetry.size()
+      << ",\"controller\":" << snap.controller.size()
+      << ",\"workload\":" << snap.workload.size()
+      << ",\"results\":" << snap.results.size() << "}}\n";
+    return 0;
+}
+
 int cmd_inspect(const options& opt) {
     const auto bytes = read_file(opt.file);
     const auto snap = scheduler_snapshot::decode(bytes);
+    if (opt.json) return cmd_inspect_json(bytes, snap);
 
     std::cout << "camdn scheduler snapshot (" << bytes.size() << " bytes)\n"
               << "  version:              " << scheduler_snapshot::version
