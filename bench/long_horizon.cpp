@@ -1,0 +1,163 @@
+// Long-horizon streaming serving: a million-arrival elastic fleet run.
+//
+// Exercises the pull-based stream_source (arrivals generated lazily, no
+// O(total_arrivals) materialization), bounded history (per-round results
+// fold at each barrier; the exact latency trackers are replaced by the P²
+// streaming backend), and the autoscaler (MMPP bursts push queued backlog
+// over the scale-up threshold, lulls drain it back down). The program
+// asserts arrival conservation and, when CAMDN_RSS_CEILING_MB is set,
+// exits non-zero if peak RSS exceeded the ceiling — the CI gate that the
+// run really is O(fleet) memory, not O(arrivals).
+//
+//   ./long_horizon [total_arrivals]       (default 1,000,000)
+//   CAMDN_METRICS_JSONL=path  stream telemetry + scale events during the run
+//   CAMDN_RSS_CEILING_MB=N    fail if peak RSS exceeds N MiB
+#include <sys/resource.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "serve/cluster.h"
+
+using namespace camdn;
+
+namespace {
+
+double peak_rss_mb() {
+    struct rusage ru {};
+    getrusage(RUSAGE_SELF, &ru);
+    // ru_maxrss is KiB on Linux.
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::banner(
+        "Long-horizon streaming fleet: lazy arrivals, bounded history,\n"
+        "elastic autoscaling under bursty MMPP load");
+
+    std::uint32_t total = 1000000;
+    if (argc > 1) total = static_cast<std::uint32_t>(std::atol(argv[1]));
+
+    serve::soc_instance_config inst;
+    inst.slots = 2;
+    inst.admission_queue_limit = 8;
+
+    auto cfg = serve::uniform_cluster(2, inst);
+    cfg.models = {&model::model_by_abbr("RS."), &model::model_by_abbr("MB.")};
+    cfg.total_arrivals = total;
+    cfg.seed = 1234;
+
+    // Bursty load: the high MMPP state massively oversubscribes the fleet
+    // (arrivals drop cheaply at the admission bound, which is what keeps a
+    // million-arrival run fast), the low state falls under capacity so
+    // queues drain and the autoscaler can shed SoCs.
+    cfg.process = serve::arrival_process::mmpp;
+    cfg.arrival_rate_per_ms = 1000.0;
+    cfg.mmpp_rate_scale = {0.002, 4.0};
+    cfg.mmpp_sojourn_ms = 40.0;
+
+    // Time-sliced rounds ~one sojourn long, so consecutive barriers see
+    // different pressure regimes.
+    cfg.feedback_rounds = 16;
+    cfg.round_cycles = ms_to_cycles(40.0);
+    cfg.qos_scale = 8.0;  // keep lull-round SLA healthy: drains are
+                          // backlog-driven, adds are backlog/SLA-driven
+
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.min_socs = 1;
+    cfg.autoscale.max_socs = 6;
+    cfg.autoscale.backlog_high = 6.0;
+    cfg.autoscale.backlog_low = 0.5;
+    cfg.autoscale.cooldown_rounds = 0;
+
+    cfg.bounded_history = true;  // implies streaming quantiles
+    cfg.history_records = 256;
+
+    if (const char* path = std::getenv("CAMDN_METRICS_JSONL"))
+        cfg.metrics_jsonl_path = path;
+
+    const auto res = serve::run_cluster(cfg);
+
+    if (res.arrivals != total) {
+        std::fprintf(stderr, "arrival count mismatch: %llu != %u\n",
+                     static_cast<unsigned long long>(res.arrivals), total);
+        return 1;
+    }
+    if (res.arrivals !=
+        res.completed + res.dropped_queue + res.dropped_unroutable) {
+        std::fprintf(stderr, "arrival conservation violated\n");
+        return 1;
+    }
+    if (!res.per_soc.empty()) {
+        std::fprintf(stderr, "bounded history retained per-SoC results\n");
+        return 1;
+    }
+
+    table_printer t({"metric", "value"});
+    t.add_row({"arrivals", std::to_string(res.arrivals)});
+    t.add_row({"completed", std::to_string(res.completed)});
+    t.add_row({"dropped (queue)", std::to_string(res.dropped_queue)});
+    t.add_row({"dropped (unroutable)", std::to_string(res.dropped_unroutable)});
+    t.add_row({"events executed", std::to_string(res.events_executed)});
+    t.add_row({"makespan (ms)", fmt_fixed(cycles_to_ms(res.makespan), 1)});
+    t.add_row({"latency p50 (ms)", fmt_fixed(res.fleet_latency_ms.p50(), 3)});
+    t.add_row({"latency p99 (ms)", fmt_fixed(res.fleet_latency_ms.p99(), 3)});
+    t.add_row({"migrated requests", std::to_string(res.migrated_requests)});
+    t.add_row({"round summaries", std::to_string(res.round_summaries.size())});
+    t.add_row({"recent completions",
+               std::to_string(res.recent_completions.size())});
+    t.add_row({"peak RSS (MiB)", fmt_fixed(peak_rss_mb(), 1)});
+    t.print(std::cout);
+
+    std::uint64_t adds = 0, drains = 0, retires = 0;
+    std::cout << "\nscale events\n";
+    for (const auto& ev : res.scale_events) {
+        std::printf("  round %2u %-7s soc %2u -> %u active"
+                    "  (backlog %5.2f, sla %.3f, migrated %llu)\n",
+                    ev.round, serve::scale_event_kind_name(ev.kind),
+                    ev.soc_id, ev.active_after, ev.backlog, ev.sla,
+                    static_cast<unsigned long long>(ev.migrated));
+        switch (ev.kind) {
+            case serve::scale_event_kind::add: ++adds; break;
+            case serve::scale_event_kind::drain: ++drains; break;
+            case serve::scale_event_kind::retire: ++retires; break;
+        }
+    }
+    if (res.scale_events.empty()) std::cout << "  (none)\n";
+
+    bench::json_report(
+        "long_horizon",
+        {bench::jint("arrivals", res.arrivals),
+         bench::jint("completed", res.completed),
+         bench::jint("dropped_queue", res.dropped_queue),
+         bench::jint("dropped_unroutable", res.dropped_unroutable),
+         bench::jint("events_executed", res.events_executed),
+         bench::jnum("p50_ms", res.fleet_latency_ms.p50()),
+         bench::jnum("p99_ms", res.fleet_latency_ms.p99()),
+         bench::jint("scale_adds", adds), bench::jint("scale_drains", drains),
+         bench::jint("scale_retires", retires),
+         bench::jint("migrated_requests", res.migrated_requests),
+         bench::jnum("peak_rss_mb", peak_rss_mb())});
+
+    std::cout << "\nThe stream is generated lazily and per-round results\n"
+                 "fold at each barrier, so memory stays O(fleet) while the\n"
+                 "arrival count scales to millions; the autoscaler reacts\n"
+                 "to the queued backlog each MMPP regime leaves behind.\n";
+
+    if (const char* ceiling = std::getenv("CAMDN_RSS_CEILING_MB")) {
+        const double limit = std::atof(ceiling);
+        const double rss = peak_rss_mb();
+        if (limit > 0.0 && rss > limit) {
+            std::fprintf(stderr,
+                         "peak RSS %.1f MiB exceeds ceiling %.1f MiB\n", rss,
+                         limit);
+            return 1;
+        }
+        std::printf("peak RSS %.1f MiB within ceiling %.1f MiB\n", rss,
+                    limit);
+    }
+    return 0;
+}

@@ -24,6 +24,12 @@ bucket_histogram::bucket_histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), weights_(bounds_.size() + 1, 0.0) {}
 
 void bucket_histogram::add(double value, double weight) {
+    // NaN compares false against every bound, which would silently land
+    // the sample in bucket 0 and skew every fraction. Count it aside.
+    if (std::isnan(value)) {
+        nan_weight_ += weight;
+        return;
+    }
     std::size_t i = 0;
     while (i < bounds_.size() && value > bounds_[i]) ++i;
     weights_[i] += weight;
@@ -36,6 +42,13 @@ double bucket_histogram::fraction(std::size_t i) const {
 }
 
 void percentile_tracker::add(double value) {
+    // A stored NaN sorts unpredictably (every comparison is false), which
+    // breaks the sorted invariant merges rely on and poisons nearest-rank
+    // lookups downstream. Reject it but keep the count for diagnostics.
+    if (std::isnan(value)) {
+        ++nan_count_;
+        return;
+    }
     samples_.push_back(value);
     sorted_ = samples_.size() <= 1;
 }
@@ -67,9 +80,11 @@ double percentile_tracker::mean() const {
 void percentile_tracker::assign(std::vector<double> samples) {
     samples_ = std::move(samples);
     sorted_ = false;
+    nan_count_ = 0;  // diagnostic only; never serialized in checkpoints
 }
 
 void percentile_tracker::merge(const percentile_tracker& other) {
+    nan_count_ += other.nan_count_;
     if (other.samples_.empty()) return;
     if (samples_.empty()) {
         samples_ = other.samples_;
@@ -171,9 +186,13 @@ void p2_estimator::add(double value) {
 
 double p2_estimator::value() const {
     if (count_ == 0) return 0.0;
-    if (count_ < 5) {
+    if (count_ <= 5) {
         // Exact nearest-rank over the sorted warm-up buffer, matching
-        // percentile_tracker on tiny streams.
+        // percentile_tracker on tiny streams. The boundary is inclusive:
+        // at exactly five samples h_ is still the sorted sample array (the
+        // first marker adjustment only happens on the sixth add), so the
+        // exact path stays valid — returning the raw median h_[2] here
+        // would mis-report every q != 0.5 on five-sample streams.
         const double n = static_cast<double>(count_);
         auto rank = static_cast<std::size_t>(std::ceil(q_ * n));
         rank = std::min(std::max<std::size_t>(rank, 1),

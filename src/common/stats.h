@@ -3,6 +3,7 @@
 // (the paper's reuse-count / reuse-distance buckets, Fig 3).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,10 +48,15 @@ public:
 
     const std::vector<double>& upper_bounds() const { return bounds_; }
 
+    /// Weight of rejected NaN samples (excluded from every bucket and from
+    /// total_weight, so fractions stay well-defined).
+    double nan_weight() const { return nan_weight_; }
+
 private:
     std::vector<double> bounds_;
     std::vector<double> weights_;  // bounds_.size() + 1 entries
     double total_ = 0.0;
+    double nan_weight_ = 0.0;
 };
 
 /// Exact quantiles over a sample stream: every sample is stored and the
@@ -95,11 +101,15 @@ public:
     /// Replaces the contents (checkpoint restore).
     void assign(std::vector<double> samples);
 
+    /// NaN samples rejected by add() (merged trackers sum their counts).
+    std::uint64_t nan_count() const { return nan_count_; }
+
 private:
     void ensure_sorted() const;
 
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
+    std::uint64_t nan_count_ = 0;
 };
 
 /// Streaming quantile estimation via the P² algorithm (Jain & Chlamtac,
@@ -146,6 +156,12 @@ public:
     p2_quantiles() : q50_(0.50), q95_(0.95), q99_(0.99) {}
 
     void add(double value) {
+        // One NaN would stick in the running min/max and wedge the P²
+        // marker invariants permanently; reject it like the exact tracker.
+        if (std::isnan(value)) {
+            ++nan_count_;
+            return;
+        }
         q50_.add(value);
         q95_.add(value);
         q99_.add(value);
@@ -160,10 +176,12 @@ public:
     double mean() const { return stat_.mean(); }
     double min() const { return stat_.min(); }
     double max() const { return stat_.max(); }
+    std::uint64_t nan_count() const { return nan_count_; }
 
 private:
     p2_estimator q50_, q95_, q99_;
     running_stat stat_;
+    std::uint64_t nan_count_ = 0;
 };
 
 /// Quantile summary with a switchable backend: exact (percentile_tracker,
@@ -200,6 +218,9 @@ public:
     double mean() const { return streaming_ ? p2_.mean() : exact_.mean(); }
     double min() const { return streaming_ ? p2_.min() : exact_.min(); }
     double max() const { return streaming_ ? p2_.max() : exact_.max(); }
+    std::uint64_t nan_count() const {
+        return streaming_ ? p2_.nan_count() : exact_.nan_count();
+    }
 
     /// Exact-mode backend access (throws std::logic_error in streaming
     /// mode — there are no retained samples).

@@ -51,6 +51,17 @@ constexpr std::uint64_t lines_for(std::uint64_t bytes) {
     return ceil_div(bytes, line_bytes);
 }
 
+/// Saturating clock arithmetic. Hours-of-stream-time configs multiply
+/// round lengths by round counts; a wrapped product silently truncates a
+/// time-sliced window to near zero, so long-horizon bounds clamp to
+/// `never` instead of wrapping.
+constexpr cycle_t sat_add(cycle_t a, cycle_t b) {
+    return a > never - b ? never : a + b;
+}
+constexpr cycle_t sat_mul(cycle_t a, cycle_t b) {
+    return (b != 0 && a > never / b) ? never : a * b;
+}
+
 /// Converts cycles of the 1 GHz clock to milliseconds.
 constexpr double cycles_to_ms(cycle_t c) { return static_cast<double>(c) * 1e-6; }
 

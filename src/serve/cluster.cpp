@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "runtime/scheduler_snapshot.h"
 #include "serve/placement.h"
 #include "serve/router.h"
+#include "serve/stream_source.h"
 #include "sim/sweep.h"
 
 namespace camdn::serve {
@@ -27,6 +29,15 @@ const char* route_policy_name(route_policy p) {
         case route_policy::round_robin: return "round_robin";
         case route_policy::least_outstanding: return "least_outstanding";
         case route_policy::cache_affinity: return "cache_affinity";
+    }
+    return "?";
+}
+
+const char* scale_event_kind_name(scale_event_kind k) {
+    switch (k) {
+        case scale_event_kind::add: return "add";
+        case scale_event_kind::drain: return "drain";
+        case scale_event_kind::retire: return "retire";
     }
     return "?";
 }
@@ -54,9 +65,10 @@ std::vector<double> traffic_weights(const cluster_config& cfg) {
 
 namespace {
 
-/// Per-SoC RNG stream: splitmix64 of the cluster seed and the SoC index,
-/// so no two SoC simulations share a seed (and adding a SoC never
-/// perturbs the streams of the others).
+/// Per-SoC RNG stream: splitmix64 of the cluster seed and the SoC's
+/// stable id, so no two SoC simulations share a seed (and adding a SoC —
+/// statically or via the autoscaler — never perturbs the streams of the
+/// others).
 std::uint64_t soc_seed(std::uint64_t cluster_seed, std::size_t s) {
     std::uint64_t z = cluster_seed + 0x9e3779b97f4a7c15ULL * (s + 1);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -64,52 +76,18 @@ std::uint64_t soc_seed(std::uint64_t cluster_seed, std::size_t s) {
     return z ^ (z >> 31);
 }
 
-struct stream_arrival {
-    cycle_t at = 0;
-    std::size_t model = 0;
+/// One live SoC of the elastic fleet. `id` is the stable identity used
+/// for RNG seeding and observability lanes; the vector index is only the
+/// current round's simulation slot. `snap` carries the warm scheduler
+/// state across round boundaries (and is where a drain lifts the queued
+/// work from).
+struct fleet_slot {
+    soc_instance_config inst;
+    std::uint32_t id = 0;
+    bool draining = false;
+    bool has_snap = false;
+    runtime::scheduler_snapshot snap;
 };
-
-/// Draws the whole fleet arrival stream up front — a pure function of the
-/// cluster seed, so routing rounds can slice it without re-drawing. The
-/// Poisson path preserves the legacy RNG call sequence exactly (one gap
-/// draw + one model draw per arrival): single-shot runs stay bit-identical
-/// to pre-feedback builds.
-std::vector<stream_arrival> build_stream(const cluster_config& cfg,
-                                         const std::vector<double>& cum) {
-    std::vector<stream_arrival> out;
-    out.reserve(cfg.total_arrivals);
-    rng r(cfg.seed);
-    const std::size_t M = cum.size();
-    const double base = std::max(cfg.arrival_rate_per_ms, 1e-9);
-
-    auto pick_model = [&]() {
-        const double pick = r.next_double();
-        std::size_t m = 0;
-        while (m + 1 < M && pick >= cum[m]) ++m;
-        return m;
-    };
-
-    if (cfg.process == arrival_process::poisson) {
-        cycle_t t = 0;
-        for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
-            const double gap_ms = -std::log(1.0 - r.next_double()) / base;
-            t += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
-            out.push_back({t, pick_model()});
-        }
-        return out;
-    }
-
-    // MMPP: same modulated clock as runtime's open_loop_mmpp generator,
-    // with the model drawn from the weighted catalog mix after each gap.
-    runtime::mmpp_clock clock(base, cfg.mmpp_rate_scale, cfg.mmpp_sojourn_ms,
-                              r);
-    cycle_t t = 0;
-    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
-        t = std::max<cycle_t>(t + 1, ms_to_cycles(clock.next_arrival_ms()));
-        out.push_back({t, pick_model()});
-    }
-    return out;
-}
 
 }  // namespace
 
@@ -120,9 +98,29 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     cluster_config cfg = cfg_in;
     if (cfg.models.empty())
         for (const auto& m : model::benchmark_models()) cfg.models.push_back(&m);
+    // Bounded history releases per-round results at each barrier; exact
+    // trackers would still retain every latency sample, so the streaming
+    // backend comes with it.
+    if (cfg.bounded_history) cfg.streaming_quantiles = true;
 
-    const std::size_t S = cfg.socs.size();
+    const std::size_t S0 = cfg.socs.size();
     const std::size_t M = cfg.models.size();
+
+    const std::uint32_t rounds = std::max<std::uint32_t>(cfg.feedback_rounds, 1);
+    const bool fb_on = rounds > 1;
+    // Time-sliced rounds cover fixed windows of stream time and pause
+    // every SoC mid-flight at the boundary; drain-sliced rounds split the
+    // stream by count and run each slice to completion.
+    const bool time_sliced = fb_on && cfg.round_cycles > 0;
+    const bool scaling = cfg.autoscale.enabled;
+    if (scaling && !time_sliced)
+        throw std::invalid_argument(
+            "run_cluster: autoscaling requires time-sliced feedback rounds "
+            "(feedback_rounds > 1 and round_cycles > 0)");
+    const std::uint32_t min_socs =
+        std::max<std::uint32_t>(cfg.autoscale.min_socs, 1);
+    const std::uint32_t max_socs =
+        std::max<std::uint32_t>(cfg.autoscale.max_socs, min_socs);
 
     // Normalized cumulative traffic mix (uniform when unspecified).
     const std::vector<double> weights = traffic_weights(cfg);
@@ -136,18 +134,32 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         for (auto& c : cum) c /= total;
     }
 
-    // Phase 1: placement (also warms the mapping registry for the router).
-    // Placements and the re-planning config are heap/long-lived: the
-    // router holds references into both across feedback rounds.
-    cluster_config replan_cfg = cfg;
-    std::vector<std::unique_ptr<placement>> placements;
-    placements.push_back(std::make_unique<placement>(plan_placement(cfg)));
-    auto router = std::make_unique<request_router>(cfg, *placements.back());
+    // The live fleet. Fixed-fleet runs keep exactly the configured slots;
+    // the autoscaler appends clones of the first instance (stable ids
+    // keep growing) and erases retired ones.
+    std::vector<fleet_slot> fleet;
+    fleet.reserve(S0);
+    for (std::size_t s = 0; s < S0; ++s)
+        fleet.push_back({cfg.socs[s], static_cast<std::uint32_t>(s), false,
+                         false, {}});
+    std::uint32_t next_id = static_cast<std::uint32_t>(S0);
 
-    const std::uint32_t rounds = std::max<std::uint32_t>(cfg.feedback_rounds, 1);
-    const bool fb_on = rounds > 1;
-    adapt::fleet_feedback fb(cfg.feedback, S);
-    if (fb_on) router->set_load_weights(&fb.weights());
+    // Phase 1: placement (also warms the mapping registry for the
+    // router). Placements and the routing config are heap/long-lived: the
+    // router holds references into both across feedback rounds. route_cfg
+    // mirrors cfg with socs = the current routable instances and
+    // traffic_share = the observed mix after a re-plan.
+    cluster_config route_cfg = cfg;
+    std::vector<std::unique_ptr<placement>> placements;
+    placements.push_back(std::make_unique<placement>(plan_placement(route_cfg)));
+    auto router = std::make_unique<request_router>(route_cfg,
+                                                   *placements.back());
+    // Router-local index -> fleet index (identity until a SoC drains).
+    std::vector<std::size_t> route_map(S0);
+    for (std::size_t s = 0; s < S0; ++s) route_map[s] = s;
+
+    auto fb = std::make_unique<adapt::fleet_feedback>(cfg.feedback, S0);
+    if (fb_on) router->set_load_weights(&fb->weights());
 
     cluster_result out;
     out.resident_models = placements.back()->resident;
@@ -172,10 +184,14 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     // end (valid JSON needs the closing bracket).
     const bool trace_on = !cfg.trace_path.empty();
     const bool jsonl_on = !cfg.metrics_jsonl_path.empty();
+    // The fleet lane pid: the historical S works for fixed fleets, but
+    // autoscaled ids grow past S0, so those runs park the lane on a
+    // sentinel well clear of any SoC id.
+    const std::uint32_t fleet_lane =
+        scaling ? 0xFFFEu : static_cast<std::uint32_t>(S0);
     std::unique_ptr<obs::trace_recorder> master_trace;
     if (trace_on)
-        master_trace = std::make_unique<obs::trace_recorder>(
-            static_cast<std::uint32_t>(S));
+        master_trace = std::make_unique<obs::trace_recorder>(fleet_lane);
     std::ofstream jsonl_out;
     if (jsonl_on) {
         jsonl_out.open(cfg.metrics_jsonl_path);
@@ -195,90 +211,132 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
     }
     cycle_t prev_round_end = 0;
 
-    // Phase 2+3, per round: route the round's slice of the shared stream,
-    // simulate each SoC's trace on the sweep pool, then (feedback only)
-    // fold the round's telemetry rollups into router weights and possibly
-    // re-plan placement against the observed traffic mix (on a sustained
-    // SLA violation streak, or proactively on KL mix drift).
-    const auto stream = build_stream(cfg, cum);
+    // Phase 2+3, per round: pull the round's slice of the shared stream
+    // from the lazy source, route it, simulate each live SoC's trace on
+    // the sweep pool, then (feedback only) fold the round's telemetry
+    // rollups into router weights, possibly re-plan placement against the
+    // observed traffic mix, and let the autoscaler react to backlog/SLA.
+    stream_source stream(cfg, cum);
     std::vector<std::uint64_t> routed_per_model(M, 0);
     std::vector<std::uint64_t> round_routed(M, 0);
-    std::vector<runtime::scheduler_snapshot> carried;
     // Mix the current placement was planned against (for the drift
     // trigger); re-plans rebase it onto the observed mix.
     std::vector<double> planned_mix = weights;
 
-    // Time-sliced rounds cover fixed windows of stream time and pause
-    // every SoC mid-flight at the boundary; drain-sliced rounds split the
-    // stream by count and run each slice to completion.
-    const bool time_sliced = fb_on && cfg.round_cycles > 0;
-    std::size_t stream_pos = 0;
+    // Queued requests lifted out of draining SoCs, re-routed at the next
+    // round start at their original arrival stamps (the resuming SoC's
+    // admission clamps past stamps to its own clock). Each was counted in
+    // out.arrivals / routed_per_model when first routed, so re-routing
+    // must not re-count it.
+    std::vector<stream_arrival> migrate_backlog;
+    std::map<std::string, std::size_t> model_index;
+    for (std::size_t m = 0; m < M; ++m) model_index[cfg.models[m]->name] = m;
+
+    std::uint32_t cooldown = 0;
+    std::size_t ring_pos = 0;  // bounded-history completion-ring cursor
+
+    // Rebuilds placement + router (+ load-weight hookup) over the current
+    // routable set. Fleet changes and re-plans both funnel through here.
+    auto rebuild_router = [&]() {
+        route_map.clear();
+        route_cfg.socs.clear();
+        for (std::size_t k = 0; k < fleet.size(); ++k) {
+            if (fleet[k].draining) continue;
+            route_map.push_back(k);
+            route_cfg.socs.push_back(fleet[k].inst);
+        }
+        placements.push_back(
+            std::make_unique<placement>(plan_placement(route_cfg)));
+        router = std::make_unique<request_router>(route_cfg,
+                                                  *placements.back());
+        if (fb_on) router->set_load_weights(&fb->weights());
+        out.resident_models = placements.back()->resident;
+    };
 
     for (std::uint32_t round = 0; round < rounds; ++round) {
-        std::size_t lo, hi;
-        if (time_sliced) {
-            lo = stream_pos;
-            if (round + 1 < rounds) {
-                const cycle_t window_end = cfg.round_cycles * (round + 1);
-                hi = lo;
-                while (hi < stream.size() && stream[hi].at < window_end) ++hi;
-            } else {
-                hi = stream.size();  // final round takes the tail
-            }
-            stream_pos = hi;
-        } else {
-            lo = stream.size() * round / rounds;
-            hi = stream.size() * (round + 1) / rounds;
-        }
-
+        const std::size_t A = fleet.size();  // live SoCs this round
         std::fill(round_routed.begin(), round_routed.end(), 0u);
-        std::vector<std::vector<runtime::trace_arrival>> traces(S);
-        for (std::size_t i = lo; i < hi; ++i) {
-            out.arrivals += 1;
-            const std::int32_t s = router->route(
-                stream[i].at, static_cast<std::uint32_t>(stream[i].model));
-            if (s < 0) {
+        std::vector<std::vector<runtime::trace_arrival>> traces(A);
+
+        // Migrated backlog first (in drain order), then the round's fresh
+        // arrivals — the per-SoC trace generator stable-sorts by stamp,
+        // so the interleave is deterministic.
+        for (const auto& a : migrate_backlog) {
+            const std::int32_t ri = router->route(
+                a.at, static_cast<std::uint32_t>(a.model));
+            if (ri < 0) {
+                // The new placement cannot host the model; the request is
+                // lost. Re-balance the tenant ledger it was routed under.
                 out.dropped_unroutable += 1;
+                if (routed_per_model[a.model] > 0)
+                    routed_per_model[a.model] -= 1;
                 continue;
             }
-            traces[s].push_back({stream[i].at, cfg.models[stream[i].model]});
-            routed_per_model[stream[i].model] += 1;
-            round_routed[stream[i].model] += 1;
+            traces[route_map[ri]].push_back({a.at, cfg.models[a.model]});
+        }
+        migrate_backlog.clear();
+
+        auto route_one = [&](const stream_arrival& a) {
+            out.arrivals += 1;
+            const std::int32_t ri = router->route(
+                a.at, static_cast<std::uint32_t>(a.model));
+            if (ri < 0) {
+                out.dropped_unroutable += 1;
+                return;
+            }
+            traces[route_map[ri]].push_back({a.at, cfg.models[a.model]});
+            routed_per_model[a.model] += 1;
+            round_routed[a.model] += 1;
+        };
+        if (time_sliced && round + 1 < rounds) {
+            const cycle_t window_end = sat_mul(cfg.round_cycles, round + 1);
+            while (const auto* a = stream.peek()) {
+                if (a->at >= window_end) break;
+                route_one(stream.pop());
+            }
+        } else if (time_sliced) {
+            while (!stream.exhausted()) route_one(stream.pop());
+        } else {
+            const std::uint64_t hi = stream.total() * (round + 1) / rounds;
+            while (stream.consumed() < hi) route_one(stream.pop());
         }
 
         // Per-(round, SoC) observability buffers: each SoC's thread writes
         // only its own recorder/sink, and the barrier below folds them in
         // fleet order — deterministic across sweep-pool widths.
         std::vector<std::unique_ptr<obs::trace_recorder>> round_traces(
-            trace_on ? S : 0);
-        std::vector<obs::jsonl_sink> round_epochs(jsonl_on ? S : 0);
+            trace_on ? A : 0);
+        std::vector<obs::jsonl_sink> round_epochs(jsonl_on ? A : 0);
         std::vector<std::unique_ptr<obs::latency_attributor>> round_attrs(
-            attr_on ? S : 0);
+            attr_on ? A : 0);
 
-        std::vector<sim::experiment_config> ecs(S);
-        for (std::size_t s = 0; s < S; ++s) {
-            auto& ec = ecs[s];
-            ec.soc = cfg.socs[s].soc;
-            ec.pol = cfg.socs[s].pol;
+        std::vector<sim::experiment_config> ecs(A);
+        std::vector<std::uint32_t> round_ids(A);  // survives fleet edits
+        for (std::size_t k = 0; k < A; ++k) {
+            auto& ec = ecs[k];
+            const auto& slot = fleet[k];
+            round_ids[k] = slot.id;
+            ec.soc = slot.inst.soc;
+            ec.pol = slot.inst.pol;
             ec.kind = runtime::workload_kind::trace_replay;
-            ec.trace = std::move(traces[s]);
-            ec.co_located = std::max<std::uint32_t>(cfg.socs[s].slots, 1);
-            ec.admission_queue_limit = cfg.socs[s].admission_queue_limit;
+            ec.trace = std::move(traces[k]);
+            ec.co_located = std::max<std::uint32_t>(slot.inst.slots, 1);
+            ec.admission_queue_limit = slot.inst.admission_queue_limit;
             ec.workload = cfg.models;
-            ec.seed = soc_seed(cfg.seed, s);
+            ec.seed = soc_seed(cfg.seed, slot.id);
             ec.telemetry = cfg.telemetry || fb_on;
-            ec.obs.soc_index = static_cast<std::uint32_t>(s);
+            ec.obs.soc_index = slot.id;
             ec.obs.epoch_sample_every = cfg.epoch_sample_every;
             if (trace_on) {
-                round_traces[s] = std::make_unique<obs::trace_recorder>(
-                    static_cast<std::uint32_t>(s));
-                ec.obs.trace = round_traces[s].get();
+                round_traces[k] =
+                    std::make_unique<obs::trace_recorder>(slot.id);
+                ec.obs.trace = round_traces[k].get();
             }
-            if (jsonl_on) ec.obs.epochs = &round_epochs[s];
+            if (jsonl_on) ec.obs.epochs = &round_epochs[k];
             if (attr_on) {
-                round_attrs[s] = std::make_unique<obs::latency_attributor>();
-                round_attrs[s]->set_keep_records(false);
-                ec.obs.attr = round_attrs[s].get();
+                round_attrs[k] = std::make_unique<obs::latency_attributor>();
+                round_attrs[k]->set_keep_records(false);
+                ec.obs.attr = round_attrs[k].get();
             }
         }
         // Warm-carry rounds resume every SoC from its previous round's
@@ -289,23 +347,28 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         // pause every SoC at the round's wall-clock boundary with layers
         // mid-flight (the typed-event engine serializes the in-air state),
         // so long layers no longer stretch round boundaries — the carried
-        // snapshot resumes them mid-tile in the next round.
+        // snapshot resumes them mid-tile in the next round. Cold slots
+        // (round 0, or a SoC the autoscaler just added) start fresh.
         // Single-shot runs and carry-disabled fleets stay on the cold path.
         const bool carry = fb_on && (cfg.carry_soc_state || time_sliced);
+        const bool more_rounds = round + 1 < rounds;
         std::vector<sim::experiment_result> round_res;
         if (carry) {
-            std::vector<const runtime::scheduler_snapshot*> in(S, nullptr);
-            if (round > 0)
-                for (std::size_t s = 0; s < S; ++s) in[s] = &carried[s];
-            const bool more_rounds = round + 1 < rounds;
+            std::vector<const runtime::scheduler_snapshot*> in(A, nullptr);
+            for (std::size_t k = 0; k < A; ++k)
+                if (fleet[k].has_snap) in[k] = &fleet[k].snap;
             std::vector<cycle_t> pause;
             if (time_sliced && more_rounds)
-                pause.assign(S, cfg.round_cycles * (round + 1));
-            std::vector<runtime::scheduler_snapshot> out;
+                pause.assign(A, sat_mul(cfg.round_cycles, round + 1));
+            std::vector<runtime::scheduler_snapshot> snaps;
             round_res = sim::run_sweep_segments(
-                ecs, in, more_rounds ? &out : nullptr, {}, cfg.threads,
+                ecs, in, more_rounds ? &snaps : nullptr, {}, cfg.threads,
                 pause);
-            if (more_rounds) carried = std::move(out);
+            if (more_rounds)
+                for (std::size_t k = 0; k < A; ++k) {
+                    fleet[k].snap = std::move(snaps[k]);
+                    fleet[k].has_snap = true;
+                }
         } else {
             round_res = sim::run_sweep(ecs, cfg.threads);
         }
@@ -351,19 +414,19 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         if (jsonl_on) {
             for (auto& sink : round_epochs) sink.drain_to(jsonl_out);
             // Cumulative fleet attribution at the barrier, on the fleet
-            // lane (soc == S), keyed by round.
-            jsonl_out << fleet_attr->jsonl_row(static_cast<std::uint32_t>(S),
-                                               round)
-                      << '\n';
-            char buf[224];
+            // lane, keyed by round.
+            jsonl_out << fleet_attr->jsonl_row(fleet_lane, round) << '\n';
+            char buf[256];
             std::snprintf(
                 buf, sizeof buf,
                 "{\"type\":\"fleet_round\",\"round\":%u,\"completions\":%llu,"
-                "\"events\":%llu,\"dropped\":%llu,\"end_ms\":%.6f}",
+                "\"events\":%llu,\"dropped\":%llu,\"active_socs\":%u,"
+                "\"end_ms\":%.6f}",
                 round,
                 static_cast<unsigned long long>(round_completed),
                 static_cast<unsigned long long>(round_events),
                 static_cast<unsigned long long>(round_drops),
+                static_cast<std::uint32_t>(route_map.size()),
                 cycles_to_ms(round_end));
             jsonl_out << buf << '\n';
             jsonl_out.flush();
@@ -376,12 +439,40 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         }
         prev_round_end = round_end;
 
-        if (fb_on && round + 1 < rounds) {
+        // Fold the round's results into the fleet aggregates now — the
+        // same round-major fleet-order call sequence the end-of-run fold
+        // historically produced, so every accumulator sees an identical
+        // sample order — and count the round's deadline hits for the
+        // autoscaler's SLA signal.
+        std::uint64_t round_met = 0;
+        for (auto& res : round_res) {
+            out.makespan = std::max(out.makespan, res.makespan);
+            out.dropped_queue += res.rejected_arrivals;
+            out.events_executed += res.events_executed;
+            out.completed += res.completions.size();
+            out.fleet_queue_delay_ms.merge(res.queue_delay_ms);
+            for (const auto& rec : res.completions) {
+                const double lat_ms = cycles_to_ms(rec.latency());
+                out.fleet_latency_ms.add(lat_ms);
+                if (runtime::meets_qos_target(rec.abbr, rec.latency(),
+                                              cfg.qos_scale)) {
+                    out.deadline_met += 1;
+                    round_met += 1;
+                }
+                auto& tenant = out.tenants[rec.abbr];
+                tenant.completed += 1;
+                tenant.latency_ms.add(lat_ms);
+                tenant.queue_delay_ms.add(cycles_to_ms(rec.queue_delay()));
+            }
+        }
+
+        if (fb_on && more_rounds) {
             std::vector<adapt::soc_rollup> rollups;
-            rollups.reserve(S);
-            for (const auto& res : round_res)
-                rollups.push_back(adapt::rollup_from(res, cfg.qos_scale));
-            fb.observe(rollups);
+            rollups.reserve(route_map.size());
+            for (const auto k : route_map)
+                rollups.push_back(
+                    adapt::rollup_from(round_res[k], cfg.qos_scale));
+            fb->observe(rollups);
 
             // Re-plan against the observed cumulative mix (+1 smoothing
             // keeps every model placeable and the weights positive).
@@ -389,58 +480,218 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
                 std::uint64_t total_routed = 0;
                 for (const auto n : routed_per_model) total_routed += n;
                 if (total_routed == 0) return false;
-                replan_cfg.traffic_share.assign(M, 1.0);
+                route_cfg.traffic_share.assign(M, 1.0);
                 for (std::size_t m = 0; m < M; ++m)
-                    replan_cfg.traffic_share[m] +=
+                    route_cfg.traffic_share[m] +=
                         static_cast<double>(routed_per_model[m]);
-                placements.push_back(
-                    std::make_unique<placement>(plan_placement(replan_cfg)));
-                router = std::make_unique<request_router>(replan_cfg,
-                                                          *placements.back());
-                router->set_load_weights(&fb.weights());
+                rebuild_router();
                 out.replacements += 1;
-                out.resident_models = placements.back()->resident;
-                planned_mix = traffic_weights(replan_cfg);
+                planned_mix = traffic_weights(route_cfg);
                 return true;
             };
 
-            if (fb.replacement_due()) {
+            if (fb->replacement_due()) {
                 replan();
-            } else if (fb.drift_replan_due(planned_mix, round_routed)) {
+            } else if (fb->drift_replan_due(planned_mix, round_routed)) {
                 // Proactive: the mix drifted from the plan even though no
                 // SoC has a violation streak yet.
                 if (replan()) out.drift_replacements += 1;
             }
         }
 
-        for (auto& res : round_res) out.per_soc.push_back(std::move(res));
-    }
+        // Autoscaling decision at the barrier. Signals: mean queued
+        // backlog per routable SoC (snapshot admission-queue depth) and
+        // the round's completion SLA. Retirements always run; add/drain
+        // decisions are cooldown-gated, one per barrier.
+        if (scaling && more_rounds) {
+            double backlog = 0.0;
+            std::uint32_t routable = 0;
+            for (const auto& fs : fleet) {
+                if (fs.draining) continue;
+                ++routable;
+                if (fs.has_snap)
+                    backlog +=
+                        static_cast<double>(fs.snap.admission_queue.size());
+            }
+            backlog /= std::max<std::uint32_t>(routable, 1);
+            const std::uint64_t round_offered = round_completed + round_drops;
+            const double sla =
+                round_offered ? static_cast<double>(round_met) /
+                                    static_cast<double>(round_offered)
+                              : 1.0;
 
-    // Aggregate fleet metrics in round-major fleet order (deterministic
-    // sample order).
-    for (std::size_t m = 0; m < M; ++m)
-        out.tenants[cfg.models[m]->abbr].routed += routed_per_model[m];
-    for (const auto& res : out.per_soc) {
-        out.makespan = std::max(out.makespan, res.makespan);
-        out.dropped_queue += res.rejected_arrivals;
-        out.events_executed += res.events_executed;
-        out.completed += res.completions.size();
-        out.fleet_queue_delay_ms.merge(res.queue_delay_ms);
-        for (const auto& rec : res.completions) {
-            const double lat_ms = cycles_to_ms(rec.latency());
-            out.fleet_latency_ms.add(lat_ms);
-            if (runtime::meets_qos_target(rec.abbr, rec.latency(),
-                                          cfg.qos_scale))
-                out.deadline_met += 1;
-            auto& tenant = out.tenants[rec.abbr];
-            tenant.completed += 1;
-            tenant.latency_ms.add(lat_ms);
-            tenant.queue_delay_ms.add(cycles_to_ms(rec.queue_delay()));
+            bool fleet_changed = false;
+            auto record_event = [&](scale_event ev) {
+                ev.round = round;
+                ev.backlog = backlog;
+                ev.sla = sla;
+                std::uint32_t active = 0;
+                for (const auto& fs : fleet)
+                    if (!fs.draining) ++active;
+                ev.active_after = active;
+                out.scale_events.push_back(ev);
+                if (jsonl_on) {
+                    char buf[256];
+                    std::snprintf(
+                        buf, sizeof buf,
+                        "{\"type\":\"scale_event\",\"round\":%u,"
+                        "\"kind\":\"%s\",\"soc\":%u,\"active\":%u,"
+                        "\"migrated\":%llu,\"backlog\":%.3f,\"sla\":%.4f}",
+                        ev.round, scale_event_kind_name(ev.kind), ev.soc_id,
+                        ev.active_after,
+                        static_cast<unsigned long long>(ev.migrated),
+                        ev.backlog, ev.sla);
+                    jsonl_out << buf << '\n';
+                    jsonl_out.flush();
+                    fleet_metrics.add(
+                        std::string("fleet.scale_") +
+                        scale_event_kind_name(ev.kind) + "s");
+                    if (ev.migrated)
+                        fleet_metrics.add("fleet.migrated_requests",
+                                          ev.migrated);
+                    fleet_metrics.gauge_set("fleet.active_socs", active);
+                }
+                if (trace_on) {
+                    switch (ev.kind) {
+                        case scale_event_kind::add:
+                            master_trace->instant("scale_add", "fleet", 0,
+                                                  round_end);
+                            break;
+                        case scale_event_kind::drain:
+                            master_trace->instant("scale_drain", "fleet", 0,
+                                                  round_end);
+                            break;
+                        case scale_event_kind::retire:
+                            master_trace->instant("scale_retire", "fleet", 0,
+                                                  round_end);
+                            break;
+                    }
+                }
+            };
+
+            // Retire draining SoCs whose snapshots show no remaining work
+            // (running set and admission queue both empty).
+            for (std::size_t k = 0; k < fleet.size();) {
+                auto& fs = fleet[k];
+                if (fs.draining && fs.has_snap && fs.snap.running.empty() &&
+                    fs.snap.admission_queue.empty()) {
+                    const std::uint32_t id = fs.id;
+                    fleet.erase(fleet.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+                    fleet_changed = true;
+                    scale_event ev;
+                    ev.kind = scale_event_kind::retire;
+                    ev.soc_id = id;
+                    record_event(ev);
+                } else {
+                    ++k;
+                }
+            }
+
+            if (cooldown > 0) {
+                --cooldown;
+            } else if ((backlog > cfg.autoscale.backlog_high ||
+                        sla < cfg.autoscale.sla_low) &&
+                       routable < max_socs) {
+                // Scale up: a cold clone of the fleet's first configured
+                // instance under the next stable id.
+                fleet.push_back(
+                    {cfg.socs.front(), next_id++, false, false, {}});
+                fleet_changed = true;
+                cooldown = cfg.autoscale.cooldown_rounds;
+                scale_event ev;
+                ev.kind = scale_event_kind::add;
+                ev.soc_id = fleet.back().id;
+                record_event(ev);
+            } else if (backlog < cfg.autoscale.backlog_low &&
+                       sla >= cfg.autoscale.sla_low && routable > min_socs) {
+                // Drain the least-backlogged routable SoC (ties prefer the
+                // youngest, so autoscaled additions leave first), lifting
+                // its queued work out of the snapshot for re-routing.
+                std::size_t pick = fleet.size();
+                std::uint64_t best = 0;
+                for (std::size_t k = 0; k < fleet.size(); ++k) {
+                    if (fleet[k].draining) continue;
+                    const std::uint64_t q =
+                        fleet[k].has_snap
+                            ? fleet[k].snap.admission_queue.size()
+                            : 0;
+                    if (pick == fleet.size() || q < best ||
+                        (q == best && fleet[k].id > fleet[pick].id)) {
+                        pick = k;
+                        best = q;
+                    }
+                }
+                if (pick < fleet.size()) {
+                    auto& fs = fleet[pick];
+                    fs.draining = true;
+                    std::uint64_t migrated = 0;
+                    for (const auto& q : fs.snap.admission_queue) {
+                        const auto it = model_index.find(q.model);
+                        if (it == model_index.end()) continue;
+                        migrate_backlog.push_back({q.arrival, it->second});
+                        ++migrated;
+                    }
+                    fs.snap.admission_queue.clear();
+                    out.migrated_requests += migrated;
+                    fleet_changed = true;
+                    cooldown = cfg.autoscale.cooldown_rounds;
+                    scale_event ev;
+                    ev.kind = scale_event_kind::drain;
+                    ev.soc_id = fs.id;
+                    ev.migrated = migrated;
+                    record_event(ev);
+                }
+            }
+
+            if (fleet_changed) {
+                // Resize feedback to the new routable set (weights and
+                // violation streaks restart; the router is rebuilt against
+                // the fresh weights, so stale per-SoC state never leaks
+                // across a fleet-shape change).
+                std::uint32_t routable_now = 0;
+                for (const auto& fs : fleet)
+                    if (!fs.draining) ++routable_now;
+                fb = std::make_unique<adapt::fleet_feedback>(cfg.feedback,
+                                                             routable_now);
+                rebuild_router();
+            }
+        }
+
+        // Retain or release the round's results. Bounded-history runs keep
+        // compact rollups plus a completion ring; everything else keeps
+        // the historical round-major per_soc layout.
+        if (cfg.bounded_history) {
+            for (std::size_t k = 0; k < round_res.size(); ++k) {
+                const auto& res = round_res[k];
+                out.round_summaries.push_back(
+                    {round, round_ids[k], res.completions.size(),
+                     res.rejected_arrivals, res.events_executed,
+                     res.makespan});
+                if (cfg.history_records > 0) {
+                    for (const auto& rec : res.completions) {
+                        if (out.recent_completions.size() <
+                            cfg.history_records) {
+                            out.recent_completions.push_back(rec);
+                        } else {
+                            out.recent_completions[ring_pos] = rec;
+                            ring_pos = (ring_pos + 1) % cfg.history_records;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (auto& res : round_res) out.per_soc.push_back(std::move(res));
         }
     }
+
+    // Remaining fleet-level aggregation (per-round folds above handled the
+    // order-sensitive accumulators).
+    for (std::size_t m = 0; m < M; ++m)
+        out.tenants[cfg.models[m]->abbr].routed += routed_per_model[m];
     for (auto& [abbr, tenant] : out.tenants)
         tenant.dropped = tenant.routed - tenant.completed;
-    if (fb_on) out.route_weights = fb.weights();
+    if (fb_on) out.route_weights = fb->weights();
 
     if (attr_on) {
         // Roll the fleet attribution into the result and the metrics
@@ -475,9 +726,8 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         if (!tf)
             throw std::runtime_error("run_cluster: cannot open trace path " +
                                      cfg.trace_path);
-        obs::write_chrome_trace(
-            tf, master_trace->events(),
-            {{static_cast<std::uint32_t>(S), "fleet"}});
+        obs::write_chrome_trace(tf, master_trace->events(),
+                                {{fleet_lane, "fleet"}});
     }
     return out;
 }

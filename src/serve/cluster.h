@@ -5,8 +5,9 @@
 //   1. placement — decide which models are resident (and replicated) on
 //      which SoCs, constrained by each SoC's NPU cache subspace
 //      (serve/placement.h);
-//   2. routing — walk the global Poisson arrival stream once and assign
-//      every request to a hosting SoC under the selected policy
+//   2. routing — pull the global arrival stream lazily (serve/
+//      stream_source.h generates it round by round in O(1) memory) and
+//      assign every request to a hosting SoC under the selected policy
 //      (serve/router.h), producing one admission trace per SoC;
 //   3. simulation — run each SoC's trace through the existing
 //      runtime::scheduler via trace_replay (bounded admission queue) on
@@ -50,6 +51,52 @@ enum class route_policy : std::uint8_t {
 };
 
 const char* route_policy_name(route_policy p);
+
+/// Elastic fleet autoscaling, decided between time-sliced feedback
+/// rounds: add a SoC when the observed queued backlog or the round's
+/// completion SLA degrades, drain one when capacity sits idle. Draining
+/// migrates the SoC's admitted-but-undispatched requests to the rest of
+/// the fleet (lifted out of its warm snapshot, re-routed at their
+/// original arrival stamps) and the SoC retires once its in-flight work
+/// finishes. Requires feedback_rounds > 1 and round_cycles > 0
+/// (run_cluster throws otherwise); new SoCs clone the first configured
+/// instance and start cold.
+struct autoscale_config {
+    bool enabled = false;
+    std::uint32_t min_socs = 1;  ///< never drain below this many routable
+    std::uint32_t max_socs = 8;  ///< never add beyond this many routable
+    /// Scale up when the mean queued backlog per routable SoC (snapshot
+    /// admission-queue depth at the round barrier) exceeds this…
+    double backlog_high = 8.0;
+    /// …or when the round's completion SLA (deadline-met over completions
+    /// plus drops) falls below this.
+    double sla_low = 0.85;
+    /// Drain the least-backlogged SoC when the mean backlog falls below
+    /// this and the SLA is healthy.
+    double backlog_low = 0.5;
+    /// Barriers to skip after a scale decision before the next one (lets
+    /// the fleet settle; retirements are exempt).
+    std::uint32_t cooldown_rounds = 1;
+};
+
+/// What happened at one autoscaling decision point.
+enum class scale_event_kind : std::uint8_t {
+    add,     ///< a cold SoC joined the routable fleet
+    drain,   ///< a SoC stopped taking traffic; queued work migrated
+    retire,  ///< a draining SoC finished its in-flight work and left
+};
+
+const char* scale_event_kind_name(scale_event_kind k);
+
+struct scale_event {
+    scale_event_kind kind = scale_event_kind::add;
+    std::uint32_t round = 0;         ///< barrier after this round
+    std::uint32_t soc_id = 0;        ///< stable fleet id (obs trace pid)
+    std::uint32_t active_after = 0;  ///< routable SoCs after the event
+    std::uint64_t migrated = 0;      ///< queued requests migrated (drain)
+    double backlog = 0.0;  ///< mean queued backlog per routable SoC
+    double sla = 0.0;      ///< round completion SLA at the decision
+};
 
 /// One SoC of the fleet. Fleets may be heterogeneous: every instance
 /// carries its own SoC geometry, per-SoC policy and admission bound.
@@ -125,6 +172,23 @@ struct cluster_config {
     /// concurrency, 1 = inline). Never changes results.
     unsigned threads = 0;
 
+    // ---- long-horizon serving ----
+    /// Elastic autoscaling between time-sliced rounds (off by default —
+    /// fixed fleets stay bit-identical to historical runs).
+    autoscale_config autoscale{};
+    /// Bound per-SoC history: per-round simulation results fold into the
+    /// fleet aggregates at each round barrier and are then released
+    /// instead of accumulating in cluster_result::per_soc, so memory
+    /// stays O(fleet) rather than O(total_arrivals) on million-request
+    /// runs. Implies streaming_quantiles (the exact trackers would
+    /// otherwise retain every sample). cluster_result::round_summaries
+    /// keeps one compact rollup per (round, SoC) and recent_completions
+    /// keeps the last history_records completion records.
+    bool bounded_history = false;
+    /// With bounded_history: completion records retained in the
+    /// recent_completions ring (0 keeps none).
+    std::uint32_t history_records = 0;
+
     // ---- observability (src/obs) ----
     /// Streaming P² backend for the fleet/per-tenant latency percentiles
     /// (O(1) memory instead of every sample). Default exact, so historical
@@ -182,8 +246,25 @@ struct tenant_metrics {
 struct cluster_result {
     /// Per-SoC simulation results, in fleet order. With feedback_rounds
     /// R > 1 this holds R x fleet entries in round-major order
-    /// (per_soc[r * socs + s]).
+    /// (per_soc[r * socs + s]). Empty in bounded_history mode (see
+    /// round_summaries / recent_completions instead).
     std::vector<sim::experiment_result> per_soc;
+
+    /// Compact per-(round, SoC) rollup retained in bounded_history mode —
+    /// the O(rounds x fleet) stand-in for per_soc.
+    struct round_summary {
+        std::uint32_t round = 0;
+        std::uint32_t soc_id = 0;
+        std::uint64_t completions = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t events = 0;
+        cycle_t makespan = 0;
+    };
+    std::vector<round_summary> round_summaries;
+    /// Ring of the last cluster_config::history_records completion
+    /// records (bounded_history mode only; ring order, not chronological
+    /// once wrapped).
+    std::vector<sim::inference_record> recent_completions;
     /// Placement echo: model indices resident on each SoC.
     std::vector<std::vector<std::uint32_t>> resident_models;
 
@@ -217,6 +298,15 @@ struct cluster_result {
     /// Subset of `replacements` fired proactively by KL traffic-mix drift
     /// (fleet_feedback_config::mix_kl_threshold).
     std::uint32_t drift_replacements = 0;
+
+    /// Autoscaling history in decision order (empty with autoscaling
+    /// off). soc_ids are stable across the run: initial SoCs are
+    /// 0..socs-1 and every added SoC gets the next id, so obs lanes and
+    /// per-SoC RNG streams never alias after adds/drains.
+    std::vector<scale_event> scale_events;
+    /// Queued requests lifted out of draining SoCs and re-routed (each
+    /// was counted in `arrivals` once, at its original routing).
+    std::uint64_t migrated_requests = 0;
 
     /// Fleet SLA: deadline_met over all arrivals — drops and unroutable
     /// requests count as violations.

@@ -1,0 +1,59 @@
+#include "serve/stream_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace camdn::serve {
+
+stream_source::stream_source(const cluster_config& cfg,
+                             std::vector<double> cum)
+    : cum_(std::move(cum)),
+      r_(cfg.seed),
+      base_(std::max(cfg.arrival_rate_per_ms, 1e-9)),
+      total_(cfg.total_arrivals),
+      mmpp_(cfg.process == arrival_process::mmpp) {
+    // Legacy order: the MMPP clock's constructor draws the first sojourn
+    // before any arrival is generated.
+    if (mmpp_)
+        clock_ = std::make_unique<runtime::mmpp_clock>(
+            base_, cfg.mmpp_rate_scale, cfg.mmpp_sojourn_ms, r_);
+}
+
+std::size_t stream_source::pick_model() {
+    const double pick = r_.next_double();
+    std::size_t m = 0;
+    while (m + 1 < cum_.size() && pick >= cum_[m]) ++m;
+    return m;
+}
+
+void stream_source::advance() {
+    if (mmpp_) {
+        t_ = std::max<cycle_t>(t_ + 1,
+                               ms_to_cycles(clock_->next_arrival_ms()));
+    } else {
+        const double gap_ms = -std::log(1.0 - r_.next_double()) / base_;
+        t_ += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
+    }
+    next_ = {t_, pick_model()};
+    have_ = true;
+    ++generated_;
+}
+
+const stream_arrival* stream_source::peek() {
+    if (!have_) {
+        if (generated_ >= total_) return nullptr;
+        advance();
+    }
+    return &next_;
+}
+
+stream_arrival stream_source::pop() {
+    if (peek() == nullptr)
+        throw std::logic_error("stream_source::pop: stream exhausted");
+    have_ = false;
+    ++consumed_;
+    return next_;
+}
+
+}  // namespace camdn::serve

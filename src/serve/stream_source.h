@@ -1,0 +1,77 @@
+// Pull-based fleet arrival stream.
+//
+// The legacy cluster path materialized the whole arrival schedule up
+// front (an O(total_arrivals) vector drawn before round 0), which capped
+// long-horizon runs at bench length. stream_source generates the same
+// stream lazily: rounds pull arrivals one at a time through a one-entry
+// lookahead, so a million-request run holds O(1) stream state.
+//
+// Bit-identity contract: the RNG call sequence is exactly the legacy
+// build_stream order — Poisson draws one exponential gap then one model
+// pick per arrival; MMPP constructs the modulated clock first (its
+// constructor draws the initial sojourn), then per arrival the clock's
+// draws followed by the model pick. Any config therefore produces the
+// identical arrival sequence to the eager builder, and existing goldens
+// and snapshot bytes are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/workload.h"
+#include "serve/cluster.h"
+
+namespace camdn::serve {
+
+/// One arrival of the fleet-wide stream: absolute arrival cycle plus the
+/// catalog index of the requested model.
+struct stream_arrival {
+    cycle_t at = 0;
+    std::size_t model = 0;
+};
+
+class stream_source {
+public:
+    /// `cum` is the normalized cumulative traffic mix over cfg.models
+    /// (see traffic_weights). For MMPP configs the modulated clock is
+    /// constructed here, matching the legacy draw order.
+    stream_source(const cluster_config& cfg, std::vector<double> cum);
+
+    // The MMPP clock keeps a reference to the member RNG.
+    stream_source(const stream_source&) = delete;
+    stream_source& operator=(const stream_source&) = delete;
+
+    /// Next arrival without consuming it; nullptr once the stream's
+    /// total_arrivals budget is exhausted.
+    const stream_arrival* peek();
+
+    /// Consumes and returns the next arrival. Call only after a non-null
+    /// peek() (throws std::logic_error on an exhausted stream).
+    stream_arrival pop();
+
+    /// Arrivals handed out via pop() so far.
+    std::uint64_t consumed() const { return consumed_; }
+    /// Total arrivals this stream will ever produce (cfg.total_arrivals).
+    std::uint64_t total() const { return total_; }
+    bool exhausted() { return peek() == nullptr; }
+
+private:
+    void advance();
+    std::size_t pick_model();
+
+    std::vector<double> cum_;
+    rng r_;
+    double base_;
+    std::uint64_t total_;
+    std::uint64_t generated_ = 0;  ///< arrivals drawn into the lookahead
+    std::uint64_t consumed_ = 0;
+    bool mmpp_ = false;
+    std::unique_ptr<runtime::mmpp_clock> clock_;
+    cycle_t t_ = 0;
+    bool have_ = false;
+    stream_arrival next_{};
+};
+
+}  // namespace camdn::serve

@@ -2,6 +2,7 @@
 // table printing and unit helpers.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -49,6 +50,21 @@ TEST(types, time_conversions_round_trip) {
     EXPECT_DOUBLE_EQ(cycles_to_ms(ms_to_cycles(6.7)), 6.7);
     EXPECT_EQ(ms_to_cycles(1.0), 1'000'000u);
     EXPECT_EQ(us_to_cycles(1.0), 1'000u);
+}
+
+TEST(types, saturating_arithmetic_clamps_to_never) {
+    EXPECT_EQ(sat_add(3, 4), 7u);
+    EXPECT_EQ(sat_add(never, 1), never);
+    EXPECT_EQ(sat_add(never - 1, 1), never);
+    EXPECT_EQ(sat_add(never - 1, 2), never);
+    EXPECT_EQ(sat_add(0, never), never);
+
+    EXPECT_EQ(sat_mul(3, 4), 12u);
+    EXPECT_EQ(sat_mul(never, 0), 0u);
+    EXPECT_EQ(sat_mul(0, never), 0u);
+    EXPECT_EQ(sat_mul(never, 1), never);
+    EXPECT_EQ(sat_mul(never / 2 + 1, 2), never);
+    EXPECT_EQ(sat_mul(never / 2, 2), never - 1);  // largest exact even case
 }
 
 // ---- event queue ----
@@ -373,6 +389,21 @@ TEST(bucket_histogram, empty_fractions_are_zero) {
     EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
 }
 
+TEST(bucket_histogram, nan_samples_are_quarantined) {
+    bucket_histogram h({1.0, 10.0});
+    h.add(0.5);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::quiet_NaN(), 3.0);
+    h.add(5.0);
+    // NaN never lands in a bucket (its comparisons all fail, which used
+    // to drop it into bucket 0) and never inflates the total weight.
+    EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+    EXPECT_DOUBLE_EQ(h.nan_weight(), 4.0);
+}
+
 TEST(percentile_tracker, nearest_rank_quantiles) {
     percentile_tracker t;
     for (int v = 100; v >= 1; --v) t.add(v);  // 1..100, inserted descending
@@ -419,6 +450,26 @@ TEST(percentile_tracker, add_after_query_resorts) {
     t.add(5.0);  // arrives after a query sorted the buffer
     EXPECT_DOUBLE_EQ(t.min(), 5.0);
     EXPECT_DOUBLE_EQ(t.p50(), 10.0);
+}
+
+TEST(percentile_tracker, nan_samples_are_rejected_and_merge_carries_count) {
+    percentile_tracker t;
+    t.add(1.0);
+    t.add(std::numeric_limits<double>::quiet_NaN());
+    t.add(3.0);
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_EQ(t.nan_count(), 1u);
+    // Quantiles see only the finite samples.
+    EXPECT_DOUBLE_EQ(t.min(), 1.0);
+    EXPECT_DOUBLE_EQ(t.max(), 3.0);
+
+    percentile_tracker other;
+    other.add(std::numeric_limits<double>::quiet_NaN());
+    other.add(2.0);
+    t.merge(other);
+    EXPECT_EQ(t.count(), 3u);
+    EXPECT_EQ(t.nan_count(), 2u);
+    EXPECT_DOUBLE_EQ(t.p50(), 2.0);
 }
 
 TEST(percentile_tracker, merge_combines_samples) {

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <string>
@@ -226,6 +227,34 @@ TEST(p2, exact_below_five_samples) {
     }
 }
 
+TEST(p2, exact_at_exactly_five_samples) {
+    // Regression: at count == 5 the markers are still the raw sorted
+    // sample array — the first P² marker adjustment only happens on the
+    // sixth add — so value() must fall back to the nearest-rank sample.
+    // The old `count_ < 5` guard read the middle marker h_[2] instead,
+    // reporting 3 for q=0.95 over {1..5}.
+    p2_estimator q95(0.95);
+    percentile_tracker exact;
+    for (int v = 1; v <= 5; ++v) {
+        q95.add(static_cast<double>(v));
+        exact.add(static_cast<double>(v));
+        EXPECT_DOUBLE_EQ(q95.value(), exact.quantile(0.95))
+            << "after " << v << " samples";
+    }
+    EXPECT_DOUBLE_EQ(q95.value(), 5.0);
+}
+
+TEST(p2, nan_samples_are_rejected_and_counted) {
+    p2_quantiles q;
+    q.add(1.0);
+    q.add(std::numeric_limits<double>::quiet_NaN());
+    q.add(2.0);
+    EXPECT_EQ(q.count(), 2u);
+    EXPECT_EQ(q.nan_count(), 1u);
+    EXPECT_DOUBLE_EQ(q.min(), 1.0);
+    EXPECT_DOUBLE_EQ(q.max(), 2.0);
+}
+
 TEST(p2, deterministic_for_identical_streams) {
     std::mt19937_64 rng_a(3), rng_b(3);
     std::lognormal_distribution<double> ln(0.0, 0.5);
@@ -287,6 +316,48 @@ TEST(quantile_accumulator, merge_feeds_streaming_backend_in_sorted_order) {
     EXPECT_EQ(a.p50(), b.p50());
     EXPECT_EQ(a.p95(), b.p95());
     EXPECT_EQ(a.p99(), b.p99());
+}
+
+TEST(quantile_accumulator, nan_rejected_by_both_backends) {
+    quantile_accumulator exact, streaming;
+    streaming.set_streaming(true);
+    for (quantile_accumulator* acc : {&exact, &streaming}) {
+        acc->add(1.0);
+        acc->add(std::numeric_limits<double>::quiet_NaN());
+        acc->add(3.0);
+        EXPECT_EQ(acc->count(), 2u);
+        EXPECT_EQ(acc->nan_count(), 1u);
+        EXPECT_DOUBLE_EQ(acc->max(), 3.0);
+    }
+}
+
+TEST(quantile_accumulator, batched_sorted_merges_track_exact_on_bursty_stream) {
+    // Mimic the cluster's per-round fold on a long bursty stream: each
+    // round's samples land in a per-SoC percentile_tracker, and the fleet
+    // accumulator absorbs them batch by batch (merge sorts each batch
+    // before feeding P²). The streamed estimates must stay close to the
+    // exact quantiles of the full stream.
+    std::mt19937_64 rng(23);
+    std::lognormal_distribution<double> calm(0.0, 0.4);
+    std::lognormal_distribution<double> burst(1.5, 0.6);
+    quantile_accumulator st;
+    st.set_streaming(true);
+    percentile_tracker exact;
+    for (int round = 0; round < 64; ++round) {
+        percentile_tracker batch;
+        const bool bursty = (round / 4) % 2 == 1;  // MMPP-ish regimes
+        for (int i = 0; i < 500; ++i) {
+            const double v = bursty ? burst(rng) : calm(rng);
+            batch.add(v);
+            exact.add(v);
+        }
+        st.merge(batch);
+    }
+    EXPECT_EQ(st.count(), exact.count());
+    const double range = exact.max() - exact.min();
+    EXPECT_LT(std::abs(st.p50() - exact.p50()) / range, 0.05);
+    EXPECT_LT(std::abs(st.p95() - exact.p95()) / range, 0.05);
+    EXPECT_LT(std::abs(st.p99() - exact.p99()) / range, 0.05);
 }
 
 // ---- trace recorder ---------------------------------------------------
@@ -602,6 +673,28 @@ TEST(cluster_obs, streaming_quantiles_change_memory_not_the_run) {
     EXPECT_GE(p2.fleet_latency_ms.p50(), exact.fleet_latency_ms.min());
     EXPECT_LE(p2.fleet_latency_ms.p50(), exact.fleet_latency_ms.max());
     EXPECT_THROW(p2.fleet_latency_ms.exact(), std::logic_error);
+}
+
+TEST(cluster_obs, streaming_quantiles_deterministic_across_pool_widths) {
+    // P² is order-sensitive, so the fleet fold replays a fixed round-major,
+    // fleet-order merge sequence regardless of how the sweep pool
+    // interleaved the per-SoC sims. Any pool width must therefore produce
+    // bit-equal streamed quantiles.
+    auto cfg = small_fleet();
+    cfg.streaming_quantiles = true;
+    cfg.threads = 1;
+    const auto a = serve::run_cluster(cfg);
+    cfg.threads = 4;
+    const auto b = serve::run_cluster(cfg);
+
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.fleet_latency_ms.count(), b.fleet_latency_ms.count());
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p50(), b.fleet_latency_ms.p50());
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p95(), b.fleet_latency_ms.p95());
+    EXPECT_DOUBLE_EQ(a.fleet_latency_ms.p99(), b.fleet_latency_ms.p99());
+    EXPECT_DOUBLE_EQ(a.fleet_queue_delay_ms.p95(),
+                     b.fleet_queue_delay_ms.p95());
 }
 
 }  // namespace

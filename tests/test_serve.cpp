@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "common/rng.h"
 #include "model/model_zoo.h"
+#include "runtime/workload.h"
 #include "serve/cluster.h"
 #include "serve/placement.h"
 #include "serve/router.h"
+#include "serve/stream_source.h"
 #include "sim/mapping_registry.h"
 
 namespace camdn::serve {
@@ -289,6 +293,259 @@ TEST(cluster, cache_affinity_beats_round_robin_on_fleet_p99) {
     ASSERT_EQ(aff.completed, cfg.total_arrivals);
     EXPECT_LT(aff.fleet_latency_ms.p99(), rr.fleet_latency_ms.p99());
     EXPECT_LT(aff.fleet_latency_ms.p95(), rr.fleet_latency_ms.p95());
+}
+
+// ---- stream_source ----
+
+/// Normalized cumulative mix, the way run_cluster builds it.
+std::vector<double> cum_mix(const cluster_config& cfg) {
+    const auto w = traffic_weights(cfg);
+    std::vector<double> cum(w.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t m = 0; m < w.size(); ++m) {
+        total += w[m];
+        cum[m] = total;
+    }
+    for (auto& c : cum) c /= total;
+    return cum;
+}
+
+TEST(stream_source, matches_legacy_poisson_rng_sequence) {
+    auto cfg = colocation_cfg();
+    cfg.total_arrivals = 300;
+    const auto cum = cum_mix(cfg);
+
+    // The retired eager builder, hand-rolled: one exponential gap draw
+    // plus one model draw per arrival, from rng(cfg.seed).
+    rng r(cfg.seed);
+    const double base = std::max(cfg.arrival_rate_per_ms, 1e-9);
+    stream_source src(cfg, cum);
+    cycle_t t = 0;
+    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
+        const double gap_ms = -std::log(1.0 - r.next_double()) / base;
+        t += std::max<cycle_t>(1, ms_to_cycles(gap_ms));
+        const double pick = r.next_double();
+        std::size_t m = 0;
+        while (m + 1 < cum.size() && pick >= cum[m]) ++m;
+
+        const auto a = src.pop();
+        ASSERT_EQ(a.at, t) << "arrival " << i;
+        ASSERT_EQ(a.model, m) << "arrival " << i;
+    }
+    EXPECT_TRUE(src.exhausted());
+}
+
+TEST(stream_source, matches_legacy_mmpp_rng_sequence) {
+    auto cfg = colocation_cfg();
+    cfg.total_arrivals = 300;
+    cfg.process = arrival_process::mmpp;
+    const auto cum = cum_mix(cfg);
+
+    rng r(cfg.seed);
+    const double base = std::max(cfg.arrival_rate_per_ms, 1e-9);
+    stream_source src(cfg, cum);
+    runtime::mmpp_clock clock(base, cfg.mmpp_rate_scale, cfg.mmpp_sojourn_ms,
+                              r);
+    cycle_t t = 0;
+    for (std::uint32_t i = 0; i < cfg.total_arrivals; ++i) {
+        t = std::max<cycle_t>(t + 1, ms_to_cycles(clock.next_arrival_ms()));
+        const double pick = r.next_double();
+        std::size_t m = 0;
+        while (m + 1 < cum.size() && pick >= cum[m]) ++m;
+
+        const auto a = src.pop();
+        ASSERT_EQ(a.at, t) << "arrival " << i;
+        ASSERT_EQ(a.model, m) << "arrival " << i;
+    }
+    EXPECT_TRUE(src.exhausted());
+}
+
+TEST(stream_source, pull_interface_peeks_counts_and_exhausts) {
+    auto cfg = colocation_cfg();
+    cfg.total_arrivals = 5;
+    stream_source src(cfg, cum_mix(cfg));
+
+    EXPECT_EQ(src.total(), 5u);
+    EXPECT_EQ(src.consumed(), 0u);
+    const auto* first = src.peek();
+    ASSERT_NE(first, nullptr);
+    const cycle_t at0 = first->at;
+    EXPECT_EQ(src.consumed(), 0u);  // peek never consumes
+    EXPECT_EQ(src.pop().at, at0);
+    EXPECT_EQ(src.consumed(), 1u);
+
+    while (!src.exhausted()) src.pop();
+    EXPECT_EQ(src.consumed(), 5u);
+    EXPECT_EQ(src.peek(), nullptr);
+    EXPECT_THROW(src.pop(), std::logic_error);
+}
+
+// ---- time-sliced window overflow ----
+
+TEST(cluster, time_sliced_window_survives_near_overflow_round_cycles) {
+    // Hours-of-stream-time configs used to compute the window bound as
+    // round_cycles * (round + 1) in plain uint64, which wraps: a
+    // round_cycles near 2^63 collapsed later windows (and the pause
+    // stamps) to tiny values. Saturating arithmetic clamps them to
+    // `never` instead, so the run degenerates gracefully into "all
+    // arrivals in round 0" and still conserves every request.
+    auto cfg = colocation_cfg();
+    cfg.feedback_rounds = 3;
+    cfg.round_cycles = never / 2 + 1;  // 2 * round_cycles would wrap
+    const auto res = run_cluster(cfg);
+
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    EXPECT_EQ(res.arrivals,
+              res.completed + res.dropped_queue + res.dropped_unroutable);
+    EXPECT_GT(res.completed, 0u);
+}
+
+// ---- elastic autoscaling ----
+
+TEST(cluster, autoscaling_requires_time_sliced_rounds) {
+    auto cfg = colocation_cfg();
+    cfg.autoscale.enabled = true;
+    EXPECT_THROW(run_cluster(cfg), std::invalid_argument);
+    cfg.feedback_rounds = 4;  // drain-sliced is still not enough
+    EXPECT_THROW(run_cluster(cfg), std::invalid_argument);
+}
+
+TEST(cluster, autoscaler_adds_socs_under_sla_pressure) {
+    // One overloaded SoC with a tight admission bound: the round SLA
+    // collapses (mass drops), so every barrier up to max_socs adds a SoC.
+    auto cfg = colocation_cfg();
+    cfg.socs.resize(1);
+    cfg.socs[0].admission_queue_limit = 4;
+    cfg.arrival_rate_per_ms = 40.0;
+    cfg.total_arrivals = 200;
+    cfg.feedback_rounds = 4;
+    cfg.round_cycles = ms_to_cycles(1.5);
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.max_socs = 3;
+    cfg.autoscale.cooldown_rounds = 0;
+    const auto res = run_cluster(cfg);
+
+    std::uint32_t adds = 0, peak_active = 1;
+    for (const auto& ev : res.scale_events) {
+        if (ev.kind == scale_event_kind::add) {
+            ++adds;
+            EXPECT_LT(ev.sla, cfg.autoscale.sla_low);
+        }
+        peak_active = std::max(peak_active, ev.active_after);
+    }
+    EXPECT_GT(adds, 0u);
+    EXPECT_GT(peak_active, 1u);
+    EXPECT_LE(peak_active, cfg.autoscale.max_socs);
+    // Added SoCs get fresh stable ids past the initial fleet.
+    EXPECT_EQ(res.scale_events.front().kind, scale_event_kind::add);
+    EXPECT_EQ(res.scale_events.front().soc_id, 1u);
+    // Conservation holds across fleet-shape changes.
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    EXPECT_EQ(res.arrivals,
+              res.completed + res.dropped_queue + res.dropped_unroutable);
+}
+
+TEST(cluster, autoscaler_drains_migrates_queued_work_and_retires) {
+    // Unbounded queues keep real backlog at the first barrier; a huge
+    // backlog_low forces a drain there, so the drained SoC's queued
+    // requests must migrate to the survivor and still complete. sla_low=0
+    // keeps the scale-up path quiet (adds also need backlog_high).
+    auto cfg = colocation_cfg();
+    cfg.socs.resize(2);
+    // A single slow tenant loads both replicas evenly, so whichever SoC
+    // the drain picks still holds queued work at the barrier.
+    cfg.models = {&model::model_by_abbr("RS.")};
+    cfg.arrival_rate_per_ms = 12.0;
+    cfg.total_arrivals = 48;
+    cfg.feedback_rounds = 5;
+    cfg.round_cycles = ms_to_cycles(1.0);
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.min_socs = 1;
+    cfg.autoscale.max_socs = 2;
+    cfg.autoscale.backlog_high = 1e18;
+    cfg.autoscale.backlog_low = 1e18;  // always "idle": drain immediately
+    cfg.autoscale.sla_low = 0.0;
+    cfg.autoscale.cooldown_rounds = 0;
+    const auto res = run_cluster(cfg);
+
+    const scale_event* drain = nullptr;
+    bool retired = false;
+    for (const auto& ev : res.scale_events) {
+        if (ev.kind == scale_event_kind::drain && !drain) drain = &ev;
+        if (ev.kind == scale_event_kind::retire) retired = true;
+        EXPECT_GE(ev.active_after, cfg.autoscale.min_socs);
+    }
+    ASSERT_NE(drain, nullptr);
+    EXPECT_GT(drain->migrated, 0u);
+    EXPECT_EQ(res.migrated_requests, drain->migrated);
+    EXPECT_TRUE(retired);
+
+    // The migrated work is accounted, not lost: every arrival either
+    // completed or was dropped, and with unbounded queues nothing drops.
+    EXPECT_EQ(res.arrivals, cfg.total_arrivals);
+    EXPECT_EQ(res.dropped_queue, 0u);
+    EXPECT_EQ(res.dropped_unroutable, 0u);
+    EXPECT_EQ(res.completed, cfg.total_arrivals);
+}
+
+TEST(cluster, fixed_fleet_results_unchanged_by_autoscale_plumbing) {
+    // The elastic fleet machinery must be invisible when disabled: a
+    // time-sliced feedback run with autoscaling off produces no scale
+    // events and the historical round-major per_soc layout.
+    auto cfg = colocation_cfg();
+    cfg.feedback_rounds = 3;
+    cfg.round_cycles = ms_to_cycles(2.0);
+    const auto res = run_cluster(cfg);
+    EXPECT_TRUE(res.scale_events.empty());
+    EXPECT_EQ(res.migrated_requests, 0u);
+    EXPECT_EQ(res.per_soc.size(), cfg.socs.size() * cfg.feedback_rounds);
+}
+
+// ---- bounded history ----
+
+TEST(cluster, bounded_history_matches_streaming_aggregates) {
+    // Bounded history only changes what is *retained*: the fold at each
+    // round barrier replays the exact end-of-run sample order, so every
+    // aggregate matches a streaming-quantile run that kept everything.
+    auto cfg = colocation_cfg();
+    cfg.feedback_rounds = 3;
+    cfg.round_cycles = ms_to_cycles(2.0);
+    cfg.streaming_quantiles = true;
+    const auto full = run_cluster(cfg);
+
+    cfg.bounded_history = true;
+    cfg.history_records = 16;
+    const auto bounded = run_cluster(cfg);
+
+    EXPECT_EQ(bounded.arrivals, full.arrivals);
+    EXPECT_EQ(bounded.completed, full.completed);
+    EXPECT_EQ(bounded.dropped_queue, full.dropped_queue);
+    EXPECT_EQ(bounded.events_executed, full.events_executed);
+    EXPECT_EQ(bounded.makespan, full.makespan);
+    EXPECT_EQ(bounded.deadline_met, full.deadline_met);
+    EXPECT_DOUBLE_EQ(bounded.fleet_latency_ms.p50(),
+                     full.fleet_latency_ms.p50());
+    EXPECT_DOUBLE_EQ(bounded.fleet_latency_ms.p99(),
+                     full.fleet_latency_ms.p99());
+    EXPECT_DOUBLE_EQ(bounded.fleet_queue_delay_ms.p95(),
+                     full.fleet_queue_delay_ms.p95());
+
+    // The memory contract: no per-SoC results, compact rollups instead,
+    // and the completion ring is bounded by history_records.
+    EXPECT_TRUE(bounded.per_soc.empty());
+    EXPECT_EQ(bounded.round_summaries.size(),
+              cfg.socs.size() * cfg.feedback_rounds);
+    std::uint64_t rolled = 0;
+    for (const auto& rs : bounded.round_summaries) rolled += rs.completions;
+    EXPECT_EQ(rolled, bounded.completed);
+    EXPECT_LE(bounded.recent_completions.size(), cfg.history_records);
+
+    // bounded_history implies the streaming backend even if the caller
+    // forgot to ask for it.
+    cluster_config lazy = colocation_cfg();
+    lazy.bounded_history = true;
+    const auto implied = run_cluster(lazy);
+    EXPECT_TRUE(implied.fleet_latency_ms.streaming());
 }
 
 }  // namespace

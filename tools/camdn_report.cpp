@@ -177,14 +177,21 @@ bool load_dump(const std::string& path, std::map<std::string, double>& out) {
     // JSONL: keep the last row of each interesting type.
     out.clear();
     std::istringstream lines(text);
-    std::string line, metrics_row, attribution_row;
-    std::size_t parsed = 0;
+    std::string line, metrics_row, attribution_row, fleet_round_row,
+        scale_row;
+    std::size_t parsed = 0, scale_rows = 0;
     while (std::getline(lines, line)) {
         if (line.empty()) continue;
         if (line.find("\"type\":\"metrics\"") != std::string::npos)
             metrics_row = line;
         else if (line.find("\"type\":\"attribution\"") != std::string::npos)
             attribution_row = line;
+        else if (line.find("\"type\":\"fleet_round\"") != std::string::npos)
+            fleet_round_row = line;
+        else if (line.find("\"type\":\"scale_event\"") != std::string::npos) {
+            scale_row = line;
+            ++scale_rows;
+        }
         ++parsed;
     }
     if (parsed == 0) {
@@ -208,6 +215,13 @@ bool load_dump(const std::string& path, std::map<std::string, double>& out) {
     if (!attribution_row.empty() &&
         flatten(attribution_row, "attribution", out))
         any = true;
+    // Long-horizon context rides along under its own prefixes: the last
+    // fleet_round row (round progress, live fleet width) and the last
+    // scale_event row plus the event count. Diffable like every other
+    // numeric leaf.
+    if (!fleet_round_row.empty()) flatten(fleet_round_row, "fleet_round", out);
+    if (!scale_row.empty() && flatten(scale_row, "scale_event", out))
+        out["scale_event.count"] = static_cast<double>(scale_rows);
     if (!any)
         std::cerr << "camdn_report: no metrics or attribution rows in "
                   << path << "\n";
@@ -293,6 +307,33 @@ void print_summary(const std::map<std::string, double>& m) {
         std::printf("\ninterference (victim.holder -> cycles)\n");
         for (const auto& [pair, v] : interference)
             std::printf("  %-24s %16.0f\n", pair.c_str(), v);
+    }
+
+    // Fleet-scaling section (long-horizon autoscaled runs only): scale
+    // counters from the registry plus the last scale_event / fleet_round
+    // rows of the JSONL stream.
+    const double adds = get(m, "counters.fleet.scale_adds");
+    const double drains = get(m, "counters.fleet.scale_drains");
+    const double retires = get(m, "counters.fleet.scale_retires");
+    if (adds + drains + retires + get(m, "scale_event.count") != 0.0) {
+        std::printf("\nfleet scaling\n");
+        std::printf("  %-24s %.0f adds, %.0f drains, %.0f retires\n",
+                    "scale events", adds, drains, retires);
+        std::printf("  %-24s %.0f\n", "migrated requests",
+                    get(m, "counters.fleet.migrated_requests"));
+        if (m.count("scale_event.round"))
+            std::printf(
+                "  %-24s round %.0f, soc %.0f, %.0f active after "
+                "(backlog %.2f, sla %.3f)\n",
+                "last event", get(m, "scale_event.round"),
+                get(m, "scale_event.soc"), get(m, "scale_event.active"),
+                get(m, "scale_event.backlog"), get(m, "scale_event.sla"));
+        if (m.count("fleet_round.round"))
+            std::printf(
+                "  %-24s round %.0f, %.0f active SoCs, %.0f completions\n",
+                "last round", get(m, "fleet_round.round"),
+                get(m, "fleet_round.active_socs"),
+                get(m, "fleet_round.completions"));
     }
 }
 
