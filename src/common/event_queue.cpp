@@ -166,6 +166,17 @@ cycle_t event_queue::next_time() {
     return heap_.empty() ? never : heap_.front().when;
 }
 
+bool event_queue::try_inline(cycle_t when, event_channel ch) {
+    if (when >= inline_horizon_ || when < now_) return false;
+    if (next_time() <= when) return false;
+    // The event would be the very next dispatch: the heap round-trip is
+    // pure overhead, but the counters must read as if it happened.
+    now_ = when;
+    ++executed_;
+    ++typed_dispatched_[static_cast<std::size_t>(ch)];
+    return true;
+}
+
 bool event_queue::step() {
     discard_cancelled_head();
     if (heap_.empty()) return false;
@@ -196,13 +207,23 @@ bool event_queue::step() {
 }
 
 std::size_t event_queue::run(std::size_t max_events) {
+    // An unbounded drain may coalesce freely; a budgeted run counts
+    // individual step() dispatches, which inlining would undercount.
+    const cycle_t saved = inline_horizon_;
+    if (max_events == SIZE_MAX) inline_horizon_ = never;
     std::size_t executed = 0;
     while (executed < max_events && step()) ++executed;
+    inline_horizon_ = saved;
     return executed;
 }
 
 void event_queue::run_until(cycle_t until) {
+    // Events at exactly `until` run, so the exclusive horizon sits one
+    // past it (saturating: run_until(never) may coalesce everything).
+    const cycle_t saved = inline_horizon_;
+    inline_horizon_ = until == never ? never : until + 1;
     while (next_time() <= until && !heap_.empty()) step();
+    inline_horizon_ = saved;
     if (now_ < until) now_ = until;
 }
 

@@ -187,6 +187,30 @@ public:
     /// Discards cancelled entries encountered at the head.
     cycle_t next_time();
 
+    // ---- inline continuations (chunk-event coalescing) ----
+
+    /// Asks to process, inline, work that would otherwise be scheduled as
+    /// a typed event on `ch` at `when`. Grants the request — advancing
+    /// now() to `when` and crediting the executed/dispatch counters as if
+    /// the event had been scheduled, popped and dispatched — only when the
+    /// outcome is provably identical to the scheduled path: `when` must be
+    /// at or after now(), strictly before every pending event (a pending
+    /// event at the same cycle holds a smaller sequence number and would
+    /// run first), and strictly below the inline horizon. Returns whether
+    /// the caller now owns the continuation; on false the caller schedules
+    /// the event as usual. Only legal from within a dispatched handler
+    /// (the run loops' pause checks see the advanced clock next).
+    bool try_inline(cycle_t when, event_channel ch);
+
+    /// Sets the first cycle at which inline continuations are refused
+    /// (exclusive horizon). The run loops own this: run_segment-style
+    /// drivers must refuse continuations at or past their pause boundary
+    /// so pause points land exactly where the scheduled path would pause.
+    /// 0 (the default) disables inlining — unit tests driving step() by
+    /// hand keep strict one-event-per-step semantics.
+    void set_inline_horizon(cycle_t horizon) { inline_horizon_ = horizon; }
+    cycle_t inline_horizon() const { return inline_horizon_; }
+
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
 
@@ -270,6 +294,7 @@ private:
     std::uint32_t free_head_ = no_slot;
     std::array<typed_handler, n_event_channels> handlers_{};
     cycle_t now_ = 0;
+    cycle_t inline_horizon_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::array<std::uint64_t, n_event_channels> typed_dispatched_{};

@@ -38,8 +38,11 @@ dma_engine::dma_engine(event_queue& eq, cache::shared_cache& cache,
       chunk_lines_(chunk_lines == 0 ? 1 : chunk_lines),
       window_(window == 0 ? 1 : window) {
     flights_.reserve(16);
+    // A dispatched chunk_done event is the tail call of its step(): pump
+    // may coalesce the flight's next wakes inline (advancing the clock)
+    // because nothing else runs in this dispatch afterwards.
     eq_.set_handler(event_channel::dma, [this](const typed_event& ev) {
-        pump(ev.a);
+        pump(ev.a, /*allow_inline=*/true);
     });
 }
 
@@ -143,62 +146,75 @@ void dma_engine::submit(const transfer_request& req,
     start_flight(req, std::move(f));
 }
 
-void dma_engine::pump(std::uint64_t id) {
+void dma_engine::pump(std::uint64_t id, bool allow_inline) {
     obs::profile_scope scope(prof_, obs::subsystem::dma);
     const std::size_t at = find_flight(id);
-    flight& f = flights_[at];
+    for (;;) {
+        flight& f = flights_[at];
 
-    // Issue as long as the window has room and lines remain.
-    while (f.issued_chunks < f.total_chunks && f.outstanding() < window_) {
-        const std::uint64_t lines = std::min<std::uint64_t>(
-            chunk_lines_, f.req.nlines - f.issued_lines);
-        transfer_request chunk = f.req;
-        chunk.addr = f.req.addr + f.issued_lines * line_bytes;
-        chunk.dram_addr = f.req.dram_addr + f.issued_lines * line_bytes;
-        chunk.nlines = lines;
-        const cycle_t done = transfer_now(chunk, eq_.now());
-        // The chunk's service window is known synchronously, so its trace
-        // event is recordable at issue.
-        if (trace_ != nullptr && trace_->chunk_events())
-            trace_->complete_arg("dma_chunk", "dma", trace_tid(f.req.task),
-                                 eq_.now(), done, lines * line_bytes);
-        f.issued_lines += lines;
-        ++f.issued_chunks;
-        f.out.push_back(done);
-        f.last_done = std::max(f.last_done, done);
-    }
-    if (f.outstanding() == 0) {
-        // Everything issued and retired. Detach the flight before the
-        // completion runs: the sink may submit a follow-up transfer.
-        const cycle_t done = f.last_done;
-        const dma_target target = f.target;
-        if (trace_ != nullptr)
-            trace_->complete_arg(op_name(f.req.op), "dma",
-                                 trace_tid(f.req.task), f.issue, done,
-                                 f.req.nlines * line_bytes);
-        auto legacy = std::move(f.legacy_done);
-        recycle_ring(std::move(f.out));
-        flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(at));
-        if (legacy) {
-            legacy(done);
-        } else if (sink_) {
-            sink_(target, done);
+        // Issue as long as the window has room and lines remain.
+        while (f.issued_chunks < f.total_chunks && f.outstanding() < window_) {
+            const std::uint64_t lines = std::min<std::uint64_t>(
+                chunk_lines_, f.req.nlines - f.issued_lines);
+            transfer_request chunk = f.req;
+            chunk.addr = f.req.addr + f.issued_lines * line_bytes;
+            chunk.dram_addr = f.req.dram_addr + f.issued_lines * line_bytes;
+            chunk.nlines = lines;
+            const cycle_t done = transfer_now(chunk, eq_.now());
+            // The chunk's service window is known synchronously, so its
+            // trace event is recordable at issue (sampled: the chunk lane
+            // is the highest-volume category by an order of magnitude).
+            if (trace_ != nullptr && trace_->chunk_events() &&
+                trace_->sample_chunk())
+                trace_->complete_arg("dma_chunk", "dma", trace_tid(f.req.task),
+                                     eq_.now(), done, lines * line_bytes);
+            f.issued_lines += lines;
+            ++f.issued_chunks;
+            f.out.push_back(done);
+            f.last_done = std::max(f.last_done, done);
         }
+        if (f.outstanding() == 0) {
+            // Everything issued and retired. Detach the flight before the
+            // completion runs: the sink may submit a follow-up transfer.
+            const cycle_t done = f.last_done;
+            const dma_target target = f.target;
+            if (trace_ != nullptr && trace_->sample_flight())
+                trace_->complete_arg(op_name(f.req.op), "dma",
+                                     trace_tid(f.req.task), f.issue, done,
+                                     f.req.nlines * line_bytes);
+            auto legacy = std::move(f.legacy_done);
+            recycle_ring(std::move(f.out));
+            flights_.erase(flights_.begin() +
+                           static_cast<std::ptrdiff_t>(at));
+            if (legacy) {
+                legacy(done);
+            } else if (sink_) {
+                sink_(target, done);
+            }
+            return;
+        }
+        // Wake when the oldest chunk retires; that frees a window slot.
+        const cycle_t next = f.out[f.out_head];
+        if (attr_ != nullptr && f.issued_chunks < f.total_chunks &&
+            next > eq_.now())
+            attr_->on_dma_window_wait(f.req.task, next - eq_.now());
+        if (++f.out_head == f.out.size()) {
+            f.out.clear();
+            f.out_head = 0;
+        }
+        ++f.retired_chunks;
+        // Coalescing: when the wake-up would be the queue's very next
+        // dispatch anyway, keep pumping this flight inline instead of
+        // round-tripping a chunk_done event through the heap. Only the
+        // event-dispatched pump may do this — a pump called synchronously
+        // from a submit must not advance the clock under its caller.
+        if (allow_inline && eq_.try_inline(next, event_channel::dma))
+            continue;
+        eq_.schedule_event(
+            next, typed_event{static_cast<std::uint8_t>(event_channel::dma),
+                              0, id, 0});
         return;
     }
-    // Wake when the oldest chunk retires; that frees a window slot.
-    const cycle_t next = f.out[f.out_head];
-    if (attr_ != nullptr && f.issued_chunks < f.total_chunks &&
-        next > eq_.now())
-        attr_->on_dma_window_wait(f.req.task, next - eq_.now());
-    if (++f.out_head == f.out.size()) {
-        f.out.clear();
-        f.out_head = 0;
-    }
-    ++f.retired_chunks;
-    eq_.schedule_event(next, typed_event{
-                                 static_cast<std::uint8_t>(event_channel::dma),
-                                 0, id, 0});
 }
 
 void dma_engine::save_state(snapshot_writer& w) const {

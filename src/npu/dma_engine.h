@@ -163,8 +163,11 @@ private:
     std::uint64_t start_flight(const transfer_request& req, flight f);
     /// Issues chunks while the window has room, then sleeps until the
     /// oldest outstanding chunk retires (typed chunk_done event) or
-    /// completes the flight.
-    void pump(std::uint64_t id);
+    /// completes the flight. `allow_inline` (event-dispatched pumps only)
+    /// lets retirement wake-ups that would be the queue's next dispatch
+    /// anyway coalesce inline via event_queue::try_inline — the clock and
+    /// the dispatch counters advance exactly as the scheduled path would.
+    void pump(std::uint64_t id, bool allow_inline = false);
     std::size_t find_flight(std::uint64_t id) const;
     void insert_flight(flight f);
     void recycle_ring(std::vector<cycle_t>&& ring);

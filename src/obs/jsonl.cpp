@@ -15,30 +15,63 @@ void jsonl_sink::row(const std::string& json) {
     }
 }
 
+void jsonl_sink::epoch_row(std::uint32_t soc, const adapt::epoch_snapshot& e) {
+    ++rows_;
+    if (out_ != nullptr) {
+        *out_ << epoch_row_json(soc, e) << '\n';
+        out_->flush();
+        return;
+    }
+    // Defer the formatting: reserve the row's slot now (an empty string —
+    // no allocation) so interleaved row() strings keep their order, and
+    // fill it in at materialize() time.
+    deferred_.emplace_back(buffered_.size(), make_epoch_record(soc, e));
+    buffered_.emplace_back();
+}
+
+void jsonl_sink::materialize() {
+    for (const auto& [at, rec] : deferred_) buffered_[at] = epoch_row_json(rec);
+    deferred_.clear();
+}
+
 void jsonl_sink::drain_to(jsonl_sink& dst) {
+    materialize();
     for (auto& r : buffered_) dst.row(std::move(r));
     rows_ -= buffered_.size();
     buffered_.clear();
 }
 
 void jsonl_sink::drain_to(std::ostream& out) {
+    materialize();
     for (const auto& r : buffered_) out << r << '\n';
     rows_ -= buffered_.size();
     buffered_.clear();
 }
 
-std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e) {
-    std::uint64_t completions = 0, layers = 0, dma_bytes = 0, hits = 0,
-                  misses = 0, wait = 0, timeouts = 0;
+epoch_record make_epoch_record(std::uint32_t soc,
+                               const adapt::epoch_snapshot& e) {
+    epoch_record r;
+    r.soc = soc;
+    r.index = e.index;
+    r.start = e.start;
+    r.end = e.end;
+    r.active_slots = e.active_slots;
     for (const auto& t : e.tasks) {
-        completions += t.completions;
-        layers += t.layers_retired;
-        dma_bytes += t.dma_bytes;
-        hits += t.cache_hits;
-        misses += t.cache_misses;
-        wait += t.page_wait_cycles;
-        timeouts += t.page_timeouts;
+        r.completions += t.completions;
+        r.layers += t.layers_retired;
+        r.dma_bytes += t.dma_bytes;
+        r.cache_hits += t.cache_hits;
+        r.cache_misses += t.cache_misses;
+        r.page_wait_cycles += t.page_wait_cycles;
+        r.page_timeouts += t.page_timeouts;
     }
+    r.dram_bytes = e.dram_bytes;
+    r.bw_utilization = e.bw_utilization;
+    r.idle_pages = e.idle_pages;
+    return r;
+}
+
+std::string epoch_row_json(const epoch_record& r) {
     char buf[640];
     std::snprintf(
         buf, sizeof buf,
@@ -48,18 +81,22 @@ std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e) {
         "\"cache_misses\":%llu,\"page_wait_cycles\":%llu,"
         "\"page_timeouts\":%llu,\"dram_bytes\":%llu,"
         "\"bw_utilization\":%.6f,\"idle_pages\":%u}",
-        soc, static_cast<unsigned long long>(e.index), cycles_to_ms(e.start),
-        cycles_to_ms(e.end), e.active_slots,
-        static_cast<unsigned long long>(completions),
-        static_cast<unsigned long long>(layers),
-        static_cast<unsigned long long>(dma_bytes),
-        static_cast<unsigned long long>(hits),
-        static_cast<unsigned long long>(misses),
-        static_cast<unsigned long long>(wait),
-        static_cast<unsigned long long>(timeouts),
-        static_cast<unsigned long long>(e.dram_bytes), e.bw_utilization,
-        e.idle_pages);
+        r.soc, static_cast<unsigned long long>(r.index), cycles_to_ms(r.start),
+        cycles_to_ms(r.end), r.active_slots,
+        static_cast<unsigned long long>(r.completions),
+        static_cast<unsigned long long>(r.layers),
+        static_cast<unsigned long long>(r.dma_bytes),
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses),
+        static_cast<unsigned long long>(r.page_wait_cycles),
+        static_cast<unsigned long long>(r.page_timeouts),
+        static_cast<unsigned long long>(r.dram_bytes), r.bw_utilization,
+        r.idle_pages);
     return buf;
+}
+
+std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e) {
+    return epoch_row_json(make_epoch_record(soc, e));
 }
 
 }  // namespace camdn::obs

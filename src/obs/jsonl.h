@@ -28,6 +28,32 @@
 
 namespace camdn::obs {
 
+/// One epoch row captured as plain data: the per-slot counters already
+/// aggregated, no strings. A buffered sink records these into a slab and
+/// formats them only when drained, so the simulation hot path never pays
+/// for snprintf or string allocation per epoch cut.
+struct epoch_record {
+    std::uint32_t soc = 0;
+    std::uint64_t index = 0;
+    cycle_t start = 0;
+    cycle_t end = 0;
+    std::uint32_t active_slots = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t layers = 0;
+    std::uint64_t dma_bytes = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t page_wait_cycles = 0;
+    std::uint64_t page_timeouts = 0;
+    std::uint64_t dram_bytes = 0;
+    double bw_utilization = 0.0;
+    std::uint32_t idle_pages = 0;
+};
+
+/// Aggregates a telemetry snapshot's per-slot counters into the POD row.
+epoch_record make_epoch_record(std::uint32_t soc,
+                               const adapt::epoch_snapshot& e);
+
 class jsonl_sink {
 public:
     /// Buffered sink: rows accumulate until drained.
@@ -39,8 +65,19 @@ public:
     /// Appends one row (a complete JSON object, no trailing newline).
     void row(const std::string& json);
 
+    /// Appends one epoch row. Streaming sinks format and write it now;
+    /// buffered sinks record the POD epoch_record and defer the JSON
+    /// formatting to drain time (the row keeps its position relative to
+    /// interleaved row() strings). Byte-identical output either way.
+    void epoch_row(std::uint32_t soc, const adapt::epoch_snapshot& e);
+
     std::uint64_t rows() const { return rows_; }
-    const std::vector<std::string>& buffered() const { return buffered_; }
+    /// The buffered rows. Formats any deferred epoch rows in place first
+    /// (hence non-const; drains do the same).
+    const std::vector<std::string>& buffered() {
+        materialize();
+        return buffered_;
+    }
 
     /// Moves every buffered row into `dst` in order (deterministic fleet
     /// merge), leaving this sink empty. Row counts transfer.
@@ -49,13 +86,20 @@ public:
     void drain_to(std::ostream& out);
 
 private:
+    /// Formats deferred epoch records into their reserved buffer slots.
+    void materialize();
+
     std::ostream* out_ = nullptr;
     std::uint64_t rows_ = 0;
     std::vector<std::string> buffered_;
+    /// Deferred epoch rows: (index of the placeholder in buffered_, data).
+    std::vector<std::pair<std::size_t, epoch_record>> deferred_;
 };
 
 /// Formats one telemetry epoch snapshot as an "epoch" JSONL row
 /// (per-slot counters aggregated to epoch totals). Deterministic bytes.
 std::string epoch_row_json(std::uint32_t soc, const adapt::epoch_snapshot& e);
+/// Formats an already-aggregated epoch record (same bytes).
+std::string epoch_row_json(const epoch_record& r);
 
 }  // namespace camdn::obs

@@ -47,7 +47,18 @@ public:
         return it != gauges_.end() ? it->second : 0.0;
     }
 
-    /// The named histogram, created empty on first touch.
+    /// Stable handles for hot-path producers: the returned pointers stay
+    /// valid for the registry's lifetime (std::map nodes never move), so a
+    /// caller that bumps the same metric every epoch resolves the name
+    /// once and then writes through the pointer — no string construction
+    /// or map lookup per update. Created at zero on first touch.
+    std::uint64_t* counter_slot(const std::string& name) {
+        return &counters_[name];
+    }
+    double* gauge_slot(const std::string& name) { return &gauges_[name]; }
+
+    /// The named histogram, created empty on first touch. The reference is
+    /// stable for the registry's lifetime (usable as a hot-path handle).
     p2_quantiles& histogram(const std::string& name) { return hists_[name]; }
     const p2_quantiles* find_histogram(const std::string& name) const {
         const auto it = hists_.find(name);

@@ -1,9 +1,36 @@
 #include "obs/profile.h"
 
+#include <chrono>
 #include <cstdio>
 #include <ostream>
 
 namespace camdn::obs {
+
+double profile_clock::seconds_per_tick() {
+#ifdef CAMDN_PROFILE_TSC
+    // Calibrate the TSC against steady_clock once: spin ~2 ms and take the
+    // ratio. Thread-safe via the magic-static; the spin runs once per
+    // process, long enough that scheduler noise stays below ~0.1%.
+    static const double s = [] {
+        using sc = std::chrono::steady_clock;
+        const sc::time_point t0 = sc::now();
+        const std::uint64_t c0 = __rdtsc();
+        sc::time_point t1;
+        do {
+            t1 = sc::now();
+        } while (std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                     .count() < 2000);
+        const std::uint64_t c1 = __rdtsc();
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        return c1 > c0 ? ns * 1e-9 / static_cast<double>(c1 - c0) : 1e-9;
+    }();
+    return s;
+#else
+    return 1e-9;  // ticks are steady_clock nanoseconds
+#endif
+}
 
 const char* subsystem_name(subsystem s) {
     switch (s) {
@@ -24,7 +51,7 @@ void profiler::write_json(std::ostream& out) const {
         char buf[64];
         std::snprintf(buf, sizeof buf, "\"%s\":%.6f",
                       subsystem_name(static_cast<subsystem>(i)),
-                      static_cast<double>(ns_[i]) * 1e-9);
+                      seconds(static_cast<subsystem>(i)));
         out << buf;
     }
     out << "}";

@@ -67,6 +67,38 @@ public:
     void set_chunk_events(bool on) { chunk_events_ = on; }
     bool chunk_events() const { return chunk_events_; }
 
+    /// Samples the chunk lane: record every Nth chunk event (count-based,
+    /// deterministic — the chunk issue order is a simulation fact). 1
+    /// records every chunk.
+    void set_chunk_sample_every(std::uint32_t n) {
+        chunk_sample_every_ = n == 0 ? 1 : n;
+    }
+    std::uint32_t chunk_sample_every() const { return chunk_sample_every_; }
+    /// Advances the chunk sampling counter; true when this chunk's event
+    /// should be recorded. Called once per issued chunk by the DMA engine
+    /// while chunk_events() is on.
+    bool sample_chunk() {
+        if (++chunk_counter_ < chunk_sample_every_) return false;
+        chunk_counter_ = 0;
+        return true;
+    }
+    /// Samples the flight lane (one completion event per DMA flight — the
+    /// highest-volume category after chunks): record every Nth. Same
+    /// count-based determinism as the chunk lane. 1 (the default) records
+    /// every flight.
+    void set_flight_sample_every(std::uint32_t n) {
+        flight_sample_every_ = n == 0 ? 1 : n;
+    }
+    std::uint32_t flight_sample_every() const { return flight_sample_every_; }
+    /// Advances the flight sampling counter; true when this flight's
+    /// completion event should be recorded. Called once per retired
+    /// flight by the DMA engine while a recorder is attached.
+    bool sample_flight() {
+        if (++flight_counter_ < flight_sample_every_) return false;
+        flight_counter_ = 0;
+        return true;
+    }
+
     /// Records a complete ('X') event spanning [start, end] cycles.
     void complete(const char* name, const char* cat, std::uint32_t tid,
                   cycle_t start, cycle_t end) {
@@ -116,6 +148,10 @@ private:
     std::uint32_t pid_;
     std::size_t max_events_;
     bool chunk_events_ = false;
+    std::uint32_t chunk_sample_every_ = 1;
+    std::uint32_t chunk_counter_ = 0;
+    std::uint32_t flight_sample_every_ = 1;
+    std::uint32_t flight_counter_ = 0;
     std::uint64_t dropped_ = 0;
     std::vector<trace_event> events_;
     std::deque<std::string> strings_;  ///< stable storage for interned names

@@ -578,29 +578,50 @@ void scheduler::cut_epoch() {
     if (ctl_) apply_action(ctl_->on_epoch(snap));
 }
 
+void scheduler::bind_metric_slots(obs::metrics_registry& m) {
+    if (mslots_.bound == &m) return;
+    mslots_.bound = &m;
+    mslots_.epochs_cut = m.counter_slot("sim.epochs_cut");
+    mslots_.dram_bytes = m.counter_slot("sim.dram_bytes");
+    mslots_.dram_throttled = m.counter_slot("sim.dram_throttled");
+    mslots_.page_wait_cycles = m.counter_slot("sim.page_wait_cycles");
+    mslots_.page_timeouts = m.counter_slot("sim.page_timeouts");
+    mslots_.layers_retired = m.counter_slot("sim.layers_retired");
+    mslots_.cache_hits = m.counter_slot("sim.cache_hits");
+    mslots_.cache_misses = m.counter_slot("sim.cache_misses");
+    mslots_.dma_bytes = m.counter_slot("sim.dma_bytes");
+    mslots_.completions = m.counter_slot("sched.completions");
+    mslots_.deadline_misses = m.counter_slot("sched.deadline_misses");
+    mslots_.bw_utilization = &m.histogram("sim.epoch_bw_utilization");
+    mslots_.latency_ms = &m.histogram("sched.latency_ms");
+    mslots_.queue_delay_ms = &m.histogram("sched.queue_delay_ms");
+    mslots_.idle_pages = m.gauge_slot("sim.idle_pages");
+    mslots_.active_slots = m.gauge_slot("sim.active_slots");
+}
+
 void scheduler::observe_epoch(const adapt::epoch_snapshot& snap) {
     const obs::run_observer& o = cfg_.obs;
     if (!o.wants_epochs()) return;
     const std::uint32_t every =
         o.epoch_sample_every == 0 ? 1 : o.epoch_sample_every;
     if (o.epochs != nullptr && snap.index % every == 0)
-        o.epochs->row(obs::epoch_row_json(o.soc_index, snap));
+        o.epochs->epoch_row(o.soc_index, snap);
     if (o.metrics != nullptr) {
-        obs::metrics_registry& m = *o.metrics;
-        m.add("sim.epochs_cut");
-        m.add("sim.dram_bytes", snap.dram_bytes);
-        m.add("sim.dram_throttled", snap.dram_throttled);
-        m.add("sim.page_wait_cycles", snap.total_page_wait());
-        m.add("sim.page_timeouts", snap.total_timeouts());
+        bind_metric_slots(*o.metrics);
+        *mslots_.epochs_cut += 1;
+        *mslots_.dram_bytes += snap.dram_bytes;
+        *mslots_.dram_throttled += snap.dram_throttled;
+        *mslots_.page_wait_cycles += snap.total_page_wait();
+        *mslots_.page_timeouts += snap.total_timeouts();
         for (const auto& t : snap.tasks) {
-            m.add("sim.layers_retired", t.layers_retired);
-            m.add("sim.cache_hits", t.cache_hits);
-            m.add("sim.cache_misses", t.cache_misses);
-            m.add("sim.dma_bytes", t.dma_bytes);
+            *mslots_.layers_retired += t.layers_retired;
+            *mslots_.cache_hits += t.cache_hits;
+            *mslots_.cache_misses += t.cache_misses;
+            *mslots_.dma_bytes += t.dma_bytes;
         }
-        m.histogram("sim.epoch_bw_utilization").add(snap.bw_utilization);
-        m.gauge_set("sim.idle_pages", snap.idle_pages);
-        m.gauge_set("sim.active_slots", snap.active_slots);
+        mslots_.bw_utilization->add(snap.bw_utilization);
+        *mslots_.idle_pages = snap.idle_pages;
+        *mslots_.active_slots = snap.active_slots;
     }
     if (o.attr != nullptr) {
         if (o.epochs != nullptr && snap.index % every == 0)
@@ -941,13 +962,12 @@ void scheduler::end_inference(task& t, cycle_t end) {
                          static_cast<std::uint32_t>(t.id), t.started, end,
                          static_cast<std::uint64_t>(t.cores.size()));
     if (auto* m = cfg_.obs.metrics) {
-        m->add("sched.completions");
-        m->histogram("sched.latency_ms")
-            .add(cycles_to_ms(end - t.arrival));
-        m->histogram("sched.queue_delay_ms")
-            .add(cycles_to_ms(t.started - t.arrival));
+        bind_metric_slots(*m);
+        *mslots_.completions += 1;
+        mslots_.latency_ms->add(cycles_to_ms(end - t.arrival));
+        mslots_.queue_delay_ms->add(cycles_to_ms(t.started - t.arrival));
         if (t.deadline != never && end > t.deadline)
-            m->add("sched.deadline_misses");
+            *mslots_.deadline_misses += 1;
     }
     if (auto* at = cfg_.obs.attr) at->on_inference_end(t.id, end);
     if (sim::is_camdn(cfg_.pol)) {
@@ -1043,13 +1063,20 @@ bool scheduler::run_segment(cycle_t boundary) {
     }
 
     auto& eq = machine_.eq();
+    // Chunk-event coalescing may not run past the pause boundary: a
+    // coalesced continuation at or beyond it would skip the pause check
+    // this loop performs between step()s. Below the boundary no pause can
+    // trigger, so the horizon is exactly the boundary (exclusive).
+    eq.set_inline_horizon(boundary);
     while (true) {
         if (!done_ && eq.now() >= boundary && at_pause_point()) {
             paused_ = true;
+            eq.set_inline_horizon(0);
             return true;
         }
         if (!eq.step()) break;
     }
+    eq.set_inline_horizon(0);
     finalize();
     return false;
 }
@@ -1062,6 +1089,10 @@ bool scheduler::run_segment_hold_dispatch(cycle_t hold_after) {
     try_dispatch();  // a backlog held by an earlier segment may now be due
 
     auto& eq = machine_.eq();
+    // The held pause requires no running inference, and a DMA chunk chain
+    // only exists under a running layer — a coalesced continuation can
+    // never skip this loop's pause check, so the horizon is unbounded.
+    eq.set_inline_horizon(never);
     while (true) {
         // Held boundary: every arrival has fired (into the queue or onto
         // the floor), no inference is running, and nothing further is due
@@ -1072,11 +1103,13 @@ bool scheduler::run_segment_hold_dispatch(cycle_t hold_after) {
             bw_timer_.cancel();
             if (eq.next_time() > eq.now()) {
                 paused_ = true;
+                eq.set_inline_horizon(0);
                 return true;
             }
         }
         if (!eq.step()) break;
     }
+    eq.set_inline_horizon(0);
     dispatch_hold_after_ = never;
     finalize();
     return false;

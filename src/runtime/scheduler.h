@@ -31,6 +31,7 @@
 
 #include "adapt/controller.h"
 #include "adapt/telemetry.h"
+#include "common/stats.h"
 #include "runtime/bandwidth_allocator.h"
 #include "runtime/cache_allocation.h"
 #include "runtime/scheduler_snapshot.h"
@@ -224,6 +225,34 @@ private:
     std::uint64_t dram_bytes_mark_ = 0;
     std::uint64_t dram_throttled_mark_ = 0;
     cycle_t epoch_deadline_ = never;
+
+    /// Resolved metric handles for the per-epoch / per-completion hot
+    /// paths: name lookups happen once when the registry is first seen
+    /// (slots are reference-stable for the registry's lifetime), after
+    /// which every update is a pointer bump instead of a string-keyed map
+    /// walk. `bound` keys the cache so a config swap rebinds.
+    struct metric_slots {
+        obs::metrics_registry* bound = nullptr;
+        std::uint64_t* epochs_cut = nullptr;
+        std::uint64_t* dram_bytes = nullptr;
+        std::uint64_t* dram_throttled = nullptr;
+        std::uint64_t* page_wait_cycles = nullptr;
+        std::uint64_t* page_timeouts = nullptr;
+        std::uint64_t* layers_retired = nullptr;
+        std::uint64_t* cache_hits = nullptr;
+        std::uint64_t* cache_misses = nullptr;
+        std::uint64_t* dma_bytes = nullptr;
+        std::uint64_t* completions = nullptr;
+        std::uint64_t* deadline_misses = nullptr;
+        p2_quantiles* bw_utilization = nullptr;
+        p2_quantiles* latency_ms = nullptr;
+        p2_quantiles* queue_delay_ms = nullptr;
+        double* idle_pages = nullptr;
+        double* active_slots = nullptr;
+    };
+    metric_slots mslots_;
+    /// Rebinds mslots_ to `m` (no-op when already bound to it).
+    void bind_metric_slots(obs::metrics_registry& m);
 
     // ---- segmented execution / checkpointing ----
     event_queue::timer bw_timer_;

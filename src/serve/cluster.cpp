@@ -191,7 +191,8 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
         scaling ? 0xFFFEu : static_cast<std::uint32_t>(S0);
     std::unique_ptr<obs::trace_recorder> master_trace;
     if (trace_on)
-        master_trace = std::make_unique<obs::trace_recorder>(fleet_lane);
+        master_trace = std::make_unique<obs::trace_recorder>(
+            fleet_lane, cfg.trace_max_events == 0 ? 1 : cfg.trace_max_events);
     std::ofstream jsonl_out;
     if (jsonl_on) {
         jsonl_out.open(cfg.metrics_jsonl_path);
@@ -330,6 +331,11 @@ cluster_result run_cluster(const cluster_config& cfg_in) {
             if (trace_on) {
                 round_traces[k] =
                     std::make_unique<obs::trace_recorder>(slot.id);
+                round_traces[k]->set_chunk_events(cfg.trace_chunk_events);
+                round_traces[k]->set_chunk_sample_every(
+                    cfg.trace_chunk_sample_every);
+                round_traces[k]->set_flight_sample_every(
+                    cfg.trace_flight_sample_every);
                 ec.obs.trace = round_traces[k].get();
             }
             if (jsonl_on) ec.obs.epochs = &round_epochs[k];

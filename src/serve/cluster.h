@@ -207,6 +207,24 @@ struct cluster_config {
     std::string metrics_jsonl_path;
     /// Emit every Nth epoch JSONL row (0 behaves as 1).
     std::uint32_t epoch_sample_every = 1;
+    /// Record per-DMA-chunk trace events (the highest-volume lane; off
+    /// keeps fleet traces at flight granularity).
+    bool trace_chunk_events = false;
+    /// Record every Nth chunk event when trace_chunk_events is on (0
+    /// behaves as 1). Count-based and deterministic — the chunk issue
+    /// order is a simulation fact, so sampled traces are byte-identical
+    /// across runs and sweep-pool widths.
+    std::uint32_t trace_chunk_sample_every = 1;
+    /// Record every Nth DMA-flight completion event (0 behaves as 1) —
+    /// the highest-volume lane after chunks. Count-based on the flight
+    /// retire order, so sampled traces stay byte-identical across runs
+    /// and sweep-pool widths.
+    std::uint32_t trace_flight_sample_every = 1;
+    /// Event cap of the folded master trace (0 behaves as 1). Bounds both
+    /// memory and the end-of-run export/file cost — events beyond the cap
+    /// are counted (trace_recorder::dropped), never silently lost. The
+    /// default matches trace_recorder's.
+    std::size_t trace_max_events = std::size_t{1} << 20;
     /// Per-request latency attribution and the cross-tenant interference
     /// matrix (obs/attribution.h): per-(round, SoC) attributors fold into
     /// a fleet master at each barrier, filling tenant_metrics::attribution

@@ -144,6 +144,40 @@ TEST(attribution, contended_run_blames_other_tenants) {
     EXPECT_EQ(attr.totals().sum(), from_records.sum());
 }
 
+TEST(attribution, batched_dram_paths_keep_the_exact_decomposition) {
+    // The DRAM model's batched burst paths aggregate their attribution
+    // hooks by holder (one on_dram_wait per (victim, holder) run instead
+    // of one per line). The identities must be indifferent to that
+    // folding: a contended multi-tenant run whose traffic is dominated by
+    // multi-line bursts still tiles every latency exactly and still sums
+    // every interference row to the tenant's blameable stall.
+    auto cfg = base_cfg(sim::policy::camdn_full);
+    cfg.co_located = 6;
+    cfg.inferences_per_slot = 4;
+    obs::latency_attributor attr;
+    cfg.obs.attr = &attr;
+    sim::run_experiment(cfg);
+
+    ASSERT_GT(attr.records().size(), 0u);
+    for (const auto& rec : attr.records())
+        EXPECT_EQ(rec.comp.sum(), rec.end - rec.arrival);
+    for (std::uint32_t i = 0; i < attr.tenants().size(); ++i)
+        EXPECT_EQ(attr.interference_row_sum(i),
+                  attr.tenants()[i].comp.stall_sum());
+    // The run must actually have exercised the aggregated hooks: enough
+    // co-located tenants on one DRAM guarantees bank/bus blame.
+    EXPECT_GT(attr.totals().dram_contention, 0u);
+}
+
+TEST(attribution, regulated_bursts_keep_the_exact_decomposition) {
+    // MoCA-style bandwidth partitioning drives the regulation edge of the
+    // batched dispatch: bursts that fit the epoch budget commit in bulk,
+    // bursts that straddle it take the exact per-line walk with throttle
+    // attribution. Both must preserve the identities.
+    auto cfg = base_cfg(sim::policy::moca);
+    check_exact_decomposition(cfg);
+}
+
 TEST(attribution, top_stall_component_names_the_largest) {
     obs::attribution_components c;
     EXPECT_STREQ(obs::top_stall_component(c), "none");
